@@ -1,0 +1,90 @@
+// E5 — all-pairs shortest paths (the Section 1 teaser and Section 5.4).
+//
+// Series: the Rel stdlib APSP (aggregation formulation), the guarded
+// formulation, the baseline Datalog engine with bounded path derivation +
+// post-hoc minimum, and the handwritten BFS.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+#include "benchutil/generators.h"
+#include "benchutil/reference.h"
+#include "datalog/eval.h"
+
+namespace rel {
+namespace {
+
+void ApplyArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(8)->Arg(12)->Arg(16)->ArgName("n");
+}
+
+void BM_APSP_Rel(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Tuple> edges = benchutil::RandomGraph(n, 3 * n, 7);
+  std::vector<Tuple> nodes = benchutil::NodeSet(n);
+  for (auto _ : state) {
+    Engine engine = bench::MakeEngine({{"E", &edges}, {"V", &nodes}});
+    Relation out = engine.Query("def output : APSP[V, E]");
+    benchmark::DoNotOptimize(out.size());
+    state.counters["pairs"] = static_cast<double>(out.size());
+  }
+}
+BENCHMARK(BM_APSP_Rel)->Apply(ApplyArgs)->Unit(benchmark::kMillisecond);
+
+void BM_APSP_RelGuarded(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Tuple> edges = benchutil::RandomGraph(n, 3 * n, 7);
+  std::vector<Tuple> nodes = benchutil::NodeSet(n);
+  for (auto _ : state) {
+    Engine engine = bench::MakeEngine({{"E", &edges}, {"V", &nodes}});
+    Relation out = engine.Query("def output : APSP_guarded[V, E]");
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_APSP_RelGuarded)->Apply(ApplyArgs)->Unit(benchmark::kMillisecond);
+
+void BM_APSP_Datalog(benchmark::State& state) {
+  // The classical encoding: derive bounded path lengths, then take the
+  // minimum per pair outside the engine (classical Datalog lacks
+  // aggregation — one of the gaps Rel closes, Section 5.2).
+  int n = static_cast<int>(state.range(0));
+  std::vector<Tuple> edges = benchutil::RandomGraph(n, 3 * n, 7);
+  std::string bound = std::to_string(n);
+  for (auto _ : state) {
+    datalog::Program program = datalog::ParseDatalog(
+        "path(X, Y, D) :- edge(X, Y), D = 1 + 0.\n"
+        "path(X, Z, D) :- path(X, Y, E), edge(Y, Z), D = E + 1, E < " +
+        bound + ".");
+    for (const Tuple& e : edges) program.AddFact("edge", e);
+    Relation paths = datalog::EvaluatePredicate(program, "path");
+    std::map<std::pair<int64_t, int64_t>, int64_t> best;
+    for (const Tuple& t : paths.TuplesOfArity(3)) {
+      auto key = std::make_pair(t[0].AsInt(), t[1].AsInt());
+      auto it = best.find(key);
+      if (it == best.end() || t[2].AsInt() < it->second) {
+        best[key] = t[2].AsInt();
+      }
+    }
+    benchmark::DoNotOptimize(best.size());
+  }
+}
+BENCHMARK(BM_APSP_Datalog)->Apply(ApplyArgs)->Unit(benchmark::kMillisecond);
+
+void BM_APSP_HandwrittenBFS(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Tuple> edges = benchutil::RandomGraph(n, 3 * n, 7);
+  for (auto _ : state) {
+    auto dist = benchutil::ApspRef(n, edges);
+    benchmark::DoNotOptimize(dist.size());
+  }
+}
+BENCHMARK(BM_APSP_HandwrittenBFS)
+    ->Apply(ApplyArgs)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rel
+
+BENCHMARK_MAIN();

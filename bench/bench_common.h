@@ -1,0 +1,29 @@
+// Shared helpers for the benchmark binaries.
+
+#ifndef REL_BENCH_BENCH_COMMON_H_
+#define REL_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/tuple.h"
+
+namespace rel {
+namespace bench {
+
+/// Builds an engine with `relations` bulk-loaded as base relations.
+inline Engine MakeEngine(
+    const std::vector<std::pair<std::string, const std::vector<Tuple>*>>&
+        relations) {
+  Engine engine;
+  for (const auto& [name, tuples] : relations) {
+    engine.Insert(name, *tuples);
+  }
+  return engine;
+}
+
+}  // namespace bench
+}  // namespace rel
+
+#endif  // REL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,237 @@
+// E11 — the code-size claim (Section 7: "drastically smaller (up to 95%)
+// code bases"). For each task implemented in this repository we count the
+// non-blank, non-comment source lines of the paired implementations:
+// the Rel program, the classical-Datalog encoding (where expressible), and
+// the handwritten C++ (taken verbatim from src/benchutil/reference.cc).
+//
+// This binary prints the table; it has no timing component.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+int CountLines(const std::string& source) {
+  std::istringstream in(source);
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line.compare(first, 2, "//") == 0) continue;
+    if (line.compare(first, 1, "%") == 0) continue;
+    ++count;
+  }
+  return count;
+}
+
+struct TaskRow {
+  const char* task;
+  std::string rel;
+  std::string datalog;  // empty = not expressible in classical Datalog
+  std::string cpp;
+};
+
+const char* kTcRel = R"(
+def TC({E}, x, y) : E(x, y)
+def TC({E}, x, y) : exists((z) | E(x, z) and TC[E](z, y))
+)";
+
+const char* kTcDatalog = R"(
+tc(X,Y) :- edge(X,Y).
+tc(X,Z) :- edge(X,Y), tc(Y,Z).
+)";
+
+const char* kTcCpp = R"(
+std::set<std::pair<int64_t, int64_t>> TransitiveClosureRef(
+    const std::vector<Tuple>& edges) {
+  std::map<int64_t, std::vector<int64_t>> adj;
+  std::set<int64_t> nodes;
+  for (const Tuple& e : edges) {
+    adj[e[0].AsInt()].push_back(e[1].AsInt());
+    nodes.insert(e[0].AsInt());
+    nodes.insert(e[1].AsInt());
+  }
+  std::set<std::pair<int64_t, int64_t>> closure;
+  for (int64_t s : nodes) {
+    std::deque<int64_t> queue = {s};
+    std::set<int64_t> visited;
+    while (!queue.empty()) {
+      int64_t u = queue.front();
+      queue.pop_front();
+      auto it = adj.find(u);
+      if (it == adj.end()) continue;
+      for (int64_t v : it->second) {
+        if (visited.insert(v).second) {
+          closure.emplace(s, v);
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return closure;
+}
+)";
+
+const char* kApspRel = R"(
+def APSP({V}, {E}, x, y, 0) : V(x) and V(y) and x = y
+def APSP({V}, {E}, x, y, i) :
+    i = min[(j) : exists((z) | E(x, z) and APSP[V, E](z, y, j - 1))]
+)";
+
+const char* kApspCpp = R"(
+std::map<std::pair<int64_t, int64_t>, int64_t> ApspRef(
+    int n, const std::vector<Tuple>& edges) {
+  std::map<int64_t, std::vector<int64_t>> adj;
+  for (const Tuple& e : edges) adj[e[0].AsInt()].push_back(e[1].AsInt());
+  std::map<std::pair<int64_t, int64_t>, int64_t> dist;
+  for (int64_t s = 0; s < n; ++s) {
+    dist[{s, s}] = 0;
+    std::deque<int64_t> queue = {s};
+    std::map<int64_t, int64_t> d;
+    d[s] = 0;
+    while (!queue.empty()) {
+      int64_t u = queue.front();
+      queue.pop_front();
+      auto it = adj.find(u);
+      if (it == adj.end()) continue;
+      for (int64_t v : it->second) {
+        if (v < 0 || v >= n) continue;
+        if (d.count(v)) continue;
+        d[v] = d[u] + 1;
+        dist[{s, v}] = d[v];
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+)";
+
+const char* kPageRankRel = R"(
+def pagerank_vector[d, i] : 1.0 / d where range(1, d, 1, i)
+def pagerank_delta[{V1}, {V2}] : max[[k] : rel_primitive_abs[V1[k] - V2[k]]]
+def pagerank_next[{G}, {P}] : MatrixVector[G, P]
+def pagerank_stop({G}, {P}) : pagerank_delta[pagerank_next[G, P], P] > 0.005
+def PageRank[{G}] : pagerank_vector[dimension[G]] where empty(PageRank[G])
+def PageRank[{G}] :
+    pagerank_next[G, PageRank[G]]
+    where not empty(PageRank[G]) and pagerank_stop(G, PageRank[G])
+def PageRank[{G}] :
+    PageRank[G]
+    where not empty(PageRank[G]) and not pagerank_stop(G, PageRank[G])
+)";
+
+const char* kPageRankCpp = R"(
+std::vector<double> PageRankRef(int n, const std::vector<Tuple>& g, double eps,
+                                int* iterations) {
+  std::vector<std::tuple<int64_t, int64_t, double>> entries;
+  entries.reserve(g.size());
+  for (const Tuple& t : g) {
+    entries.emplace_back(t[0].AsInt(), t[1].AsInt(), t[2].AsDouble());
+  }
+  std::vector<double> p(n + 1, 1.0 / n);
+  int iters = 0;
+  for (;;) {
+    ++iters;
+    std::vector<double> next(n + 1, 0.0);
+    for (const auto& [i, j, v] : entries) next[i] += v * p[j];
+    double delta = 0;
+    for (int i = 1; i <= n; ++i) {
+      delta = std::max(delta, std::abs(next[i] - p[i]));
+    }
+    p = std::move(next);
+    if (delta <= eps) break;
+  }
+  if (iterations) *iterations = iters;
+  return p;
+}
+)";
+
+const char* kMatMulRel = R"(
+def MatrixMult[{A}, {B}, i, j] : sum[[k] : A[i, k] * B[k, j]]
+)";
+
+const char* kMatMulCpp = R"(
+std::vector<Tuple> MatMulRef(const std::vector<Tuple>& a,
+                             const std::vector<Tuple>& b) {
+  std::map<int64_t, std::vector<std::pair<int64_t, double>>> b_rows;
+  for (const Tuple& t : b) {
+    b_rows[t[0].AsInt()].emplace_back(t[1].AsInt(), t[2].AsDouble());
+  }
+  std::map<std::pair<int64_t, int64_t>, double> acc;
+  for (const Tuple& t : a) {
+    auto it = b_rows.find(t[1].AsInt());
+    if (it == b_rows.end()) continue;
+    double av = t[2].AsDouble();
+    int64_t i = t[0].AsInt();
+    for (const auto& [j, bv] : it->second) {
+      acc[{i, j}] += av * bv;
+    }
+  }
+  std::vector<Tuple> out;
+  out.reserve(acc.size());
+  for (const auto& [ij, v] : acc) {
+    if (v == 0) continue;
+    out.push_back(
+        Tuple({Value::Int(ij.first), Value::Int(ij.second), Value::Float(v)}));
+  }
+  return out;
+}
+)";
+
+const char* kGroupSumRel = R"(
+def Ord(x) : OrderProductQuantity(x,_,_)
+def OrderPaymentAmount(x,y,z) : PaymentOrder(y,x) and PaymentAmount(y,z)
+def OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0
+)";
+
+const char* kGroupSumCpp = R"(
+std::map<Value, int64_t> GroupedTotals(const OrdersWorkload& w) {
+  std::map<Value, Value> amounts;
+  for (const Tuple& t : w.payment_amount) amounts.emplace(t[0], t[1]);
+  std::map<Value, int64_t> totals;
+  for (const Tuple& t : w.order_product_quantity) totals[t[0]];
+  for (const Tuple& t : w.payment_order) {
+    totals[t[1]] += amounts.at(t[0]).AsInt();
+  }
+  return totals;
+}
+)";
+
+}  // namespace
+
+int main() {
+  std::vector<TaskRow> rows = {
+      {"transitive closure", kTcRel, kTcDatalog, kTcCpp},
+      {"all-pairs shortest paths", kApspRel, "", kApspCpp},
+      {"PageRank (stop condition)", kPageRankRel, "", kPageRankCpp},
+      {"sparse matrix multiply", kMatMulRel, "", kMatMulCpp},
+      {"grouped sum with default", kGroupSumRel, "", kGroupSumCpp},
+  };
+
+  std::printf(
+      "E11: source lines per task (Rel vs classical Datalog vs handwritten "
+      "C++)\n");
+  std::printf("%-28s %8s %10s %8s %12s\n", "task", "Rel", "Datalog", "C++",
+              "reduction");
+  int total_rel = 0, total_cpp = 0;
+  for (const TaskRow& row : rows) {
+    int rel = CountLines(row.rel);
+    int cpp = CountLines(row.cpp);
+    total_rel += rel;
+    total_cpp += cpp;
+    std::string datalog =
+        row.datalog.empty() ? "n/a" : std::to_string(CountLines(row.datalog));
+    std::printf("%-28s %8d %10s %8d %11.0f%%\n", row.task, rel,
+                datalog.c_str(), cpp, 100.0 * (1.0 - double(rel) / cpp));
+  }
+  std::printf("%-28s %8d %10s %8d %11.0f%%\n", "TOTAL", total_rel, "",
+              total_cpp, 100.0 * (1.0 - double(total_rel) / total_cpp));
+  std::printf(
+      "\nPaper claim (Section 7): applications in Rel had up to 95%% "
+      "smaller code bases than the legacy applications they replaced.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E8 — PageRank with a stop condition (Section 5.4): the non-stratified
+// recursion through `empty`/`not stop`, vs the handwritten iteration.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "benchutil/generators.h"
+#include "benchutil/reference.h"
+
+namespace rel {
+namespace {
+
+void ApplyArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(8)->Arg(16)->Arg(32)->ArgName("n");
+}
+
+void BM_PageRank_Rel(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Tuple> g = benchutil::StochasticMatrix(n, 3, 11);
+  for (auto _ : state) {
+    Engine engine = bench::MakeEngine({{"G", &g}});
+    Relation out = engine.Query("def output : PageRank[G]");
+    benchmark::DoNotOptimize(out.size());
+    state.counters["entries"] = static_cast<double>(out.size());
+  }
+}
+BENCHMARK(BM_PageRank_Rel)->Apply(ApplyArgs)->Unit(benchmark::kMillisecond);
+
+void BM_PageRank_Handwritten(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Tuple> g = benchutil::StochasticMatrix(n, 3, 11);
+  for (auto _ : state) {
+    int iters = 0;
+    std::vector<double> p = benchutil::PageRankRef(n, g, 0.005, &iters);
+    benchmark::DoNotOptimize(p.size());
+    state.counters["iterations"] = iters;
+  }
+}
+BENCHMARK(BM_PageRank_Handwritten)
+    ->Apply(ApplyArgs)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// E6 — transitive closure (Section 3.3's recursion workload).
+//
+// Series: the Rel engine, the baseline Datalog engine (naive and
+// semi-naive), and the handwritten BFS reference, over chain and random
+// graphs. Expected shape: handwritten < datalog semi-naive < datalog naive;
+// the Rel engine pays its generality (tuple-at-a-time solving, higher-order
+// machinery) but follows the same asymptotics.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "benchutil/generators.h"
+#include "benchutil/reference.h"
+#include "datalog/eval.h"
+
+namespace rel {
+namespace {
+
+std::vector<Tuple> GraphFor(const benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  bool chain = state.range(1) == 0;
+  return chain ? benchutil::ChainGraph(n)
+               : benchutil::RandomGraph(n, 3 * n, /*seed=*/42);
+}
+
+void ApplyGraphArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t shape : {0, 1}) {
+    for (int64_t n : {16, 32, 64}) {
+      b->Args({n, shape});
+    }
+  }
+  b->ArgNames({"n", "random"});
+}
+
+void BM_TC_Rel(benchmark::State& state) {
+  std::vector<Tuple> edges = GraphFor(state);
+  for (auto _ : state) {
+    Engine engine = bench::MakeEngine({{"E", &edges}});
+    Relation out = engine.Query(
+        "def tc(x,y) : E(x,y)\n"
+        "def tc(x,y) : exists((z) | E(x,z) and tc(z,y))\n"
+        "def output : tc");
+    benchmark::DoNotOptimize(out.size());
+    state.counters["tuples"] = static_cast<double>(out.size());
+  }
+}
+BENCHMARK(BM_TC_Rel)->Apply(ApplyGraphArgs)->Unit(benchmark::kMillisecond);
+
+void BM_TC_RelStdlibTC(benchmark::State& state) {
+  // The same closure through the stdlib's second-order TC[E].
+  std::vector<Tuple> edges = GraphFor(state);
+  for (auto _ : state) {
+    Engine engine = bench::MakeEngine({{"E", &edges}});
+    Relation out = engine.Query("def output : TC[E]");
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_TC_RelStdlibTC)
+    ->Apply(ApplyGraphArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void RunDatalogTC(benchmark::State& state, datalog::Strategy strategy) {
+  std::vector<Tuple> edges = GraphFor(state);
+  for (auto _ : state) {
+    datalog::Program program = datalog::ParseDatalog(
+        "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).");
+    for (const Tuple& e : edges) program.AddFact("edge", e);
+    datalog::EvalStats stats;
+    Relation tc =
+        datalog::EvaluatePredicate(program, "tc", strategy, &stats);
+    benchmark::DoNotOptimize(tc.size());
+    state.counters["derived"] = static_cast<double>(stats.tuples_derived);
+  }
+}
+
+void BM_TC_DatalogSemiNaive(benchmark::State& state) {
+  RunDatalogTC(state, datalog::Strategy::kSemiNaive);
+}
+BENCHMARK(BM_TC_DatalogSemiNaive)
+    ->Apply(ApplyGraphArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TC_DatalogNaive(benchmark::State& state) {
+  RunDatalogTC(state, datalog::Strategy::kNaive);
+}
+BENCHMARK(BM_TC_DatalogNaive)
+    ->Apply(ApplyGraphArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TC_HandwrittenBFS(benchmark::State& state) {
+  std::vector<Tuple> edges = GraphFor(state);
+  for (auto _ : state) {
+    auto closure = benchutil::TransitiveClosureRef(edges);
+    benchmark::DoNotOptimize(closure.size());
+  }
+}
+BENCHMARK(BM_TC_HandwrittenBFS)
+    ->Apply(ApplyGraphArgs)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rel
+
+BENCHMARK_MAIN();

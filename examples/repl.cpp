@@ -1,0 +1,52 @@
+// A tiny interactive Rel session ("meeting users where they are",
+// Section 7): type expressions to evaluate them, `def`/`ic` lines to install
+// rules, and transactions with insert/delete to mutate the database.
+//
+//   $ ./build/examples/repl
+//   rel> def E {(1,2) ; (2,3)}
+//   rel> TC[E]
+//   {(1, 2); (1, 3); (2, 3)}
+//   rel> exec def insert(:Visited, x) : TC[E](1, x)
+//   +2 / -0
+//   rel> count[Visited]
+//   {(2)}
+//   rel> :quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "base/error.h"
+#include "core/engine.h"
+
+int main() {
+  rel::Engine engine;
+  std::string line;
+  std::printf("rel-cpp — type an expression, a def/ic, 'exec <rules>',\n"
+              "or :quit. The standard library is loaded.\n");
+  for (;;) {
+    std::printf("rel> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+    try {
+      if (line.rfind("def ", 0) == 0 || line.rfind("ic ", 0) == 0 ||
+          line.rfind("@inline", 0) == 0) {
+        engine.Define(line);
+        std::printf("ok (%zu rules installed)\n", engine.installed_rules());
+      } else if (line.rfind("exec ", 0) == 0) {
+        rel::TxnResult txn = engine.Exec(line.substr(5));
+        std::printf("+%zu / -%zu\n", txn.inserted, txn.deleted);
+        if (!txn.output.empty()) {
+          std::printf("%s\n", txn.output.ToString().c_str());
+        }
+      } else {
+        std::printf("%s\n", engine.Eval(line).ToString().c_str());
+      }
+    } catch (const rel::RelError& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "base/error.h"
+
+namespace rel {
+
+const char* ErrorKindName(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kParse:
+      return "parse error";
+    case ErrorKind::kSafety:
+      return "safety error";
+    case ErrorKind::kType:
+      return "type error";
+    case ErrorKind::kArity:
+      return "arity error";
+    case ErrorKind::kAmbiguous:
+      return "ambiguous application";
+    case ErrorKind::kUnknownRelation:
+      return "unknown relation";
+    case ErrorKind::kNonConvergent:
+      return "non-convergent fixpoint";
+    case ErrorKind::kConstraint:
+      return "integrity constraint violation";
+    case ErrorKind::kTransaction:
+      return "transaction error";
+    case ErrorKind::kInternal:
+      return "internal error";
+  }
+  return "error";
+}
+
+RelError::RelError(ErrorKind kind, const std::string& message)
+    : std::runtime_error(std::string(ErrorKindName(kind)) + ": " + message),
+      kind_(kind) {}
+
+ParseError::ParseError(const std::string& message, int line, int column)
+    : RelError(ErrorKind::kParse, message + " (at line " +
+                                      std::to_string(line) + ", column " +
+                                      std::to_string(column) + ")"),
+      line_(line),
+      column_(column) {}
+
+ConstraintViolation::ConstraintViolation(const std::string& ic_name,
+                                         const std::string& message)
+    : RelError(ErrorKind::kConstraint, "ic " + ic_name + ": " + message),
+      ic_name_(ic_name) {}
+
+void InternalCheck(bool condition, const char* what) {
+  if (!condition) {
+    throw RelError(ErrorKind::kInternal, what);
+  }
+}
+
+}  // namespace rel

@@ -1,0 +1,74 @@
+// Error types for the Rel engine.
+//
+// All user-facing failures (parse errors, safety violations, aborted
+// transactions, ...) are reported as exceptions derived from RelError so a
+// host application can catch one type. Each carries an ErrorKind that tests
+// can assert on.
+
+#ifndef REL_BASE_ERROR_H_
+#define REL_BASE_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace rel {
+
+/// Classifies every failure the engine can report.
+enum class ErrorKind {
+  kParse,           ///< lexical or syntactic error in Rel source
+  kSafety,          ///< expression could be infinite / no safe evaluation order
+  kType,            ///< ill-typed operation (e.g. "a" + 1)
+  kArity,           ///< application with an impossible arity
+  kAmbiguous,       ///< first/second-order ambiguity; needs ?{} or &{} (Addendum A)
+  kUnknownRelation, ///< reference to a relation with no facts and no rules
+  kNonConvergent,   ///< replacement fixpoint exceeded the iteration cap
+  kConstraint,      ///< integrity constraint violated; transaction aborted
+  kTransaction,     ///< misuse of the transaction API
+  kInternal,        ///< invariant violation inside the engine (a bug)
+};
+
+/// Returns a stable human-readable name for `kind` ("parse error", ...).
+const char* ErrorKindName(ErrorKind kind);
+
+/// Base class of all errors raised by the Rel engine.
+class RelError : public std::runtime_error {
+ public:
+  RelError(ErrorKind kind, const std::string& message);
+
+  ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Error with a source position, raised by the lexer and parser.
+class ParseError : public RelError {
+ public:
+  ParseError(const std::string& message, int line, int column);
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Raised when an integrity constraint is violated; carries the ic name.
+class ConstraintViolation : public RelError {
+ public:
+  ConstraintViolation(const std::string& ic_name, const std::string& message);
+
+  const std::string& ic_name() const { return ic_name_; }
+
+ private:
+  std::string ic_name_;
+};
+
+/// Throws RelError(kInternal) when `condition` is false. Used for invariants
+/// that indicate engine bugs rather than bad user input.
+void InternalCheck(bool condition, const char* what);
+
+}  // namespace rel
+
+#endif  // REL_BASE_ERROR_H_

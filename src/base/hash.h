@@ -1,0 +1,27 @@
+// Hash combining utilities (FNV-1a style mixing), shared by Tuple, Value and
+// Relation hashing.
+
+#ifndef REL_BASE_HASH_H_
+#define REL_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace rel {
+
+/// Mixes `value` into the running hash `seed` (boost::hash_combine-style but
+/// with a 64-bit multiplier).
+inline size_t HashCombine(size_t seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+template <typename T>
+size_t HashOf(const T& v) {
+  return std::hash<T>{}(v);
+}
+
+}  // namespace rel
+
+#endif  // REL_BASE_HASH_H_

@@ -1,0 +1,33 @@
+#include "base/interner.h"
+
+#include "base/error.h"
+
+namespace rel {
+
+Interner& Interner::Global() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+Symbol Interner::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  Symbol sym = static_cast<Symbol>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), sym);
+  return sym;
+}
+
+const std::string& Interner::Lookup(Symbol sym) const {
+  InternalCheck(sym < strings_.size(), "symbol out of range");
+  return strings_[sym];
+}
+
+int Interner::Compare(Symbol a, Symbol b) const {
+  if (a == b) return 0;
+  return Lookup(a).compare(Lookup(b)) < 0 ? -1 : 1;
+}
+
+}  // namespace rel

@@ -1,0 +1,49 @@
+// String interning.
+//
+// Rel values of kind String and Entity hold an interned symbol id instead of
+// an owned string, which makes Value trivially copyable and makes equality
+// and hashing O(1). Ordering of symbols is by string content (via Compare),
+// so relation iteration order is stable and human-sensible.
+
+#ifndef REL_BASE_INTERNER_H_
+#define REL_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace rel {
+
+using Symbol = uint32_t;
+
+/// A process-wide string pool. Thread-compatible (no internal locking); the
+/// engine is single-threaded by design, mirroring one Rel transaction.
+class Interner {
+ public:
+  /// Returns the singleton used by all Values.
+  static Interner& Global();
+
+  /// Interns `s`, returning its stable symbol id.
+  Symbol Intern(std::string_view s);
+
+  /// Returns the string for a previously interned symbol.
+  const std::string& Lookup(Symbol sym) const;
+
+  /// Three-way comparison of two symbols by string content.
+  int Compare(Symbol a, Symbol b) const;
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  // deque: growing never moves existing strings, so the string_view keys in
+  // index_ stay valid.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, Symbol> index_;
+};
+
+}  // namespace rel
+
+#endif  // REL_BASE_INTERNER_H_

@@ -1,0 +1,26 @@
+#include "base/rng.h"
+
+namespace rel {
+
+uint64_t Rng::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Rejection-free modulo bias is negligible for the bounds used by the
+  // generators (< 2^32), but use Lemire's multiply-shift anyway.
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound);
+  return static_cast<uint64_t>(product >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+}  // namespace rel

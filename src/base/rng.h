@@ -1,0 +1,38 @@
+// Deterministic random number generation for workload generators.
+//
+// Benchmarks and property tests must be reproducible across runs and
+// platforms, so all randomness flows through this SplitMix64-based generator
+// rather than std::mt19937 (whose distributions are not portable).
+
+#ifndef REL_BASE_RNG_H_
+#define REL_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace rel {
+
+/// SplitMix64: tiny, fast, and fully specified, so generated workloads are
+/// identical on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p`.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace rel
+
+#endif  // REL_BASE_RNG_H_

@@ -1,0 +1,176 @@
+#include "benchutil/generators.h"
+
+#include <map>
+#include <set>
+
+#include "base/rng.h"
+
+namespace rel {
+namespace benchutil {
+
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+}  // namespace
+
+std::vector<Tuple> RandomGraph(int n, int m, uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::pair<int, int>> seen;
+  std::vector<Tuple> edges;
+  edges.reserve(m);
+  int attempts = 0;
+  while (static_cast<int>(edges.size()) < m && attempts < 50 * m) {
+    ++attempts;
+    int a = static_cast<int>(rng.NextBelow(n));
+    int b = static_cast<int>(rng.NextBelow(n));
+    if (a == b) continue;
+    if (!seen.insert({a, b}).second) continue;
+    edges.push_back(Tuple({I(a), I(b)}));
+  }
+  return edges;
+}
+
+std::vector<Tuple> ChainGraph(int n) {
+  std::vector<Tuple> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (int i = 0; i + 1 < n; ++i) {
+    edges.push_back(Tuple({I(i), I(i + 1)}));
+  }
+  return edges;
+}
+
+std::vector<Tuple> CycleGraph(int n) {
+  std::vector<Tuple> edges = ChainGraph(n);
+  if (n > 1) edges.push_back(Tuple({I(n - 1), I(0)}));
+  return edges;
+}
+
+std::vector<Tuple> SkewedTriangleGraph(int n, int hubs, uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::pair<int, int>> seen;
+  auto add = [&seen](int a, int b) {
+    if (a != b) seen.insert({a, b});
+  };
+  // Dense hub core (all pairs, both directions).
+  for (int a = 0; a < hubs; ++a) {
+    for (int b = 0; b < hubs; ++b) add(a, b);
+  }
+  // Spokes: each non-hub node attaches to two random hubs (both ways) and
+  // to its ring successor.
+  for (int v = hubs; v < n; ++v) {
+    int h1 = static_cast<int>(rng.NextBelow(hubs));
+    int h2 = static_cast<int>(rng.NextBelow(hubs));
+    add(v, h1);
+    add(h1, v);
+    add(v, h2);
+    add(h2, v);
+    add(v, hubs + (v - hubs + 1) % (n - hubs));
+  }
+  std::vector<Tuple> edges;
+  edges.reserve(seen.size());
+  for (const auto& [a, b] : seen) edges.push_back(Tuple({I(a), I(b)}));
+  return edges;
+}
+
+std::vector<Tuple> NodeSet(int n) {
+  std::vector<Tuple> nodes;
+  nodes.reserve(n);
+  for (int i = 0; i < n; ++i) nodes.push_back(Tuple({I(i)}));
+  return nodes;
+}
+
+std::vector<Tuple> SparseMatrix(int n, int m, double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> entries;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      if (rng.NextBool(density)) {
+        entries.push_back(Tuple({I(i), I(j), Value::Float(rng.NextDouble())}));
+      }
+    }
+  }
+  return entries;
+}
+
+std::vector<Tuple> StochasticMatrix(int n, int links_per_node, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> entries;
+  for (int j = 1; j <= n; ++j) {
+    std::set<int> targets;
+    while (static_cast<int>(targets.size()) <
+           std::min(links_per_node, n - 1)) {
+      int i = 1 + static_cast<int>(rng.NextBelow(n));
+      if (i != j) targets.insert(i);
+    }
+    double weight = 1.0 / static_cast<double>(targets.size());
+    for (int i : targets) {
+      entries.push_back(Tuple({I(i), I(j), Value::Float(weight)}));
+    }
+  }
+  return entries;
+}
+
+OrdersWorkload MakeOrders(int orders, int products, int max_lines,
+                          int max_payments, uint64_t seed) {
+  Rng rng(seed);
+  OrdersWorkload w;
+  auto order_id = [](int o) { return Value::String("O" + std::to_string(o)); };
+  auto product_id = [](int p) {
+    return Value::String("P" + std::to_string(p));
+  };
+  for (int p = 0; p < products; ++p) {
+    w.product_price.push_back(
+        Tuple({product_id(p), I(1 + static_cast<int64_t>(rng.NextBelow(99)))}));
+  }
+  int payment = 0;
+  for (int o = 0; o < orders; ++o) {
+    int lines = 1 + static_cast<int>(rng.NextBelow(max_lines));
+    std::set<int> line_products;
+    while (static_cast<int>(line_products.size()) <
+           std::min(lines, products)) {
+      line_products.insert(static_cast<int>(rng.NextBelow(products)));
+    }
+    for (int p : line_products) {
+      w.order_product_quantity.push_back(
+          Tuple({order_id(o), product_id(p),
+                 I(1 + static_cast<int64_t>(rng.NextBelow(9)))}));
+    }
+    int payments = static_cast<int>(rng.NextBelow(max_payments + 1));
+    for (int k = 0; k < payments; ++k) {
+      Value pid = Value::String("Pmt" + std::to_string(payment++));
+      w.payment_order.push_back(Tuple({pid, order_id(o)}));
+      w.payment_amount.push_back(
+          Tuple({pid, I(1 + static_cast<int64_t>(rng.NextBelow(200)))}));
+    }
+  }
+  return w;
+}
+
+std::vector<Tuple> OrdersWideTable(const OrdersWorkload& w) {
+  std::map<Value, Value> price;
+  for (const Tuple& t : w.product_price) price.emplace(t[0], t[1]);
+  std::multimap<Value, std::pair<Value, Value>> payments;  // order -> (p, amt)
+  std::map<Value, Value> amount;
+  for (const Tuple& t : w.payment_amount) amount.emplace(t[0], t[1]);
+  for (const Tuple& t : w.payment_order) {
+    payments.emplace(t[1], std::make_pair(t[0], amount.at(t[0])));
+  }
+  std::vector<Tuple> wide;
+  for (const Tuple& line : w.order_product_quantity) {
+    auto [lo, hi] = payments.equal_range(line[0]);
+    for (auto it = lo; it != hi; ++it) {
+      wide.push_back(Tuple({line[0], line[1], line[2], price.at(line[1]),
+                            it->second.first, it->second.second}));
+    }
+    if (lo == hi) {
+      // No payments: the record model needs a sentinel row ("NULL"s).
+      wide.push_back(Tuple({line[0], line[1], line[2], price.at(line[1]),
+                            Value::String(""), I(0)}));
+    }
+  }
+  return wide;
+}
+
+}  // namespace benchutil
+}  // namespace rel

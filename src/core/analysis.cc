@@ -1,0 +1,211 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/builtins.h"
+#include "core/parser.h"
+
+namespace rel {
+
+namespace {
+
+/// Binding names introduced by an abstraction/quantifier/rule head.
+void AddLocals(const std::vector<Binding>& bindings,
+               std::set<std::string>* locals) {
+  for (const Binding& b : bindings) {
+    if (b.kind == Binding::Kind::kVar || b.kind == Binding::Kind::kTupleVar ||
+        b.kind == Binding::Kind::kRelVar) {
+      locals->insert(b.name);
+    }
+  }
+}
+
+}  // namespace
+
+ProgramAnalysis::ProgramAnalysis(
+    const std::vector<std::shared_ptr<Def>>& defs) {
+  // Pass 1: signatures (leading relation-variable parameter counts).
+  for (const auto& def : defs) {
+    if (def->is_ic) continue;
+    size_t so = 0;
+    while (so < def->params.size() &&
+           def->params[so].kind == Binding::Kind::kRelVar) {
+      ++so;
+    }
+    size_t& entry = max_sig_[def->name];
+    entry = std::max(entry, so);
+  }
+
+  // Pass 2: references.
+  for (const auto& def : defs) {
+    if (def->is_ic) continue;
+    std::set<std::string> locals;
+    AddLocals(def->params, &locals);
+    std::vector<Ref>& refs = edges_[def->name];
+    for (const Binding& b : def->params) {
+      if (b.domain) CollectRefs(b.domain, /*non_monotone=*/false, &locals, &refs);
+    }
+    CollectRefs(def->body, /*non_monotone=*/false, &locals, &refs);
+  }
+
+  // Pass 3: Tarjan SCC over names with rules.
+  std::map<std::string, int> index, low;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  int next_index = 0;
+  int next_component = 0;
+
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        auto it = edges_.find(v);
+        if (it != edges_.end()) {
+          for (const Ref& ref : it->second) {
+            if (!edges_.count(ref.target)) continue;  // base or builtin
+            if (!index.count(ref.target)) {
+              strongconnect(ref.target);
+              low[v] = std::min(low[v], low[ref.target]);
+            } else if (on_stack.count(ref.target)) {
+              low[v] = std::min(low[v], index[ref.target]);
+            }
+          }
+        }
+        if (low[v] == index[v]) {
+          int comp = next_component++;
+          for (;;) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            component_[w] = comp;
+            if (w == v) break;
+          }
+        }
+      };
+
+  for (const auto& [name, refs] : edges_) {
+    (void)refs;
+    if (!index.count(name)) strongconnect(name);
+  }
+
+  // Pass 4: classify components.
+  for (const auto& [name, refs] : edges_) {
+    int comp = component_[name];
+    for (const Ref& ref : refs) {
+      auto it = component_.find(ref.target);
+      if (it == component_.end()) continue;
+      if (it->second != comp) continue;
+      recursive_components_.insert(comp);
+      if (ref.non_monotone) replacement_components_.insert(comp);
+    }
+  }
+}
+
+size_t ProgramAnalysis::SigOf(const std::string& name) const {
+  auto it = max_sig_.find(name);
+  return it == max_sig_.end() ? 0 : it->second;
+}
+
+void ProgramAnalysis::CollectRefs(const ExprPtr& expr, bool non_monotone,
+                                  std::set<std::string>* locals,
+                                  std::vector<Ref>* out) const {
+  if (!expr) return;
+  switch (expr->kind) {
+    case ExprKind::kIdent:
+      if (!locals->count(expr->name) && !FindBuiltin(expr->name)) {
+        out->push_back({expr->name, non_monotone});
+      }
+      return;
+    case ExprKind::kLiteral:
+    case ExprKind::kRelNameLit:
+    case ExprKind::kTupleVar:
+    case ExprKind::kWildcard:
+    case ExprKind::kWildcardTuple:
+    case ExprKind::kTrueLit:
+    case ExprKind::kFalseLit:
+      return;
+    case ExprKind::kNot:
+      // Polarity flips: an even number of negations is monotone again.
+      CollectRefs(expr->children[0], !non_monotone, locals, out);
+      return;
+    case ExprKind::kForall: {
+      std::set<std::string> inner = *locals;
+      AddLocals(expr->bindings, &inner);
+      for (const Binding& b : expr->bindings) {
+        if (b.domain) CollectRefs(b.domain, non_monotone, locals, out);
+      }
+      CollectRefs(expr->body, /*non_monotone=*/true, &inner, out);
+      return;
+    }
+    case ExprKind::kExists:
+    case ExprKind::kAbstraction: {
+      std::set<std::string> inner = *locals;
+      AddLocals(expr->bindings, &inner);
+      for (const Binding& b : expr->bindings) {
+        if (b.domain) CollectRefs(b.domain, non_monotone, locals, out);
+      }
+      CollectRefs(expr->body, non_monotone, &inner, out);
+      return;
+    }
+    case ExprKind::kApplication: {
+      CollectRefs(expr->target, non_monotone, locals, out);
+      // Which leading arguments are second-order?
+      size_t sig = 0;
+      if (expr->target->kind == ExprKind::kIdent) {
+        const std::string& callee = expr->target->name;
+        if (callee == builtin_names::kReduce) {
+          sig = 2;
+        } else if (!locals->count(callee)) {
+          sig = SigOf(callee);
+        }
+      }
+      for (size_t i = 0; i < expr->args.size(); ++i) {
+        const Arg& arg = expr->args[i];
+        if (!arg.expr) continue;
+        bool so = i < sig || arg.annotation == Annotation::kSecondOrder;
+        // References inside second-order arguments are conservatively
+        // non-monotone: aggregation, emptiness tests and higher-order
+        // operators may all invert polarity.
+        CollectRefs(arg.expr, non_monotone || so, locals, out);
+      }
+      return;
+    }
+    default:
+      for (const ExprPtr& child : expr->children) {
+        CollectRefs(child, non_monotone, locals, out);
+      }
+      if (expr->body) CollectRefs(expr->body, non_monotone, locals, out);
+      if (expr->target) CollectRefs(expr->target, non_monotone, locals, out);
+      return;
+  }
+}
+
+bool ProgramAnalysis::UsesReplacement(const std::string& name) const {
+  auto it = component_.find(name);
+  if (it == component_.end()) return false;
+  return replacement_components_.count(it->second) > 0;
+}
+
+bool ProgramAnalysis::IsRecursive(const std::string& name) const {
+  auto it = component_.find(name);
+  if (it == component_.end()) return false;
+  return recursive_components_.count(it->second) > 0;
+}
+
+int ProgramAnalysis::ComponentOf(const std::string& name) const {
+  auto it = component_.find(name);
+  return it == component_.end() ? -1 : it->second;
+}
+
+std::set<std::string> ProgramAnalysis::References(
+    const std::string& name) const {
+  std::set<std::string> out;
+  auto it = edges_.find(name);
+  if (it == edges_.end()) return out;
+  for (const Ref& ref : it->second) out.insert(ref.target);
+  return out;
+}
+
+}  // namespace rel

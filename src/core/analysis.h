@@ -1,0 +1,62 @@
+// Program analysis: name-level dependency graph, strongly connected
+// components, and monotonicity of recursive components.
+//
+// A reference to relation M inside a rule of N creates an edge N -> M. The
+// edge is *non-monotone* when the reference sits under negation, a `forall`,
+// or inside a second-order argument (aggregation inputs, `empty`, and any
+// relation passed to a higher-order operator — conservative, per
+// Section 3.3's stratification discussion). A component with an internal
+// non-monotone edge is evaluated with replacement iteration (see interp.h).
+
+#ifndef REL_CORE_ANALYSIS_H_
+#define REL_CORE_ANALYSIS_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ast.h"
+
+namespace rel {
+
+/// Dependency/SCC analysis over a fixed rule set.
+class ProgramAnalysis {
+ public:
+  explicit ProgramAnalysis(const std::vector<std::shared_ptr<Def>>& defs);
+
+  /// True if `name` belongs to a recursive component with a non-monotone
+  /// internal edge (must use replacement iteration).
+  bool UsesReplacement(const std::string& name) const;
+
+  /// True if `name` is in a recursive component at all (including self
+  /// loops).
+  bool IsRecursive(const std::string& name) const;
+
+  /// Component id of `name` (-1 if the name has no rules).
+  int ComponentOf(const std::string& name) const;
+
+  /// Names that `name`'s rules reference (for documentation/tests).
+  std::set<std::string> References(const std::string& name) const;
+
+ private:
+  struct Ref {
+    std::string target;
+    bool non_monotone;
+  };
+
+  void CollectRefs(const ExprPtr& expr, bool non_monotone,
+                   std::set<std::string>* locals, std::vector<Ref>* out) const;
+  size_t SigOf(const std::string& name) const;
+
+  std::map<std::string, std::vector<Ref>> edges_;
+  std::map<std::string, size_t> max_sig_;
+  std::map<std::string, int> component_;
+  std::set<int> recursive_components_;
+  std::set<int> replacement_components_;
+};
+
+}  // namespace rel
+
+#endif  // REL_CORE_ANALYSIS_H_

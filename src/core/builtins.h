@@ -1,0 +1,67 @@
+// Builtin relations: the paper's (conceptually) infinite relations such as
+// `add`, the comparisons, and the type predicates `Int`, `Float`, ...
+// (Section 3.2).
+//
+// A builtin cannot be enumerated; it is evaluated under a *binding pattern*:
+// given which argument positions are bound, it either declines (pattern
+// unsupported — the safety analysis then looks for another evaluation order,
+// following the paper's external-predicate treatment [Guagliardo et al.,
+// ICDT 2025]) or emits every completion of the bound arguments.
+
+#ifndef REL_CORE_BUILTINS_H_
+#define REL_CORE_BUILTINS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace rel {
+
+/// Callback receiving one completion (all `arity()` values, in order).
+using BuiltinEmit = std::function<void(const std::vector<Value>&)>;
+
+/// A builtin ("infinite") relation evaluated under binding patterns.
+class Builtin {
+ public:
+  Builtin(std::string name, size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+  virtual ~Builtin() = default;
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return arity_; }
+
+  /// True if the builtin can run when exactly the positions with
+  /// bound[i] == true are bound. `bound.size() == arity()`.
+  virtual bool Supports(const std::vector<bool>& bound) const = 0;
+
+  /// Evaluates under the given (supported) binding pattern. `args[i]` is set
+  /// iff position i is bound. Emits every tuple of the relation that agrees
+  /// with the bound positions. Never throws on empty results (e.g. division
+  /// by zero emits nothing: the tuple is simply not in the relation).
+  virtual void Eval(const std::vector<std::optional<Value>>& args,
+                    const BuiltinEmit& emit) const = 0;
+
+ private:
+  std::string name_;
+  size_t arity_;
+};
+
+/// Looks up a builtin by name; nullptr if `name` is not a builtin. All
+/// builtins are also reachable under a `rel_primitive_` prefix alias.
+const Builtin* FindBuiltin(const std::string& name);
+
+/// Names of all registered builtins (for docs/tests), sorted.
+std::vector<std::string> BuiltinNames();
+
+/// Helpers shared with the reduce implementation: applies a binary builtin
+/// (e.g. add) as a function of its first arity()-1 arguments. Returns
+/// nothing if the builtin does not produce a value for these inputs.
+std::optional<Value> ApplyAsFunction(const Builtin& builtin,
+                                     const std::vector<Value>& inputs);
+
+}  // namespace rel
+
+#endif  // REL_CORE_BUILTINS_H_

@@ -1,0 +1,162 @@
+#include "core/engine.h"
+
+#include "base/error.h"
+#include "core/parser.h"
+
+namespace rel {
+
+namespace {
+
+std::vector<std::shared_ptr<Def>> ParseToDefs(const std::string& source) {
+  Program program = ParseProgram(source);
+  std::vector<std::shared_ptr<Def>> out;
+  out.reserve(program.defs.size());
+  for (Def& def : program.defs) {
+    out.push_back(std::make_shared<Def>(std::move(def)));
+  }
+  return out;
+}
+
+/// insert/delete control tuples are (:RName, v1, ..., vk).
+bool SplitControlTuple(const Tuple& t, std::string* name, Tuple* payload) {
+  if (t.arity() == 0) return false;
+  const Value& head = t[0];
+  if (!head.is_entity() || head.EntityConcept() != "rel") return false;
+  *name = head.EntityId();
+  *payload = t.Slice(1, t.arity());
+  return true;
+}
+
+}  // namespace
+
+Engine::Engine() : Engine(/*load_stdlib=*/true) {}
+
+Engine::Engine(bool load_stdlib) {
+  if (load_stdlib) Define(StdlibSource());
+}
+
+void Engine::Define(const std::string& source) {
+  std::vector<std::shared_ptr<Def>> defs = ParseToDefs(source);
+  persistent_.insert(persistent_.end(), defs.begin(), defs.end());
+}
+
+Relation Engine::Query(const std::string& source) {
+  return Run(source, /*apply=*/false).output;
+}
+
+Relation Engine::Eval(const std::string& expression) {
+  return Query("def output : " + expression);
+}
+
+TxnResult Engine::Exec(const std::string& source) {
+  return Run(source, /*apply=*/true);
+}
+
+TxnResult Engine::Run(const std::string& source, bool apply) {
+  std::vector<std::shared_ptr<Def>> combined = persistent_;
+  for (auto& def : ParseToDefs(source)) combined.push_back(std::move(def));
+
+  Interp interp(&db_, combined, options_);
+  TxnResult result;
+  if (interp.HasDefs("output")) {
+    result.output = interp.EvalInstance("output", 0, {});
+  }
+  if (!apply) return result;
+
+  // Compute the updates against the pre-state...
+  Relation inserts, deletes;
+  if (interp.HasDefs("insert")) inserts = interp.EvalInstance("insert", 0, {});
+  if (interp.HasDefs("delete")) deletes = interp.EvalInstance("delete", 0, {});
+
+  if (inserts.empty() && deletes.empty()) {
+    // Still check constraints: the transaction's ic rules apply to the
+    // current state.
+    CheckConstraintsWith(&interp);
+    return result;
+  }
+
+  // ... then apply them (deletes first, as both were computed against the
+  // same snapshot) and validate the post-state.
+  Database backup = db_;
+  for (const Tuple& t : deletes.SortedTuples()) {
+    std::string name;
+    Tuple payload;
+    if (!SplitControlTuple(t, &name, &payload)) {
+      db_ = std::move(backup);
+      throw RelError(ErrorKind::kType,
+                     "delete tuples must start with a :RelationName");
+    }
+    db_.Delete(name, payload);
+    ++result.deleted;
+  }
+  for (const Tuple& t : inserts.SortedTuples()) {
+    std::string name;
+    Tuple payload;
+    if (!SplitControlTuple(t, &name, &payload)) {
+      db_ = std::move(backup);
+      throw RelError(ErrorKind::kType,
+                     "insert tuples must start with a :RelationName");
+    }
+    db_.Insert(name, payload);
+    ++result.inserted;
+  }
+
+  try {
+    Interp post(&db_, combined, options_);
+    CheckConstraintsWith(&post);
+  } catch (...) {
+    db_ = std::move(backup);  // abort: roll back the transaction
+    throw;
+  }
+  return result;
+}
+
+void Engine::CheckConstraintsWith(Interp* interp) {
+  // The solver caches compiled rules by Def address; keep every synthetic
+  // violation rule alive until the interp is done with them, or a freed
+  // address could be reused by the next rule and hit a stale cache entry.
+  std::vector<std::shared_ptr<Def>> keep_alive;
+  for (const auto& ic : interp->ics()) {
+    // The violations of `ic name(params) requires F` are the parameter
+    // bindings for which F fails; with no parameters the constraint is
+    // simply the truth of F.
+    auto violation_rule = std::make_shared<Def>();
+    violation_rule->name = "$violations_" + ic->name;
+    violation_rule->params = ic->params;
+    auto neg = MakeExpr(ExprKind::kNot, ic->line, 0);
+    neg->children = {ic->body};
+    violation_rule->body = neg;
+    violation_rule->square_head = false;
+    keep_alive.push_back(violation_rule);
+
+    Relation violations =
+        interp->solver().EvalRule(*violation_rule, {}, nullptr);
+    if (!violations.empty()) {
+      std::string detail = violations.size() <= 10
+                               ? violations.ToString()
+                               : std::to_string(violations.size()) +
+                                     " violating bindings";
+      throw ConstraintViolation(ic->name, "violated by " + detail);
+    }
+  }
+}
+
+void Engine::CheckConstraints() {
+  Interp interp(&db_, persistent_, options_);
+  CheckConstraintsWith(&interp);
+}
+
+void Engine::Insert(const std::string& name, const std::vector<Tuple>& tuples) {
+  for (const Tuple& t : tuples) db_.Insert(name, t);
+}
+
+void Engine::DeleteTuples(const std::string& name,
+                          const std::vector<Tuple>& tuples) {
+  for (const Tuple& t : tuples) db_.Delete(name, t);
+}
+
+const Relation& Engine::Base(const std::string& name) const {
+  return db_.Get(name);
+}
+
+}  // namespace rel

@@ -1,0 +1,92 @@
+// Engine: the public entry point of the Rel library.
+//
+// An Engine owns a Database of base relations and a set of installed
+// (persistent) rules — the standard library plus anything passed to
+// Define(). Each Exec()/Query() runs one *transaction* (Section 3.4):
+//   - rules in the source are in effect for that transaction only;
+//   - the computed `output` relation is returned;
+//   - for Exec(), the control relations `insert` and `delete` are applied
+//     to the database, and all integrity constraints are checked against
+//     the post-state; a violation aborts and rolls back (Section 3.5).
+
+#ifndef REL_CORE_ENGINE_H_
+#define REL_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ast.h"
+#include "core/interp.h"
+#include "data/database.h"
+
+namespace rel {
+
+/// Result of one transaction.
+struct TxnResult {
+  Relation output;
+  size_t inserted = 0;  // tuples added to base relations
+  size_t deleted = 0;   // tuples removed from base relations
+};
+
+class Engine {
+ public:
+  /// Constructs an engine with the standard library installed.
+  Engine();
+
+  /// `load_stdlib = false` gives a bare engine (used by language tests).
+  explicit Engine(bool load_stdlib);
+
+  /// Installs persistent rules and integrity constraints ("the model").
+  /// Throws ParseError on bad syntax.
+  void Define(const std::string& source);
+
+  /// Runs `source` as a read-only query: evaluates and returns `output`.
+  /// insert/delete rules in the source are *not* applied.
+  Relation Query(const std::string& source);
+
+  /// Evaluates a single expression (e.g. "TC[{(1,2);(2,3)}]").
+  Relation Eval(const std::string& expression);
+
+  /// Runs `source` as a full transaction; returns output and the applied
+  /// update counts. Throws ConstraintViolation (and rolls back) if an
+  /// integrity constraint fails.
+  TxnResult Exec(const std::string& source);
+
+  /// Programmatic base-relation updates (bulk loading). Integrity
+  /// constraints are not checked here; call CheckConstraints() if desired.
+  void Insert(const std::string& name, const std::vector<Tuple>& tuples);
+  void DeleteTuples(const std::string& name, const std::vector<Tuple>& tuples);
+
+  /// Verifies all installed integrity constraints against the current
+  /// database; throws ConstraintViolation on the first failure.
+  void CheckConstraints();
+
+  /// Read access to a base relation ({} if absent).
+  const Relation& Base(const std::string& name) const;
+
+  const Database& db() const { return db_; }
+  Database& mutable_db() { return db_; }
+
+  /// Evaluation limits (iteration caps etc.).
+  InterpOptions& options() { return options_; }
+
+  /// Number of installed persistent rules (stdlib + Define'd).
+  size_t installed_rules() const { return persistent_.size(); }
+
+ private:
+  TxnResult Run(const std::string& source, bool apply);
+  void CheckConstraintsWith(Interp* interp);
+
+  Database db_;
+  std::vector<std::shared_ptr<Def>> persistent_;
+  InterpOptions options_;
+};
+
+/// The Rel source text of the standard library (aggregates, relational
+/// algebra, linear algebra, graph algorithms — Section 5 of the paper).
+const char* StdlibSource();
+
+}  // namespace rel
+
+#endif  // REL_CORE_ENGINE_H_

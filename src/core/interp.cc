@@ -1,0 +1,331 @@
+#include "core/interp.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace rel {
+
+namespace {
+
+int CompareRelations(const Relation& a, const Relation& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  std::vector<Tuple> ta = a.SortedTuples();
+  std::vector<Tuple> tb = b.SortedTuples();
+  for (size_t i = 0; i < ta.size(); ++i) {
+    int c = ta[i].Compare(tb[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+int CompareEnvs(const Env& a, const Env& b);
+
+int CompareSOValues(const SOValue& a, const SOValue& b) {
+  auto rank = [](const SOValue& v) {
+    if (v.IsMaterialized()) return 0;
+    if (v.IsBuiltin()) return 1;
+    if (v.IsClosure()) return 2;
+    return 3;
+  };
+  if (rank(a) != rank(b)) return rank(a) < rank(b) ? -1 : 1;
+  if (a.IsMaterialized()) return CompareRelations(*a.rel, *b.rel);
+  if (a.IsBuiltin()) {
+    if (a.builtin == b.builtin) return 0;
+    return a.builtin->name() < b.builtin->name() ? -1 : 1;
+  }
+  if (a.IsClosure()) {
+    if (a.expr.get() != b.expr.get()) {
+      return a.expr.get() < b.expr.get() ? -1 : 1;
+    }
+    bool ea = a.env != nullptr, eb = b.env != nullptr;
+    if (ea != eb) return ea < eb ? -1 : 1;
+    if (!ea) return 0;
+    return CompareEnvs(*a.env, *b.env);
+  }
+  return 0;
+}
+
+template <typename Map, typename Cmp>
+int CompareMaps(const Map& a, const Map& b, Cmp cmp) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return ia->first < ib->first ? -1 : 1;
+    int c = cmp(ia->second, ib->second);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+int CompareEnvs(const Env& a, const Env& b) {
+  int c = CompareMaps(a.vars, b.vars, [](const Value& x, const Value& y) {
+    return x.Compare(y);
+  });
+  if (c != 0) return c;
+  c = CompareMaps(a.tuples, b.tuples, [](const Tuple& x, const Tuple& y) {
+    return x.Compare(y);
+  });
+  if (c != 0) return c;
+  return CompareMaps(a.rels, b.rels, CompareSOValues);
+}
+
+}  // namespace
+
+bool Interp::InstanceKey::operator<(const InstanceKey& other) const {
+  if (name != other.name) return name < other.name;
+  if (sig != other.sig) return sig < other.sig;
+  if (so_args.size() != other.so_args.size()) {
+    return so_args.size() < other.so_args.size();
+  }
+  for (size_t i = 0; i < so_args.size(); ++i) {
+    int c = CompareSOValues(so_args[i], other.so_args[i]);
+    if (c != 0) return c < 0;
+  }
+  return false;
+}
+
+Interp::Interp(const Database* db, std::vector<std::shared_ptr<Def>> defs,
+               InterpOptions options)
+    : db_(db),
+      all_defs_(std::move(defs)),
+      analysis_(all_defs_),
+      options_(options),
+      solver_(this) {
+  for (const auto& def : all_defs_) {
+    if (def->is_ic) {
+      ics_.push_back(def);
+    } else {
+      defs_[def->name][Solver::CountSOParams(*def)].push_back(def);
+    }
+  }
+}
+
+bool Interp::HasDefs(const std::string& name) const {
+  return defs_.count(name) > 0;
+}
+
+const std::vector<std::shared_ptr<Def>>& Interp::DefsOf(
+    const std::string& name, size_t sig) const {
+  static const std::vector<std::shared_ptr<Def>>* empty =
+      new std::vector<std::shared_ptr<Def>>();
+  auto it = defs_.find(name);
+  if (it == defs_.end()) return *empty;
+  auto sit = it->second.find(sig);
+  if (sit == it->second.end()) return *empty;
+  return sit->second;
+}
+
+size_t Interp::ResolveSig(const std::string& name,
+                          const std::vector<Arg>& args) const {
+  auto it = defs_.find(name);
+  if (it == defs_.end()) return 0;
+  std::set<size_t> candidates;
+  for (const auto& [sig, rules] : it->second) {
+    (void)rules;
+    if (sig <= args.size()) candidates.insert(sig);
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i].annotation == Annotation::kSecondOrder) {
+      // Position i is second-order: the signature must cover it.
+      for (auto cit = candidates.begin(); cit != candidates.end();) {
+        if (*cit <= i) {
+          cit = candidates.erase(cit);
+        } else {
+          ++cit;
+        }
+      }
+    } else if (args[i].annotation == Annotation::kFirstOrder) {
+      for (auto cit = candidates.begin(); cit != candidates.end();) {
+        if (*cit > i) {
+          cit = candidates.erase(cit);
+        } else {
+          ++cit;
+        }
+      }
+    }
+  }
+  if (candidates.size() == 1) return *candidates.begin();
+  if (candidates.empty()) {
+    throw RelError(ErrorKind::kArity,
+                   "no definition of '" + name +
+                       "' matches this application (check the number of "
+                       "relation arguments)");
+  }
+  throw RelError(ErrorKind::kAmbiguous,
+                 "application of '" + name +
+                     "' matches both first-order and second-order "
+                     "definitions; disambiguate with ?{..} or &{..}");
+}
+
+const Relation& Interp::EvalInstance(const std::string& name, size_t sig,
+                                     const std::vector<SOValue>& so_args) {
+  InstanceKey key{name, sig, so_args};
+  return EvalInstanceImpl(key);
+}
+
+const Relation& Interp::EvalInstanceImpl(const InstanceKey& key) {
+  auto [it, inserted] = instances_.try_emplace(key);
+  Instance& inst = it->second;
+  if (inserted &&
+      instances_.size() > static_cast<size_t>(options_.max_instances)) {
+    throw RelError(ErrorKind::kNonConvergent,
+                   "too many relation instances (runaway specialization of '" +
+                       key.name + "'?)");
+  }
+  if (inst.failed_safety) {
+    throw RelError(ErrorKind::kSafety, inst.failure_message);
+  }
+  if (inst.done) return inst.value;
+  if (inst.in_progress) {
+    // Recursive reference: hand out the current partial value and mark
+    // everything above the referenced instance as provisional.
+    ++partial_reads_;
+    for (size_t i = inst.stack_pos + 1; i < stack_.size(); ++i) {
+      stack_[i]->provisional = true;
+    }
+    return inst.value;
+  }
+
+  const auto& rules = DefsOf(key.name, key.sig);
+  Relation base;
+  if (key.sig == 0) base = db_->Get(key.name);
+  if (rules.empty()) {
+    inst.value = std::move(base);
+    inst.done = true;
+    return inst.value;
+  }
+
+  inst.in_progress = true;
+  inst.provisional = false;
+  inst.stack_pos = static_cast<int>(stack_.size());
+  stack_.push_back(&inst);
+  bool replacement = analysis_.UsesReplacement(key.name);
+  // Start from scratch: a re-evaluation (of a previously provisional
+  // instance) must not keep results derived from stale partial values.
+  Relation previous = std::move(inst.value);
+  inst.value = Relation();
+  if (!base.empty() && !replacement) inst.value = base;
+
+  try {
+    for (int iter = 0;; ++iter) {
+      if (iter > options_.max_iterations) {
+        throw RelError(ErrorKind::kNonConvergent,
+                       "fixpoint for '" + key.name + "' did not converge in " +
+                           std::to_string(options_.max_iterations) +
+                           " iterations");
+      }
+      uint64_t tick = change_tick_;
+      Relation derived = base;
+      for (const auto& def : rules) {
+        derived.InsertAll(solver_.EvalRule(*def, key.so_args, nullptr));
+      }
+      bool changed;
+      if (replacement) {
+        changed = !(derived == inst.value);
+        if (changed) inst.value = std::move(derived);
+      } else {
+        size_t before = inst.value.size();
+        inst.value.InsertAll(derived);
+        changed = inst.value.size() != before;
+      }
+      // Iterate until this instance is stable AND no nested instance
+      // changed its (final) value during the pass — nested provisional
+      // instances are re-evaluated inside EvalRule and drive this loop
+      // through change_tick_.
+      if (!changed && tick == change_tick_) break;
+    }
+  } catch (const RelError& err) {
+    stack_.pop_back();
+    inst.in_progress = false;
+    if (err.kind() == ErrorKind::kSafety) {
+      inst.failed_safety = true;
+      inst.failure_message = err.what();
+    }
+    throw;
+  }
+
+  stack_.pop_back();
+  inst.in_progress = false;
+  if (!inst.provisional) {
+    inst.done = true;
+  } else {
+    inst.provisional = false;  // re-evaluated on the next request
+  }
+  // Signal enclosing fixpoints only when the settled value actually moved.
+  if (!(inst.value == previous)) ++change_tick_;
+  return inst.value;
+}
+
+const Relation& Interp::MaterializeSO(const SOValue& value) {
+  if (value.IsMaterialized()) return *value.rel;
+  if (value.IsBuiltin()) {
+    throw RelError(ErrorKind::kSafety, "builtin relation '" +
+                                           value.builtin->name() +
+                                           "' is infinite");
+  }
+  InternalCheck(value.IsClosure(), "empty SOValue");
+  auto& entries = closure_memo_[value.expr.get()];
+  for (const ClosureMemoEntry& entry : entries) {
+    if (entry.env == *value.env) return entry.result;
+  }
+  uint64_t before = partial_reads_;
+  Relation result = EvalExprRel(value.expr, *value.env);
+  if (partial_reads_ == before) {
+    entries.push_back(ClosureMemoEntry{*value.env, std::move(result)});
+    return entries.back().result;
+  }
+  // The result depends on an in-progress fixpoint; do not memoize.
+  scratch_.push_back(std::make_unique<Relation>(std::move(result)));
+  return *scratch_.back();
+}
+
+Relation Interp::EvalExprRel(const ExprPtr& expr, const Env& env) {
+  return solver_.EvalExpr(expr, env);
+}
+
+std::optional<Value> Interp::ApplyBinary(const SOValue& op, const Value& a,
+                                         const Value& b) {
+  if (op.IsBuiltin()) {
+    return ApplyAsFunction(*op.builtin, {a, b});
+  }
+  if (op.IsMaterialized()) {
+    Relation suffixes = op.rel->Suffixes(Tuple({a, b}));
+    std::optional<Value> result;
+    for (const Tuple& t : suffixes.SortedTuples()) {
+      if (t.arity() != 1) continue;
+      if (result) {
+        throw RelError(ErrorKind::kType,
+                       "reduce operator is not functional: multiple results "
+                       "for " +
+                           Tuple({a, b}).ToString());
+      }
+      result = t[0];
+    }
+    return result;
+  }
+  InternalCheck(op.IsClosure(), "empty reduce operator");
+  auto app = MakeExpr(ExprKind::kApplication);
+  app->target = op.expr;
+  app->args = {Arg{MakeLiteral(a), Annotation::kNone},
+               Arg{MakeLiteral(b), Annotation::kNone}};
+  app->full = false;
+  Relation result = EvalExprRel(app, *op.env);
+  std::optional<Value> out;
+  for (const Tuple& t : result.SortedTuples()) {
+    if (t.arity() != 1) continue;
+    if (out) {
+      throw RelError(ErrorKind::kType,
+                     "reduce operator is not functional: multiple results");
+    }
+    out = t[0];
+  }
+  return out;
+}
+
+bool Interp::UsesReplacement(const std::string& name) const {
+  return analysis_.UsesReplacement(name);
+}
+
+}  // namespace rel

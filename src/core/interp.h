@@ -1,0 +1,166 @@
+// The interpreter: owns the rule set, evaluates relation *instances*
+// (a defined relation specialized by its second-order arguments), and runs
+// the fixpoint iteration that gives recursive rules their meaning
+// (Section 3.3 and Addendum A).
+//
+// Two fixpoint modes:
+//  - accumulate: least fixpoint by saturation; used when a recursive
+//    component only references itself positively (classical stratified
+//    Datalog semantics);
+//  - replacement: R_{k+1} = base ∪ F(R_k) iterated to a fixed point with an
+//    iteration cap; used when a component references itself under negation,
+//    aggregation or a second-order argument (the paper's non-stratified
+//    programs, e.g. PageRank's stop-condition recursion). This follows the
+//    Statelog/Dedalus lineage the paper cites for such programs.
+
+#ifndef REL_CORE_INTERP_H_
+#define REL_CORE_INTERP_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/ast.h"
+#include "core/solver.h"
+#include "data/database.h"
+
+namespace rel {
+
+/// Evaluation limits; exceeded limits raise kNonConvergent.
+struct InterpOptions {
+  /// Cap on fixpoint iterations per relation instance.
+  int max_iterations = 100000;
+  /// Cap on distinct relation instances (guards against runaway
+  /// specialization chains like f[(A,1)] inside f[{A}]).
+  int max_instances = 1000000;
+};
+
+/// One evaluation context: a database plus a set of rules. Create one per
+/// transaction; memoized results are valid for the lifetime of the object
+/// (the database must not change underneath it).
+class Interp {
+ public:
+  Interp(const Database* db, std::vector<std::shared_ptr<Def>> defs,
+         InterpOptions options = {});
+
+  const Database& db() const { return *db_; }
+  const InterpOptions& options() const { return options_; }
+
+  // --- definition lookup ---
+
+  /// True if `name` has at least one rule (of any signature).
+  bool HasDefs(const std::string& name) const;
+
+  /// Rules of `name` whose leading relation-variable parameter count is
+  /// `sig` (empty vector if none).
+  const std::vector<std::shared_ptr<Def>>& DefsOf(const std::string& name,
+                                                  size_t sig) const;
+
+  /// Determines how many leading arguments of an application of `name` are
+  /// second-order, using the rules' parameter signatures and the ?{}/&{}
+  /// annotations of `args` (Addendum A). Throws kAmbiguous when rules
+  /// disagree and the annotations do not disambiguate.
+  size_t ResolveSig(const std::string& name, const std::vector<Arg>& args) const;
+
+  /// All integrity constraints.
+  const std::vector<std::shared_ptr<Def>>& ics() const { return ics_; }
+
+  // --- evaluation ---
+
+  /// Evaluates the instance of `name` (rules with `sig` leading relation
+  /// parameters, specialized by `so_args`), running fixpoints as needed.
+  /// The reference stays valid until the next call that evaluates the same
+  /// instance (callers must copy out what they keep across re-entry).
+  const Relation& EvalInstance(const std::string& name, size_t sig,
+                               const std::vector<SOValue>& so_args);
+
+  /// Materializes a second-order value into a finite relation. Memoized for
+  /// closures. Throws kSafety for builtins and unsafe closures.
+  const Relation& MaterializeSO(const SOValue& value);
+
+  /// Evaluates an expression under an environment (used for closures,
+  /// second-order arguments, and top-level query expressions).
+  Relation EvalExprRel(const ExprPtr& expr, const Env& env);
+
+  /// Applies a second-order value as a binary function (reduce operators):
+  /// the unique v with (a, b, v) in the relation, if any.
+  std::optional<Value> ApplyBinary(const SOValue& op, const Value& a,
+                                   const Value& b);
+
+  /// True if the recursive component of `name` must use replacement
+  /// iteration (non-monotone self-reference).
+  bool UsesReplacement(const std::string& name) const;
+
+  /// Fresh integer for internal variable naming (shared with the solver).
+  int FreshId() { return ++fresh_counter_; }
+
+  /// Bumped every time an in-progress (partial) instance value is read;
+  /// memo tables use it to detect results that must not be cached.
+  uint64_t partial_reads() const { return partial_reads_; }
+
+  /// Compile cache slot used by the solver (keyed by rule identity).
+  std::map<const Def*, std::shared_ptr<void>>& rule_cache() {
+    return rule_cache_;
+  }
+
+  Solver& solver() { return solver_; }
+
+ private:
+  struct InstanceKey {
+    std::string name;
+    size_t sig;
+    std::vector<SOValue> so_args;
+
+    bool operator<(const InstanceKey& other) const;
+  };
+
+  struct Instance {
+    Relation value;
+    bool done = false;
+    bool in_progress = false;
+    bool provisional = false;   // read a partial value; do not finalize
+    bool failed_safety = false; // materialization is unsafe; cached failure
+    std::string failure_message;
+    int stack_pos = -1;
+  };
+
+  const Relation& EvalInstanceImpl(const InstanceKey& key);
+
+  const Database* db_;
+  std::vector<std::shared_ptr<Def>> all_defs_;
+  // name -> sig -> rules
+  std::map<std::string, std::map<size_t, std::vector<std::shared_ptr<Def>>>>
+      defs_;
+  std::vector<std::shared_ptr<Def>> ics_;
+  ProgramAnalysis analysis_;
+  InterpOptions options_;
+  Solver solver_;
+
+  std::map<InstanceKey, Instance> instances_;
+  std::vector<Instance*> stack_;
+  uint64_t change_tick_ = 0;
+  uint64_t partial_reads_ = 0;
+  int fresh_counter_ = 0;
+
+  // Closure materialization memo: per closure expression, (env, result).
+  // A deque keeps references to stored results stable as entries are added.
+  struct ClosureMemoEntry {
+    Env env;
+    Relation result;
+  };
+  std::map<const Expr*, std::deque<ClosureMemoEntry>> closure_memo_;
+  // Holding area so MaterializeSO can return stable references for
+  // non-memoizable (partial-dependent) results.
+  std::vector<std::unique_ptr<Relation>> scratch_;
+
+  std::map<const Def*, std::shared_ptr<void>> rule_cache_;
+};
+
+}  // namespace rel
+
+#endif  // REL_CORE_INTERP_H_

@@ -1,0 +1,21 @@
+// Lexer for Rel source text.
+
+#ifndef REL_CORE_LEXER_H_
+#define REL_CORE_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/token.h"
+
+namespace rel {
+
+/// Tokenizes `source` in one pass. Throws ParseError on malformed input
+/// (unterminated strings/comments, stray characters). The returned vector
+/// always ends with a kEof token.
+std::vector<Token> Lex(std::string_view source);
+
+}  // namespace rel
+
+#endif  // REL_CORE_LEXER_H_

@@ -1,0 +1,685 @@
+#include "core/parser.h"
+
+#include <optional>
+
+#include "base/error.h"
+#include "core/lexer.h"
+
+namespace rel {
+
+namespace {
+
+using builtin_names::kReduce;
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::string_view source) : tokens_(Lex(source)) {}
+
+  Program ParseProgramAll() {
+    Program program;
+    while (!Check(TokenKind::kEof)) {
+      program.defs.push_back(ParseDef());
+    }
+    return program;
+  }
+
+  ExprPtr ParseSingleExpression() {
+    ExprPtr e = ParseExpr();
+    Expect(TokenKind::kEof, "after expression");
+    return e;
+  }
+
+ private:
+  // --- token plumbing ------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEof
+    return tokens_[i];
+  }
+
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  const Token& Expect(TokenKind kind, const char* context) {
+    if (!Check(kind)) {
+      Fail(std::string("expected ") + TokenKindName(kind) + " " + context +
+           ", found " + Peek().Describe());
+    }
+    return Advance();
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError(message, Peek().line, Peek().column);
+  }
+
+  int Line() const { return Peek().line; }
+  int Column() const { return Peek().column; }
+
+  // --- rules ---------------------------------------------------------------
+
+  Def ParseDef() {
+    Def def;
+    def.line = Line();
+    if (Match(TokenKind::kAt)) {
+      const Token& hint = Expect(TokenKind::kIdent, "after '@'");
+      if (hint.text != "inline") {
+        Fail("unknown annotation '@" + hint.text + "'");
+      }
+      def.inline_hint = true;
+    }
+    if (Match(TokenKind::kIc)) {
+      def.is_ic = true;
+      def.name = Expect(TokenKind::kIdent, "after 'ic'").text;
+      if (Match(TokenKind::kLParen)) {
+        def.params = ParseBindingList(TokenKind::kRParen);
+        Expect(TokenKind::kRParen, "after ic parameters");
+      }
+      Expect(TokenKind::kRequires, "in integrity constraint");
+      def.body = ParseExpr();
+      return def;
+    }
+    Expect(TokenKind::kDef, "at start of rule");
+    def.name = ParseDefName();
+    if (Match(TokenKind::kLParen)) {
+      def.params = ParseBindingList(TokenKind::kRParen);
+      Expect(TokenKind::kRParen, "after rule parameters");
+      def.square_head = false;
+      ExpectBodySeparator();
+      def.body = ParseExpr();
+    } else if (Match(TokenKind::kLBracket)) {
+      def.params = ParseBindingList(TokenKind::kRBracket);
+      Expect(TokenKind::kRBracket, "after rule parameters");
+      def.square_head = true;
+      ExpectBodySeparator();
+      def.body = ParseExpr();
+    } else if (Check(TokenKind::kLBrace)) {
+      // `def RName Abstraction` (form (2) of the paper). If the braces hold
+      // an abstraction, its bindings become the rule head.
+      ExprPtr braced = ParsePrimary();
+      if (braced->kind == ExprKind::kAbstraction) {
+        def.params = braced->bindings;
+        def.square_head = braced->square;
+        def.body = braced->body;
+      } else {
+        def.params.clear();
+        def.square_head = true;  // body is an expression
+        def.body = braced;
+      }
+    } else if (Check(TokenKind::kEq) || Check(TokenKind::kColon)) {
+      Advance();
+      def.params.clear();
+      def.square_head = true;
+      def.body = ParseExpr();
+    } else {
+      Fail("expected parameter list, '{', ':' or '=' after 'def " + def.name +
+           "'");
+    }
+    return def;
+  }
+
+  std::string ParseDefName() {
+    if (Check(TokenKind::kIdent)) return Advance().text;
+    // Operator definitions: def (+)(x,y,z) : ...
+    if (Match(TokenKind::kLParen)) {
+      std::string name;
+      switch (Peek().kind) {
+        case TokenKind::kPlus: name = "+"; break;
+        case TokenKind::kMinus: name = "-"; break;
+        case TokenKind::kStar: name = "*"; break;
+        case TokenKind::kSlash: name = "/"; break;
+        case TokenKind::kPercent: name = "%"; break;
+        case TokenKind::kCaret: name = "^"; break;
+        case TokenKind::kDot: name = "."; break;
+        case TokenKind::kLeftOverride: name = "<++"; break;
+        default:
+          Fail("expected an operator symbol in 'def (op)'");
+      }
+      Advance();
+      Expect(TokenKind::kRParen, "after operator name");
+      return name;
+    }
+    Fail("expected a relation name after 'def'");
+  }
+
+  void ExpectBodySeparator() {
+    if (!Match(TokenKind::kColon) && !Match(TokenKind::kEq)) {
+      Fail("expected ':' or '=' before rule body");
+    }
+  }
+
+  // --- bindings ------------------------------------------------------------
+
+  std::vector<Binding> ParseBindingList(TokenKind closing) {
+    std::vector<Binding> bindings;
+    if (Check(closing)) return bindings;
+    bindings.push_back(ParseBinding());
+    while (Match(TokenKind::kComma)) {
+      bindings.push_back(ParseBinding());
+    }
+    return bindings;
+  }
+
+  Binding ParseBinding() {
+    Binding b;
+    if (Match(TokenKind::kLBrace)) {
+      b.kind = Binding::Kind::kRelVar;
+      b.name = Expect(TokenKind::kIdent, "in relation-variable binding").text;
+      Expect(TokenKind::kRBrace, "after relation variable");
+      return b;
+    }
+    if (Check(TokenKind::kTupleVar)) {
+      b.kind = Binding::Kind::kTupleVar;
+      b.name = Advance().text;
+      return b;
+    }
+    if (Match(TokenKind::kWildcard)) {
+      b.kind = Binding::Kind::kWildcard;
+      return b;
+    }
+    if (Check(TokenKind::kInt)) {
+      b.kind = Binding::Kind::kLiteral;
+      b.literal = Value::Int(Advance().int_value);
+      return b;
+    }
+    if (Check(TokenKind::kFloat)) {
+      b.kind = Binding::Kind::kLiteral;
+      b.literal = Value::Float(Advance().float_value);
+      return b;
+    }
+    if (Check(TokenKind::kString)) {
+      b.kind = Binding::Kind::kLiteral;
+      b.literal = Value::String(Advance().text);
+      return b;
+    }
+    if (Check(TokenKind::kMinus) && Peek(1).kind == TokenKind::kInt) {
+      Advance();
+      b.kind = Binding::Kind::kLiteral;
+      b.literal = Value::Int(-Advance().int_value);
+      return b;
+    }
+    if (Check(TokenKind::kMinus) && Peek(1).kind == TokenKind::kFloat) {
+      Advance();
+      b.kind = Binding::Kind::kLiteral;
+      b.literal = Value::Float(-Advance().float_value);
+      return b;
+    }
+    if (Check(TokenKind::kColon) && Peek(1).kind == TokenKind::kIdent) {
+      // :RName in a head (control relations, Section 3.4).
+      Advance();
+      b.kind = Binding::Kind::kLiteral;
+      b.literal = Value::Entity("rel", Advance().text);
+      return b;
+    }
+    if (Check(TokenKind::kIdent)) {
+      b.kind = Binding::Kind::kVar;
+      b.name = Advance().text;
+      if (Match(TokenKind::kIn)) {
+        b.domain = ParseLeftOverride();
+      }
+      return b;
+    }
+    Fail("expected a binding, found " + Peek().Describe());
+  }
+
+  // Attempts to parse `Bindings <closing> :` from the current position.
+  // On success returns the bindings with the cursor after the ':'.
+  // On failure restores the cursor and returns nullopt.
+  std::optional<std::vector<Binding>> TrySpeculativeBindings(
+      TokenKind closing) {
+    size_t save = pos_;
+    try {
+      std::vector<Binding> bindings = ParseBindingList(closing);
+      if (Check(closing) && Peek(1).kind == TokenKind::kColon) {
+        Advance();  // closing
+        Advance();  // ':'
+        return bindings;
+      }
+    } catch (const ParseError&) {
+      // fall through to restore
+    }
+    pos_ = save;
+    return std::nullopt;
+  }
+
+  // --- expressions, loosest to tightest ------------------------------------
+
+  ExprPtr ParseExpr() { return ParseWhere(); }
+
+  ExprPtr ParseWhere() {
+    ExprPtr left = ParseIff();
+    while (Match(TokenKind::kWhere)) {
+      auto e = MakeExpr(ExprKind::kWhere, left->line, left->column);
+      e->children = {left, ParseIff()};
+      left = e;
+    }
+    return left;
+  }
+
+  ExprPtr ParseIff() {
+    ExprPtr left = ParseImplies();
+    while (true) {
+      if (Match(TokenKind::kIff)) {
+        ExprPtr right = ParseImplies();
+        // a iff b  ==  (not a or b) and (not b or a)
+        left = MakeAnd(MakeOr(MakeNot(left), right),
+                       MakeOr(MakeNot(right), left));
+      } else if (Match(TokenKind::kXor)) {
+        ExprPtr right = ParseImplies();
+        // a xor b  ==  (a and not b) or (not a and b)
+        left = MakeOr(MakeAnd(left, MakeNot(right)),
+                      MakeAnd(MakeNot(left), right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  ExprPtr ParseImplies() {
+    ExprPtr left = ParseOr();
+    if (Match(TokenKind::kImplies)) {
+      ExprPtr right = ParseImplies();  // right-associative
+      return MakeOr(MakeNot(left), right);
+    }
+    return left;
+  }
+
+  ExprPtr ParseOr() {
+    ExprPtr left = ParseAnd();
+    while (Match(TokenKind::kOr)) {
+      left = MakeOr(left, ParseAnd());
+    }
+    return left;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr left = ParseNot();
+    while (Match(TokenKind::kAnd)) {
+      left = MakeAnd(left, ParseNot());
+    }
+    return left;
+  }
+
+  ExprPtr ParseNot() {
+    if (Match(TokenKind::kNot)) {
+      return MakeNot(ParseNot());
+    }
+    return ParseComparison();
+  }
+
+  ExprPtr ParseComparison() {
+    ExprPtr left = ParseLeftOverride();
+    const char* builtin = nullptr;
+    switch (Peek().kind) {
+      case TokenKind::kEq: builtin = builtin_names::kEq; break;
+      case TokenKind::kNeq: builtin = builtin_names::kNeq; break;
+      case TokenKind::kLt: builtin = builtin_names::kLt; break;
+      case TokenKind::kLe: builtin = builtin_names::kLe; break;
+      case TokenKind::kGt: builtin = builtin_names::kGt; break;
+      case TokenKind::kGe: builtin = builtin_names::kGe; break;
+      default: return left;
+    }
+    int line = Line();
+    int column = Column();
+    Advance();
+    ExprPtr right = ParseLeftOverride();
+    return MakeApplication(builtin, {Arg{left, {}}, Arg{right, {}}},
+                           /*full=*/true, line, column);
+  }
+
+  ExprPtr ParseLeftOverride() {
+    ExprPtr left = ParseAdditive();
+    while (Match(TokenKind::kLeftOverride)) {
+      left = MakeApplication(
+          builtin_names::kLeftOverride,
+          {Arg{left, Annotation::kSecondOrder},
+           Arg{ParseAdditive(), Annotation::kSecondOrder}},
+          /*full=*/false, left->line, left->column);
+    }
+    return left;
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr left = ParseMultiplicative();
+    while (true) {
+      const char* builtin = nullptr;
+      if (Check(TokenKind::kPlus)) builtin = builtin_names::kAdd;
+      else if (Check(TokenKind::kMinus)) builtin = builtin_names::kSubtract;
+      else return left;
+      Advance();
+      ExprPtr right = ParseMultiplicative();
+      left = MakeApplication(builtin, {Arg{left, {}}, Arg{right, {}}},
+                             /*full=*/false, left->line, left->column);
+    }
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr left = ParseUnary();
+    while (true) {
+      const char* builtin = nullptr;
+      if (Check(TokenKind::kStar)) builtin = builtin_names::kMultiply;
+      else if (Check(TokenKind::kSlash)) builtin = builtin_names::kDivide;
+      else if (Check(TokenKind::kPercent)) builtin = builtin_names::kModulo;
+      else return left;
+      Advance();
+      ExprPtr right = ParseUnary();
+      left = MakeApplication(builtin, {Arg{left, {}}, Arg{right, {}}},
+                             /*full=*/false, left->line, left->column);
+    }
+  }
+
+  ExprPtr ParseUnary() {
+    if (Check(TokenKind::kMinus)) {
+      int line = Line();
+      int column = Column();
+      Advance();
+      // Fold negative literals so heads like APSP(..., -1) stay constants.
+      if (Check(TokenKind::kInt)) {
+        return MakeLiteral(Value::Int(-Advance().int_value), line, column);
+      }
+      if (Check(TokenKind::kFloat)) {
+        return MakeLiteral(Value::Float(-Advance().float_value), line, column);
+      }
+      ExprPtr operand = ParseUnary();
+      return MakeApplication(builtin_names::kNegate, {Arg{operand, {}}},
+                             /*full=*/false, line, column);
+    }
+    return ParsePower();
+  }
+
+  ExprPtr ParsePower() {
+    ExprPtr left = ParseDotJoin();
+    if (Match(TokenKind::kCaret)) {
+      ExprPtr right = ParseUnary();  // right-associative
+      return MakeApplication(builtin_names::kPower,
+                             {Arg{left, {}}, Arg{right, {}}},
+                             /*full=*/false, left->line, left->column);
+    }
+    return left;
+  }
+
+  ExprPtr ParseDotJoin() {
+    ExprPtr left = ParsePostfix();
+    while (Match(TokenKind::kDot)) {
+      ExprPtr right = ParsePostfix();
+      left = MakeApplication(builtin_names::kDotJoin,
+                             {Arg{left, Annotation::kSecondOrder},
+                              Arg{right, Annotation::kSecondOrder}},
+                             /*full=*/false, left->line, left->column);
+    }
+    return left;
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr expr = ParsePrimary();
+    while (true) {
+      if (Check(TokenKind::kLBracket)) {
+        // Distinguish application target[..] from a following abstraction
+        // argument: '[' directly after an expression is always application.
+        Advance();
+        auto app = MakeExpr(ExprKind::kApplication, expr->line, expr->column);
+        app->target = expr;
+        app->full = false;
+        app->args = ParseArgList(TokenKind::kRBracket);
+        Expect(TokenKind::kRBracket, "after application arguments");
+        expr = app;
+      } else if (Check(TokenKind::kLParen) && IsApplicationTarget(*expr)) {
+        Advance();
+        auto app = MakeExpr(ExprKind::kApplication, expr->line, expr->column);
+        app->target = expr;
+        app->full = true;
+        app->args = ParseArgList(TokenKind::kRParen);
+        Expect(TokenKind::kRParen, "after application arguments");
+        expr = app;
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  // Full application `t(args)` only applies to relation-like targets; this
+  // stops `x and (y or z)` style groupings from being read as applications.
+  static bool IsApplicationTarget(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIdent:
+      case ExprKind::kApplication:
+      case ExprKind::kUnion:
+      case ExprKind::kAbstraction:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  std::vector<Arg> ParseArgList(TokenKind closing) {
+    std::vector<Arg> args;
+    if (Check(closing)) return args;
+    args.push_back(ParseArg());
+    while (Match(TokenKind::kComma)) {
+      args.push_back(ParseArg());
+    }
+    return args;
+  }
+
+  Arg ParseArg() {
+    if (Check(TokenKind::kQuestion) && Peek(1).kind == TokenKind::kLBrace) {
+      Advance();
+      return Arg{ParseAnnotatedBody(), Annotation::kFirstOrder};
+    }
+    if (Check(TokenKind::kAmp) && Peek(1).kind == TokenKind::kLBrace) {
+      Advance();
+      return Arg{ParseAnnotatedBody(), Annotation::kSecondOrder};
+    }
+    return Arg{ParseExpr(), Annotation::kNone};
+  }
+
+  // The braces of ?{...} / &{...} double as union braces: ?{11;22} is the
+  // annotation applied to the union {11;22}. Reuse the braced-expression
+  // parser (cursor is on '{').
+  ExprPtr ParseAnnotatedBody() { return ParseBraced(); }
+
+  ExprPtr ParsePrimary() {
+    int line = Line();
+    int column = Column();
+    switch (Peek().kind) {
+      case TokenKind::kInt:
+        return MakeLiteral(Value::Int(Advance().int_value), line, column);
+      case TokenKind::kFloat:
+        return MakeLiteral(Value::Float(Advance().float_value), line, column);
+      case TokenKind::kString:
+        return MakeLiteral(Value::String(Advance().text), line, column);
+      case TokenKind::kTrue:
+        Advance();
+        return MakeExpr(ExprKind::kTrueLit, line, column);
+      case TokenKind::kFalse:
+        Advance();
+        return MakeExpr(ExprKind::kFalseLit, line, column);
+      case TokenKind::kIdent:
+        return MakeIdent(Advance().text, line, column);
+      case TokenKind::kTupleVar: {
+        auto e = MakeExpr(ExprKind::kTupleVar, line, column);
+        e->name = Advance().text;
+        return e;
+      }
+      case TokenKind::kWildcard:
+        Advance();
+        return MakeExpr(ExprKind::kWildcard, line, column);
+      case TokenKind::kWildcardTuple:
+        Advance();
+        return MakeExpr(ExprKind::kWildcardTuple, line, column);
+      case TokenKind::kColon: {
+        Advance();
+        auto e = MakeExpr(ExprKind::kRelNameLit, line, column);
+        e->name = Expect(TokenKind::kIdent, "after ':'").text;
+        return e;
+      }
+      case TokenKind::kExists:
+      case TokenKind::kForall:
+        return ParseQuantifier();
+      case TokenKind::kLParen:
+        return ParseParenthesized();
+      case TokenKind::kLBracket:
+        return ParseBracketAbstraction();
+      case TokenKind::kLBrace:
+        return ParseBraced();
+      default:
+        Fail("expected an expression, found " + Peek().Describe());
+    }
+  }
+
+  ExprPtr ParseQuantifier() {
+    int line = Line();
+    int column = Column();
+    bool is_exists = Check(TokenKind::kExists);
+    Advance();
+    Expect(TokenKind::kLParen, "after quantifier");
+    std::vector<Binding> bindings;
+    if (Match(TokenKind::kLParen)) {
+      bindings = ParseBindingList(TokenKind::kRParen);
+      Expect(TokenKind::kRParen, "after quantifier bindings");
+    } else {
+      bindings = ParseBindingList(TokenKind::kBar);
+    }
+    Expect(TokenKind::kBar, "between quantifier bindings and body");
+    ExprPtr body = ParseExpr();
+    Expect(TokenKind::kRParen, "after quantifier body");
+    auto e = MakeExpr(is_exists ? ExprKind::kExists : ExprKind::kForall, line,
+                      column);
+    e->bindings = std::move(bindings);
+    e->body = body;
+    return e;
+  }
+
+  ExprPtr ParseParenthesized() {
+    int line = Line();
+    int column = Column();
+    Expect(TokenKind::kLParen, "");
+    // `(bindings): formula` — a round abstraction (form (3a)).
+    if (auto bindings = TrySpeculativeBindings(TokenKind::kRParen)) {
+      auto e = MakeExpr(ExprKind::kAbstraction, line, column);
+      e->bindings = std::move(*bindings);
+      e->square = false;
+      e->body = ParseExpr();
+      return e;
+    }
+    if (Match(TokenKind::kRParen)) {
+      // `()` — the empty tuple, i.e. boolean TRUE.
+      return MakeExpr(ExprKind::kTrueLit, line, column);
+    }
+    std::vector<ExprPtr> elements;
+    elements.push_back(ParseExpr());
+    while (Match(TokenKind::kComma)) {
+      elements.push_back(ParseExpr());
+    }
+    Expect(TokenKind::kRParen, "after parenthesized expression");
+    if (elements.size() == 1) return elements[0];
+    auto e = MakeExpr(ExprKind::kProduct, line, column);
+    e->children = std::move(elements);
+    return e;
+  }
+
+  ExprPtr ParseBracketAbstraction() {
+    int line = Line();
+    int column = Column();
+    Expect(TokenKind::kLBracket, "");
+    if (auto bindings = TrySpeculativeBindings(TokenKind::kRBracket)) {
+      auto e = MakeExpr(ExprKind::kAbstraction, line, column);
+      e->bindings = std::move(*bindings);
+      e->square = true;
+      e->body = ParseExpr();
+      return e;
+    }
+    Fail("expected '[bindings] : body' abstraction");
+  }
+
+  ExprPtr ParseBraced() {
+    int line = Line();
+    int column = Column();
+    Expect(TokenKind::kLBrace, "");
+    if (Match(TokenKind::kRBrace)) {
+      // `{}` — the empty relation, i.e. boolean FALSE.
+      return MakeExpr(ExprKind::kFalseLit, line, column);
+    }
+    // `{(bindings): f}` / `{[bindings]: e}` — braced abstraction.
+    if (Check(TokenKind::kLParen)) {
+      size_t save = pos_;
+      Advance();
+      if (auto bindings = TrySpeculativeBindings(TokenKind::kRParen)) {
+        auto e = MakeExpr(ExprKind::kAbstraction, line, column);
+        e->bindings = std::move(*bindings);
+        e->square = false;
+        e->body = ParseExpr();
+        Expect(TokenKind::kRBrace, "after abstraction");
+        return e;
+      }
+      pos_ = save;
+    }
+    if (Check(TokenKind::kLBracket)) {
+      size_t save = pos_;
+      Advance();
+      if (auto bindings = TrySpeculativeBindings(TokenKind::kRBracket)) {
+        auto e = MakeExpr(ExprKind::kAbstraction, line, column);
+        e->bindings = std::move(*bindings);
+        e->square = true;
+        e->body = ParseExpr();
+        Expect(TokenKind::kRBrace, "after abstraction");
+        return e;
+      }
+      pos_ = save;
+    }
+    // `{e1; ...; en}` — union (possibly a single braced expression).
+    std::vector<ExprPtr> elements;
+    elements.push_back(ParseExpr());
+    while (Match(TokenKind::kSemi)) {
+      if (Check(TokenKind::kRBrace)) break;  // allow trailing ';'
+      elements.push_back(ParseExpr());
+    }
+    Expect(TokenKind::kRBrace, "after union");
+    if (elements.size() == 1) return elements[0];
+    auto e = MakeExpr(ExprKind::kUnion, line, column);
+    e->children = std::move(elements);
+    return e;
+  }
+
+  // --- small node builders --------------------------------------------------
+
+  ExprPtr MakeAnd(ExprPtr a, ExprPtr b) {
+    auto e = MakeExpr(ExprKind::kAnd, a->line, a->column);
+    e->children = {std::move(a), std::move(b)};
+    return e;
+  }
+
+  ExprPtr MakeOr(ExprPtr a, ExprPtr b) {
+    auto e = MakeExpr(ExprKind::kOr, a->line, a->column);
+    e->children = {std::move(a), std::move(b)};
+    return e;
+  }
+
+  ExprPtr MakeNot(ExprPtr a) {
+    auto e = MakeExpr(ExprKind::kNot, a->line, a->column);
+    e->children = {std::move(a)};
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program ParseProgram(std::string_view source) {
+  return ParserImpl(source).ParseProgramAll();
+}
+
+ExprPtr ParseExpression(std::string_view source) {
+  return ParserImpl(source).ParseSingleExpression();
+}
+
+}  // namespace rel

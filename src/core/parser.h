@@ -1,0 +1,42 @@
+// Recursive-descent parser for Rel (grammar of Figure 2 plus the paper's
+// infix sugar). See ast.h for the desugarings applied during parsing.
+
+#ifndef REL_CORE_PARSER_H_
+#define REL_CORE_PARSER_H_
+
+#include <string_view>
+
+#include "core/ast.h"
+
+namespace rel {
+
+/// Parses a whole program (a sequence of `def` / `ic` rules).
+Program ParseProgram(std::string_view source);
+
+/// Parses a single expression (used by tests and the REPL-style API).
+ExprPtr ParseExpression(std::string_view source);
+
+/// Names of the builtin relations that the infix operators desugar to.
+/// Exposed so the builtin registry and the parser cannot drift apart.
+namespace builtin_names {
+inline constexpr char kAdd[] = "rel_primitive_add";
+inline constexpr char kSubtract[] = "rel_primitive_subtract";
+inline constexpr char kMultiply[] = "rel_primitive_multiply";
+inline constexpr char kDivide[] = "rel_primitive_divide";
+inline constexpr char kModulo[] = "rel_primitive_modulo";
+inline constexpr char kPower[] = "rel_primitive_power";
+inline constexpr char kNegate[] = "rel_primitive_negate";
+inline constexpr char kEq[] = "rel_primitive_eq";
+inline constexpr char kNeq[] = "rel_primitive_neq";
+inline constexpr char kLt[] = "rel_primitive_lt";
+inline constexpr char kLe[] = "rel_primitive_lt_eq";
+inline constexpr char kGt[] = "rel_primitive_gt";
+inline constexpr char kGe[] = "rel_primitive_gt_eq";
+inline constexpr char kDotJoin[] = "dot_join";
+inline constexpr char kLeftOverride[] = "left_override";
+inline constexpr char kReduce[] = "reduce";
+}  // namespace builtin_names
+
+}  // namespace rel
+
+#endif  // REL_CORE_PARSER_H_

@@ -1,0 +1,118 @@
+// The constraint solver: Rel's evaluation core.
+//
+// A rule body (or any expression) is compiled into a set of constraints plus
+// a list of output terms. Solving enumerates all variable bindings that
+// satisfy the constraints, choosing, at each step, a constraint that is
+// *ready* under the current bindings:
+//   - a finite atom can always enumerate;
+//   - a builtin atom is ready when its binding pattern is supported
+//     (Section 3.2's safety rules for infinite relations);
+//   - negation, aggregation and second-order arguments are ready when their
+//     free variables are bound.
+// If no remaining constraint is ready the expression is unsafe and a
+// kSafety error is raised — this realizes the paper's conservative safety
+// analysis. Unsafe *sub*expressions are fine: a deferred (closure) relation
+// argument is inlined at its use site with the use-site bindings, which is
+// how `AdditiveInverse` intersected with a finite relation evaluates.
+
+#ifndef REL_CORE_SOLVER_H_
+#define REL_CORE_SOLVER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ast.h"
+#include "core/builtins.h"
+#include "data/relation.h"
+
+namespace rel {
+
+class Interp;
+struct Env;
+
+/// A second-order value: what a relation variable `{A}` is bound to, and
+/// what second-order arguments evaluate to. Exactly one representation is
+/// active:
+///   - a materialized (finite) relation,
+///   - a builtin (infinite) relation,
+///   - a deferred closure: an expression with its captured environment,
+///     materialized lazily, or inlined at use sites if materialization is
+///     unsafe (the paper's "unsafe subexpressions are allowed" rule).
+struct SOValue {
+  std::shared_ptr<const Relation> rel;
+  const Builtin* builtin = nullptr;
+  ExprPtr expr;
+  std::shared_ptr<const Env> env;
+
+  static SOValue Materialized(Relation r);
+  static SOValue ForBuiltin(const Builtin* b);
+  static SOValue Closure(ExprPtr e, std::shared_ptr<const Env> env);
+
+  bool IsMaterialized() const { return rel != nullptr; }
+  bool IsBuiltin() const { return builtin != nullptr; }
+  bool IsClosure() const { return expr != nullptr; }
+
+  bool operator==(const SOValue& other) const;
+  size_t Hash() const;
+};
+
+/// A runtime environment: first-order variables, tuple variables and
+/// relation variables. Used both for captured closures and as the seed
+/// environment of a solve.
+struct Env {
+  std::map<std::string, Value> vars;
+  std::map<std::string, Tuple> tuples;
+  std::map<std::string, SOValue> rels;
+
+  bool Has(const std::string& name) const {
+    return vars.count(name) || tuples.count(name) || rels.count(name);
+  }
+  bool operator==(const Env& other) const;
+  size_t Hash() const;
+};
+
+/// A pre-bound rule parameter used when an unsafe definition is inlined at
+/// a call site whose arguments are already bound. At most one of the fields
+/// is set (value for ordinary parameters, tuple for tuple-variable
+/// parameters); both empty means "unbound".
+struct Seed {
+  std::optional<Value> value;
+  std::optional<Tuple> tuple;
+};
+
+/// The solver. Stateless apart from its link to the interpreter (which owns
+/// definitions, instances, and memo tables); cheap to construct.
+class Solver {
+ public:
+  explicit Solver(Interp* interp) : interp_(interp) {}
+
+  /// Evaluates `expr` to the relation it denotes under `env`.
+  /// Throws kSafety if the result would be infinite.
+  Relation EvalExpr(const ExprPtr& expr, const Env& env);
+
+  /// True iff the formula holds under `env` (early exit on first witness).
+  bool EvalFormula(const ExprPtr& formula, const Env& env);
+
+  /// Evaluates one rule under second-order arguments `so_args` (bound to the
+  /// rule's leading {A} parameters, in order). Returns the head tuples
+  /// (first-order parameter values concatenated with body outputs).
+  ///
+  /// `seeds`, when non-null, pre-binds first-order parameters by position
+  /// (used when an unsafe definition is inlined at a call site whose
+  /// arguments are already bound). seeds->at(i) may be empty (unbound).
+  Relation EvalRule(const Def& def, const std::vector<SOValue>& so_args,
+                    const std::vector<Seed>* seeds);
+
+  /// Number of second-order (leading {A}) parameters of `def`.
+  static size_t CountSOParams(const Def& def);
+
+ private:
+  Interp* interp_;
+};
+
+}  // namespace rel
+
+#endif  // REL_CORE_SOLVER_H_

@@ -1,0 +1,163 @@
+// The Rel standard library, written in Rel (Section 5 of the paper).
+//
+// Following the paper's philosophy ("define a small core and provide the
+// functionality to build libraries"), everything here is an ordinary library
+// definition: aggregates are built from the single `reduce` primitive
+// (Section 5.2), relational algebra, linear algebra and the graph library
+// are plain Rel rules (Sections 5.3–5.4). Arithmetic wrappers delegate to
+// rel_primitive_* externals exactly as described in Section 5.1.
+
+#include "core/engine.h"
+
+namespace rel {
+
+const char* StdlibSource() {
+  return R"rel(
+// ===========================================================================
+// Arithmetic and scalar functions (Section 5.1): thin wrappers over the
+// rel_primitive_* externals. These are unsafe standalone (infinite), so the
+// engine inlines them at call sites; @inline records that intent.
+// ===========================================================================
+@inline def add[x, y] = rel_primitive_add[x, y]
+@inline def subtract[x, y] = rel_primitive_subtract[x, y]
+@inline def multiply[x, y] = rel_primitive_multiply[x, y]
+@inline def divide[x, y] = rel_primitive_divide[x, y]
+@inline def modulo[x, y] = rel_primitive_modulo[x, y]
+@inline def power[x, y] = rel_primitive_power[x, y]
+@inline def minimum[x, y] = rel_primitive_minimum[x, y]
+@inline def maximum[x, y] = rel_primitive_maximum[x, y]
+@inline def log[x, y] = rel_primitive_log[x, y]
+@inline def sqrt[x] = rel_primitive_sqrt[x]
+@inline def natural_log[x] = rel_primitive_natural_log[x]
+@inline def natural_exp[x] = rel_primitive_natural_exp[x]
+@inline def abs_value[x] = rel_primitive_abs[x]
+@inline def floor[x] = rel_primitive_floor[x]
+@inline def ceil[x] = rel_primitive_ceil[x]
+@inline def round[x] = rel_primitive_round[x]
+@inline def concat[x, y] = rel_primitive_concat[x, y]
+@inline def string_length[x] = rel_primitive_string_length[x]
+@inline def uppercase[x] = rel_primitive_uppercase[x]
+@inline def lowercase[x] = rel_primitive_lowercase[x]
+@inline def substring[s, i, j] = rel_primitive_substring[s, i, j]
+@inline def parse_int[s] = rel_primitive_parse_int[s]
+@inline def parse_float[s] = rel_primitive_parse_float[s]
+@inline def string[x] = rel_primitive_string[x]
+
+// Infix operators as library relations (Section 5.1).
+def (+)(x, y, z) : rel_primitive_add(x, y, z)
+def (-)(x, y, z) : rel_primitive_subtract(x, y, z)
+def (*)(x, y, z) : rel_primitive_multiply(x, y, z)
+def (/)(x, y, z) : rel_primitive_divide(x, y, z)
+def (%)(x, y, z) : rel_primitive_modulo(x, y, z)
+def (^)(x, y, z) : rel_primitive_power(x, y, z)
+
+// ===========================================================================
+// Core relational operators (Sections 5.1 and 5.3.1).
+// ===========================================================================
+
+// Emptiness test: true iff R has no tuples.
+def empty({R}) : not exists((x...) | R(x...))
+
+// Join on the last position of A and the first of B, dropping it (infix .).
+def dot_join({A}, {B}, x..., y...) : exists((t) | A(x..., t) and B(t, y...))
+
+// A with B's entries for keys A does not define (infix <++).
+def left_override({A}, {B}, x...) : A(x...)
+def left_override({A}, {B}, x..., v) : B(x..., v) and not A(x..., _)
+
+// Relational algebra as a library: Cartesian product, set operators,
+// selection. Arity-independent thanks to tuple variables.
+def Product({A}, {B}, x..., y...) : A(x...) and B(y...)
+def Union({A}, {B}, x...) : A(x...) or B(x...)
+def Intersect({A}, {B}, x...) : A(x...) and B(x...)
+def Minus({A}, {B}, x...) : A(x...) and not B(x...)
+def Select({A}, {Cond}, x...) : A(x...) and Cond(x...)
+
+// ===========================================================================
+// Aggregation (Section 5.2): everything reduces to `reduce`.
+// ===========================================================================
+def sum[{A}] : reduce[rel_primitive_add, A]
+def count[{A}] : reduce[rel_primitive_add, (A, 1)]
+def min[{A}] : reduce[rel_primitive_minimum, A]
+def max[{A}] : reduce[rel_primitive_maximum, A]
+def prod[{A}] : reduce[rel_primitive_multiply, A]
+def avg[{A}] : sum[A] / count[A]
+
+// Rows of A whose last column attains the extreme value.
+def Argmin[{A}] : {A.(min[A])}
+def Argmax[{A}] : {A.(max[A])}
+
+// ===========================================================================
+// Linear algebra (Section 5.3.2): vectors are (index, value) pairs,
+// matrices are (row, col, value) triples.
+// ===========================================================================
+def ScalarProd[{U}, {V}] : sum[[k] : U[k] * V[k]]
+def MatrixMult[{A}, {B}, i, j] : sum[[k] : A[i, k] * B[k, j]]
+def MatrixVector[{A}, {V}, i] : sum[[k] : A[i, k] * V[k]]
+def Transpose({A}, i, j, v) : A(j, i, v)
+def dimension[{Matrix}] : max[(k) : Matrix(k, _, _)]
+
+// ===========================================================================
+// Graph library (Section 5.4). A graph is an edge relation E (pairs of
+// nodes); V, when needed, is the node set.
+// ===========================================================================
+def Nodes({E}, x) : E(x, _) or E(_, x)
+
+def TC({E}, x, y) : E(x, y)
+def TC({E}, x, y) : exists((z) | E(x, z) and TC[E](z, y))
+
+def indegree[{E}, x in Nodes[E]] : count[(y) : E(y, x)] <++ 0
+def outdegree[{E}, x in Nodes[E]] : count[(y) : E(x, y)] <++ 0
+
+def triangle_count[{E}] :
+    count[(x, y, z) : E(x, y) and E(y, z) and E(z, x)
+                      and x < y and y < z] <++ 0
+
+// Symmetric view of a directed edge relation.
+def UndirectedEdge({E}, x, y) : E(x, y) or E(y, x)
+
+// Reflexive-transitive reachability.
+def Reachable({E}, x, y) : Nodes[E](x) and x = y
+def Reachable({E}, x, y) : TC[E](x, y)
+
+// Weakly connected components by minimum-label propagation: every node is
+// labeled with the smallest node reachable over undirected edges. The
+// recursion through `min` is non-stratified; replacement iteration
+// converges because labels only decrease.
+def connected_component({E}, x, l) :
+    Nodes[E](x) and
+    l = min[(y) : y = x or
+                  exists((z) | UndirectedEdge[E](x, z) and
+                               connected_component[E](z, y))]
+
+// All-pairs shortest paths, aggregation formulation (Sections 1 and 5.4).
+def APSP({V}, {E}, x, y, 0) : V(x) and V(y) and x = y
+def APSP({V}, {E}, x, y, i) :
+    i = min[(j) : exists((z) | E(x, z) and APSP[V, E](z, y, j - 1))]
+
+// All-pairs shortest paths, guarded formulation (Section 5.4).
+def APSP_guarded({V}, {E}, x, y, 0) : V(x) and V(y) and x = y
+def APSP_guarded({V}, {E}, x, y, i) :
+    exists((z in V) | E(x, z) and APSP_guarded[V, E](z, y, i - 1)) and
+    not exists((j in Int) | j < i and APSP_guarded[V, E](x, y, j))
+
+// PageRank with a stop condition (Section 5.4): iterate next = G * P until
+// the max-norm delta between consecutive vectors is at most 0.005. The
+// recursion through `empty` / `not` is non-stratified; the engine gives it
+// the replacement-fixpoint semantics described in DESIGN.md.
+def pagerank_vector[d, i] : 1.0 / d where range(1, d, 1, i)
+def pagerank_delta[{V1}, {V2}] : max[[k] : rel_primitive_abs[V1[k] - V2[k]]]
+def pagerank_next[{G}, {P}] : MatrixVector[G, P]
+def pagerank_stop({G}, {P}) : pagerank_delta[pagerank_next[G, P], P] > 0.005
+
+def PageRank[{G}] : pagerank_vector[dimension[G]] where empty(PageRank[G])
+def PageRank[{G}] :
+    pagerank_next[G, PageRank[G]]
+    where not empty(PageRank[G]) and pagerank_stop(G, PageRank[G])
+def PageRank[{G}] :
+    PageRank[G]
+    where not empty(PageRank[G]) and not pagerank_stop(G, PageRank[G])
+)rel";
+}
+
+}  // namespace rel

@@ -1,0 +1,89 @@
+// Tokens of the Rel language (Figure 2 of the paper plus the syntactic sugar
+// used throughout the text: infix arithmetic, comparison operators, `where`,
+// `<++`, `.`, `in`, `@inline`, and the `:Name` relation-name literals used
+// with control relations).
+
+#ifndef REL_CORE_TOKEN_H_
+#define REL_CORE_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rel {
+
+enum class TokenKind {
+  kEof,
+  kIdent,       // payload: text
+  kTupleVar,    // x... ; payload: text without dots
+  kWildcard,    // _
+  kWildcardTuple,  // _...
+  kInt,         // payload: int_value
+  kFloat,       // payload: float_value
+  kString,      // payload: text (unescaped contents)
+
+  // Keywords.
+  kDef,
+  kIc,
+  kRequires,
+  kAnd,
+  kOr,
+  kNot,
+  kExists,
+  kForall,
+  kImplies,
+  kIff,
+  kXor,
+  kWhere,
+  kIn,
+  kTrue,
+  kFalse,
+
+  // Punctuation.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemi,
+  kColon,
+  kBar,
+
+  // Operators.
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kCaret,
+  kDot,
+  kLeftOverride,  // <++
+  kQuestion,      // ?
+  kAmp,           // &
+  kAt,            // @ (for @inline)
+};
+
+/// Human-readable token name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // identifiers, strings
+  int64_t int_value = 0;
+  double float_value = 0;
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace rel
+
+#endif  // REL_CORE_TOKEN_H_

@@ -1,0 +1,57 @@
+#include "data/database.h"
+
+namespace rel {
+
+bool Database::Has(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+const Relation& Database::Get(const std::string& name) const {
+  static const Relation* empty = new Relation();
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return *empty;
+  return it->second;
+}
+
+void Database::Insert(const std::string& name, Tuple t) {
+  if (relations_[name].Insert(std::move(t))) ++version_;
+}
+
+void Database::Delete(const std::string& name, const Tuple& t) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return;
+  if (it->second.Erase(t)) {
+    ++version_;
+    if (it->second.empty()) relations_.erase(it);
+  }
+}
+
+void Database::Put(const std::string& name, Relation r) {
+  relations_[name] = std::move(r);
+  ++version_;
+}
+
+void Database::Drop(const std::string& name) {
+  if (relations_.erase(name) > 0) ++version_;
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) {
+    (void)rel;
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t Database::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) {
+    (void)name;
+    total += rel.size();
+  }
+  return total;
+}
+
+}  // namespace rel

@@ -1,0 +1,57 @@
+// Database: the persistent store of named base relations.
+//
+// Rel's control relations (insert/delete, Section 3.4) apply their effects
+// here at transaction commit. Derived relations (those defined by `def`
+// rules) are computed by the evaluator and never stored in the Database.
+
+#ifndef REL_DATA_DATABASE_H_
+#define REL_DATA_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace rel {
+
+/// Named base relations. Creating a relation on first insert mirrors the
+/// paper's "there is no need to declare a new base relation" (Section 3.4).
+class Database {
+ public:
+  /// True if a base relation named `name` exists.
+  bool Has(const std::string& name) const;
+
+  /// The base relation `name`; an empty relation if it does not exist.
+  const Relation& Get(const std::string& name) const;
+
+  /// Inserts `t` into relation `name`, creating the relation if needed.
+  void Insert(const std::string& name, Tuple t);
+
+  /// Removes `t` from relation `name` if present.
+  void Delete(const std::string& name, const Tuple& t);
+
+  /// Replaces the whole contents of `name`.
+  void Put(const std::string& name, Relation r);
+
+  /// Drops the base relation `name` entirely.
+  void Drop(const std::string& name);
+
+  /// Names of all base relations, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Total number of stored tuples across all relations.
+  size_t TotalTuples() const;
+
+  /// A monotonically increasing counter bumped on every mutation; the
+  /// evaluator uses it to invalidate memoized derived relations.
+  uint64_t version() const { return version_; }
+
+ private:
+  std::map<std::string, Relation> relations_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace rel
+
+#endif  // REL_DATA_DATABASE_H_

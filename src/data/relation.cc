@@ -1,0 +1,183 @@
+#include "data/relation.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+#include "base/hash.h"
+
+namespace rel {
+
+const std::vector<Tuple>& Relation::ArityBlock::Sorted() const {
+  if (!sorted_valid) {
+    sorted.assign(set.begin(), set.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted_valid = true;
+  }
+  return sorted;
+}
+
+Relation Relation::True() { return Singleton(Tuple{}); }
+
+Relation Relation::False() { return Relation(); }
+
+Relation Relation::Singleton(Tuple t) {
+  Relation r;
+  r.Insert(std::move(t));
+  return r;
+}
+
+Relation Relation::FromTuples(const std::vector<Tuple>& tuples) {
+  Relation r;
+  for (const Tuple& t : tuples) r.Insert(t);
+  return r;
+}
+
+bool Relation::Insert(Tuple t) {
+  ArityBlock& block = blocks_[t.arity()];
+  auto [it, inserted] = block.set.insert(std::move(t));
+  (void)it;
+  if (inserted) {
+    block.sorted_valid = false;
+    ++size_;
+  }
+  return inserted;
+}
+
+bool Relation::InsertAll(const Relation& other) {
+  bool changed = false;
+  for (const auto& [arity, block] : other.blocks_) {
+    (void)arity;
+    for (const Tuple& t : block.set) {
+      changed |= Insert(t);
+    }
+  }
+  return changed;
+}
+
+bool Relation::Erase(const Tuple& t) {
+  auto it = blocks_.find(t.arity());
+  if (it == blocks_.end()) return false;
+  if (it->second.set.erase(t) == 0) return false;
+  it->second.sorted_valid = false;
+  --size_;
+  if (it->second.set.empty()) blocks_.erase(it);
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  auto it = blocks_.find(t.arity());
+  return it != blocks_.end() && it->second.set.count(t) > 0;
+}
+
+bool Relation::IsBoolean() const {
+  return empty() || (size_ == 1 && blocks_.count(0) > 0);
+}
+
+bool Relation::AsBool() const { return blocks_.count(0) > 0; }
+
+std::vector<size_t> Relation::Arities() const {
+  std::vector<size_t> arities;
+  arities.reserve(blocks_.size());
+  for (const auto& [arity, block] : blocks_) {
+    (void)block;
+    arities.push_back(arity);
+  }
+  return arities;
+}
+
+const std::vector<Tuple>& Relation::TuplesOfArity(size_t arity) const {
+  static const std::vector<Tuple>* empty_vec = new std::vector<Tuple>();
+  auto it = blocks_.find(arity);
+  if (it == blocks_.end()) return *empty_vec;
+  return it->second.Sorted();
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(size_);
+  for (const auto& [arity, block] : blocks_) {
+    (void)arity;
+    const std::vector<Tuple>& sorted = block.Sorted();
+    out.insert(out.end(), sorted.begin(), sorted.end());
+  }
+  return out;
+}
+
+Relation Relation::Suffixes(const Tuple& prefix) const {
+  Relation out;
+  ScanPrefix(prefix, [&](const Tuple& t) {
+    out.Insert(t.Slice(prefix.arity(), t.arity()));
+    return true;
+  });
+  return out;
+}
+
+Relation Relation::Union(const Relation& other) const {
+  Relation out = *this;
+  out.InsertAll(other);
+  return out;
+}
+
+Relation Relation::Intersect(const Relation& other) const {
+  const Relation& small = size() <= other.size() ? *this : other;
+  const Relation& large = size() <= other.size() ? other : *this;
+  Relation out;
+  for (const auto& [arity, block] : small.blocks_) {
+    (void)arity;
+    for (const Tuple& t : block.set) {
+      if (large.Contains(t)) out.Insert(t);
+    }
+  }
+  return out;
+}
+
+Relation Relation::Minus(const Relation& other) const {
+  Relation out;
+  for (const auto& [arity, block] : blocks_) {
+    (void)arity;
+    for (const Tuple& t : block.set) {
+      if (!other.Contains(t)) out.Insert(t);
+    }
+  }
+  return out;
+}
+
+bool Relation::operator==(const Relation& other) const {
+  if (size_ != other.size_) return false;
+  if (blocks_.size() != other.blocks_.size()) return false;
+  for (const auto& [arity, block] : blocks_) {
+    auto it = other.blocks_.find(arity);
+    if (it == other.blocks_.end()) return false;
+    if (block.set.size() != it->second.set.size()) return false;
+    for (const Tuple& t : block.set) {
+      if (it->second.set.count(t) == 0) return false;
+    }
+  }
+  return true;
+}
+
+size_t Relation::Hash() const {
+  // XOR of tuple hashes is order-insensitive, then mix in the size.
+  size_t acc = 0;
+  for (const auto& [arity, block] : blocks_) {
+    (void)arity;
+    for (const Tuple& t : block.set) {
+      acc ^= t.Hash();
+    }
+  }
+  return HashCombine(acc, size_);
+}
+
+std::string Relation::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Tuple& t : SortedTuples()) {
+    if (!first) out += "; ";
+    first = false;
+    out += t.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rel

@@ -1,0 +1,115 @@
+// Relation: a set of tuples, possibly of mixed arity (Rels1 in Addendum A).
+//
+// Storage is per-arity: a hash set for O(1) membership and insertion, plus a
+// lazily maintained sorted vector used for deterministic iteration and for
+// prefix range scans (the access path behind partial application R[a,b]).
+//
+// Mixed arity is a first-class feature: the paper's `Prefix` and `Perm`
+// examples (Section 4.1) produce relations whose tuples have many arities.
+
+#ifndef REL_DATA_RELATION_H_
+#define REL_DATA_RELATION_H_
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "data/tuple.h"
+
+namespace rel {
+
+/// A (first-order) relation: a finite set of tuples of mixed arity.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// The relation {<>} that encodes boolean TRUE (Section 4.3).
+  static Relation True();
+  /// The empty relation {} that encodes boolean FALSE.
+  static Relation False();
+  /// A relation holding a single tuple.
+  static Relation Singleton(Tuple t);
+  /// A relation built from a list of tuples (duplicates collapse).
+  static Relation FromTuples(const std::vector<Tuple>& tuples);
+
+  /// Inserts `t`; returns true if it was not already present.
+  bool Insert(Tuple t);
+  /// Inserts every tuple of `other`; returns true if anything was added.
+  bool InsertAll(const Relation& other);
+  /// Removes `t`; returns true if it was present.
+  bool Erase(const Tuple& t);
+
+  bool Contains(const Tuple& t) const;
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// True iff this relation is {<>} or {} — i.e. encodes a boolean.
+  bool IsBoolean() const;
+  /// True iff this relation contains the empty tuple (boolean TRUE).
+  bool AsBool() const;
+
+  /// All arities that occur in the relation, ascending.
+  std::vector<size_t> Arities() const;
+
+  /// All tuples of a given arity in sorted order (empty if none).
+  const std::vector<Tuple>& TuplesOfArity(size_t arity) const;
+
+  /// All tuples, sorted by (arity, lexicographic). Deterministic.
+  std::vector<Tuple> SortedTuples() const;
+
+  /// Tuples of arity >= prefix.arity() that start with `prefix`, i.e. the
+  /// matches used by partial application. The callback receives each full
+  /// matching tuple; return false from it to stop early.
+  template <typename Fn>
+  void ScanPrefix(const Tuple& prefix, Fn&& fn) const;
+
+  /// The suffixes of tuples matching `prefix` (partial application R[...]).
+  Relation Suffixes(const Tuple& prefix) const;
+
+  /// Set algebra (used by builtins and tests).
+  Relation Union(const Relation& other) const;
+  Relation Intersect(const Relation& other) const;
+  Relation Minus(const Relation& other) const;
+
+  bool operator==(const Relation& other) const;
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  /// Order-insensitive content hash, used as memo key for second-order
+  /// relation arguments.
+  size_t Hash() const;
+
+  /// {(1, 2); (3, 4)} — sorted, deterministic.
+  std::string ToString() const;
+
+ private:
+  struct ArityBlock {
+    std::unordered_set<Tuple> set;
+    // Sorted view, rebuilt on demand; valid iff sorted_valid.
+    mutable std::vector<Tuple> sorted;
+    mutable bool sorted_valid = true;
+
+    const std::vector<Tuple>& Sorted() const;
+  };
+
+  std::map<size_t, ArityBlock> blocks_;
+  size_t size_ = 0;
+};
+
+template <typename Fn>
+void Relation::ScanPrefix(const Tuple& prefix, Fn&& fn) const {
+  for (const auto& [arity, block] : blocks_) {
+    if (arity < prefix.arity()) continue;
+    const std::vector<Tuple>& sorted = block.Sorted();
+    // Binary search for the first tuple >= prefix; all matches are a
+    // contiguous run because order is lexicographic.
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), prefix);
+    for (; it != sorted.end() && it->StartsWith(prefix); ++it) {
+      if (!fn(*it)) return;
+    }
+  }
+}
+
+}  // namespace rel
+
+#endif  // REL_DATA_RELATION_H_

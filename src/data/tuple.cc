@@ -1,0 +1,59 @@
+#include "data/tuple.h"
+
+#include "base/error.h"
+#include "base/hash.h"
+
+namespace rel {
+
+void Tuple::AppendAll(const Tuple& t) {
+  values_.insert(values_.end(), t.values_.begin(), t.values_.end());
+}
+
+Tuple Tuple::Slice(size_t begin, size_t end) const {
+  InternalCheck(begin <= end && end <= values_.size(), "bad tuple slice");
+  return Tuple(std::vector<Value>(values_.begin() + begin, values_.begin() + end));
+}
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  Tuple result = *this;
+  result.AppendAll(other);
+  return result;
+}
+
+bool Tuple::StartsWith(const Tuple& prefix) const {
+  if (prefix.arity() > arity()) return false;
+  for (size_t i = 0; i < prefix.arity(); ++i) {
+    if (values_[i] != prefix[i]) return false;
+  }
+  return true;
+}
+
+int Tuple::Compare(const Tuple& other) const {
+  size_t n = std::min(arity(), other.arity());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].Compare(other[i]);
+    if (c != 0) return c;
+  }
+  if (arity() != other.arity()) return arity() < other.arity() ? -1 : 1;
+  return 0;
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = 0xa1b2c3d4;
+  for (const Value& v : values_) {
+    seed = HashCombine(seed, v.Hash());
+  }
+  return seed;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rel

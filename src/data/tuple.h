@@ -1,0 +1,66 @@
+// Tuple: an ordered sequence of Values (Tuples1 in Addendum A).
+//
+// Tuples of arity 0 exist and matter: {<>} and {} encode true and false in
+// Rel (Section 4.3).
+
+#ifndef REL_DATA_TUPLE_H_
+#define REL_DATA_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace rel {
+
+/// A first-order tuple. Thin wrapper over std::vector<Value> with ordering,
+/// hashing, slicing and printing.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& operator[](size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(const Value& v) { values_.push_back(v); }
+  void AppendAll(const Tuple& t);
+
+  /// Tuple made of positions [begin, end).
+  Tuple Slice(size_t begin, size_t end) const;
+
+  /// Concatenation `this · other`.
+  Tuple Concat(const Tuple& other) const;
+
+  /// True if this tuple's first `prefix.arity()` positions equal `prefix`.
+  bool StartsWith(const Tuple& prefix) const;
+
+  /// Lexicographic order; shorter tuples order before their extensions.
+  int Compare(const Tuple& other) const;
+
+  bool operator==(const Tuple& other) const { return Compare(other) == 0; }
+  bool operator!=(const Tuple& other) const { return Compare(other) != 0; }
+  bool operator<(const Tuple& other) const { return Compare(other) < 0; }
+
+  size_t Hash() const;
+
+  /// Rel-ish syntax: (1, "a", 2.5); the empty tuple prints as ().
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace rel
+
+template <>
+struct std::hash<rel::Tuple> {
+  size_t operator()(const rel::Tuple& t) const { return t.Hash(); }
+};
+
+#endif  // REL_DATA_TUPLE_H_

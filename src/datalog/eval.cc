@@ -1,0 +1,393 @@
+#include "datalog/eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "base/error.h"
+#include "base/hash.h"
+
+namespace rel {
+namespace datalog {
+
+namespace {
+
+// --- stratification ----------------------------------------------------------
+
+/// Assigns each predicate a stratum such that positive dependencies stay
+/// within or below, and negative dependencies come from strictly below.
+/// Classic iterate-to-fixpoint algorithm; throws kType on negative cycles.
+std::map<std::string, int> Stratify(const Program& program) {
+  std::map<std::string, int> stratum;
+  for (const std::string& pred : program.Predicates()) stratum[pred] = 0;
+  size_t n = stratum.size();
+  bool changed = true;
+  size_t rounds = 0;
+  while (changed) {
+    changed = false;
+    if (++rounds > n + 1) {
+      throw RelError(ErrorKind::kType,
+                     "datalog program is not stratifiable (negation in a "
+                     "recursive cycle)");
+    }
+    for (const Rule& rule : program.rules()) {
+      int& head = stratum[rule.head.pred];
+      for (const Literal& lit : rule.body) {
+        if (lit.kind == Literal::Kind::kPositive) {
+          if (stratum[lit.atom.pred] > head) {
+            head = stratum[lit.atom.pred];
+            changed = true;
+          }
+        } else if (lit.kind == Literal::Kind::kNegative) {
+          if (stratum[lit.atom.pred] + 1 > head) {
+            head = stratum[lit.atom.pred] + 1;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return stratum;
+}
+
+// --- join machinery -----------------------------------------------------------
+
+/// A hash index over one relation for a fixed set of key positions.
+class HashIndex {
+ public:
+  HashIndex(const std::vector<Tuple>& rows, const std::vector<size_t>& keys)
+      : rows_(rows), keys_(keys) {
+    buckets_.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      buckets_.emplace(KeyHash(rows[i]), i);
+    }
+  }
+
+  template <typename Fn>
+  void Probe(const Tuple& probe_keys, Fn&& fn) const {
+    size_t h = ProbeHash(probe_keys);
+    auto [lo, hi] = buckets_.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& row = rows_[it->second];
+      bool match = true;
+      for (size_t k = 0; k < keys_.size(); ++k) {
+        if (row[keys_[k]] != probe_keys[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) fn(row);
+    }
+  }
+
+ private:
+  size_t KeyHash(const Tuple& row) const {
+    size_t h = 0x51ed;
+    for (size_t k : keys_) h = HashCombine(h, row[k].Hash());
+    return h;
+  }
+  size_t ProbeHash(const Tuple& keys) const {
+    size_t h = 0x51ed;
+    for (size_t i = 0; i < keys.arity(); ++i) {
+      h = HashCombine(h, keys[i].Hash());
+    }
+    return h;
+  }
+
+  const std::vector<Tuple>& rows_;
+  std::vector<size_t> keys_;
+  std::unordered_multimap<size_t, size_t> buckets_;
+};
+
+std::optional<Value> EvalArith(ArithOp op, const Value& a, const Value& b) {
+  auto both_int = a.is_int() && b.is_int();
+  if (!a.is_number() || !b.is_number()) return std::nullopt;
+  switch (op) {
+    case ArithOp::kAdd:
+      return both_int ? Value::Int(a.AsInt() + b.AsInt())
+                      : Value::Float(a.AsDouble() + b.AsDouble());
+    case ArithOp::kSub:
+      return both_int ? Value::Int(a.AsInt() - b.AsInt())
+                      : Value::Float(a.AsDouble() - b.AsDouble());
+    case ArithOp::kMul:
+      return both_int ? Value::Int(a.AsInt() * b.AsInt())
+                      : Value::Float(a.AsDouble() * b.AsDouble());
+    case ArithOp::kDiv:
+      if (b.AsDouble() == 0) return std::nullopt;
+      if (both_int && a.AsInt() % b.AsInt() == 0) {
+        return Value::Int(a.AsInt() / b.AsInt());
+      }
+      return Value::Float(a.AsDouble() / b.AsDouble());
+    case ArithOp::kMod:
+      if (!both_int || b.AsInt() == 0) return std::nullopt;
+      return Value::Int(a.AsInt() % b.AsInt());
+    case ArithOp::kMin:
+      return a.NumericCompare(b) == Value::Ordering::kGreater ? b : a;
+    case ArithOp::kMax:
+      return a.NumericCompare(b) == Value::Ordering::kLess ? b : a;
+  }
+  return std::nullopt;
+}
+
+bool EvalCompare(CmpOp op, const Value& a, const Value& b) {
+  Value::Ordering o = a.NumericCompare(b);
+  switch (op) {
+    case CmpOp::kEq: return o == Value::Ordering::kEqual;
+    case CmpOp::kNeq: return o != Value::Ordering::kEqual &&
+                             o != Value::Ordering::kUnordered;
+    case CmpOp::kLt: return o == Value::Ordering::kLess;
+    case CmpOp::kLe: return o == Value::Ordering::kLess ||
+                            o == Value::Ordering::kEqual;
+    case CmpOp::kGt: return o == Value::Ordering::kGreater;
+    case CmpOp::kGe: return o == Value::Ordering::kGreater ||
+                            o == Value::Ordering::kEqual;
+  }
+  return false;
+}
+
+/// Mutable per-rule binding vector (variables are dense ids).
+using Bindings = std::vector<std::optional<Value>>;
+
+int MaxVar(const Rule& rule) {
+  int max_var = -1;
+  auto scan_atom = [&max_var](const Atom& atom) {
+    for (const Term& t : atom.terms) {
+      if (t.is_var()) max_var = std::max(max_var, t.var);
+    }
+  };
+  scan_atom(rule.head);
+  for (const Literal& lit : rule.body) {
+    scan_atom(lit.atom);
+    if (lit.lhs.is_var()) max_var = std::max(max_var, lit.lhs.var);
+    if (lit.rhs.is_var()) max_var = std::max(max_var, lit.rhs.var);
+    max_var = std::max(max_var, lit.target);
+  }
+  return max_var;
+}
+
+/// The evaluator state: predicate extents plus per-iteration deltas.
+struct State {
+  std::map<std::string, Relation> full;
+  std::map<std::string, Relation> delta;
+
+  const Relation& Full(const std::string& pred) const {
+    static const Relation* empty = new Relation();
+    auto it = full.find(pred);
+    return it == full.end() ? *empty : it->second;
+  }
+};
+
+/// Evaluates one rule; `delta_index`, when >= 0, forces that positive-atom
+/// occurrence to range over the delta relation (semi-naive evaluation).
+void EvalRuleOnce(const Rule& rule, const State& state, int delta_index,
+                  Relation* out, EvalStats* stats) {
+  Bindings bindings(static_cast<size_t>(MaxVar(rule) + 1));
+
+  // Recursive nested-loop over body literals with per-literal hash probes.
+  std::function<void(size_t)> step = [&](size_t li) {
+    if (li == rule.body.size()) {
+      Tuple head;
+      for (const Term& t : rule.head.terms) {
+        if (t.is_var()) {
+          if (!bindings[t.var]) {
+            throw RelError(ErrorKind::kSafety,
+                           "head variable unbound in rule for '" +
+                               rule.head.pred + "'");
+          }
+          head.Append(*bindings[t.var]);
+        } else {
+          head.Append(t.constant);
+        }
+      }
+      if (stats) ++stats->tuples_derived;
+      out->Insert(std::move(head));
+      return;
+    }
+    const Literal& lit = rule.body[li];
+    auto value_of = [&](const Term& t) -> std::optional<Value> {
+      if (!t.is_var()) return t.constant;
+      return bindings[t.var];
+    };
+    switch (lit.kind) {
+      case Literal::Kind::kPositive: {
+        bool use_delta = static_cast<int>(li) == delta_index;
+        static const std::vector<Tuple>* empty_rows = new std::vector<Tuple>();
+        const std::vector<Tuple>* rows = empty_rows;
+        if (use_delta) {
+          auto it = state.delta.find(lit.atom.pred);
+          if (it != state.delta.end()) {
+            rows = &it->second.TuplesOfArity(lit.atom.terms.size());
+          }
+        } else {
+          rows = &state.Full(lit.atom.pred)
+                      .TuplesOfArity(lit.atom.terms.size());
+        }
+        for (const Tuple& row : *rows) {
+          bool ok = true;
+          std::vector<int> newly_bound;
+          for (size_t i = 0; i < lit.atom.terms.size() && ok; ++i) {
+            const Term& t = lit.atom.terms[i];
+            if (!t.is_var()) {
+              ok = row[i] == t.constant;
+            } else if (bindings[t.var]) {
+              ok = row[i] == *bindings[t.var];
+            } else {
+              bindings[t.var] = row[i];
+              newly_bound.push_back(t.var);
+            }
+          }
+          if (ok) step(li + 1);
+          for (int v : newly_bound) bindings[v].reset();
+        }
+        return;
+      }
+      case Literal::Kind::kNegative: {
+        Tuple probe;
+        for (const Term& t : lit.atom.terms) {
+          std::optional<Value> v = value_of(t);
+          if (!v) {
+            throw RelError(ErrorKind::kSafety,
+                           "variable in negated atom of rule for '" +
+                               rule.head.pred + "' is unbound");
+          }
+          probe.Append(*v);
+        }
+        if (!state.Full(lit.atom.pred).Contains(probe)) step(li + 1);
+        return;
+      }
+      case Literal::Kind::kCompare: {
+        std::optional<Value> a = value_of(lit.lhs);
+        std::optional<Value> b = value_of(lit.rhs);
+        if (!a || !b) {
+          // `V = c` with V unbound acts as a binding.
+          if (lit.cmp_op == CmpOp::kEq && lit.lhs.is_var() && !a && b) {
+            bindings[lit.lhs.var] = *b;
+            step(li + 1);
+            bindings[lit.lhs.var].reset();
+            return;
+          }
+          throw RelError(ErrorKind::kSafety,
+                         "comparison over unbound variables in rule for '" +
+                             rule.head.pred + "'");
+        }
+        if (EvalCompare(lit.cmp_op, *a, *b)) step(li + 1);
+        return;
+      }
+      case Literal::Kind::kAssign: {
+        std::optional<Value> a = value_of(lit.lhs);
+        std::optional<Value> b = value_of(lit.rhs);
+        if (!a || !b) {
+          throw RelError(ErrorKind::kSafety,
+                         "assignment over unbound variables in rule for '" +
+                             rule.head.pred + "'");
+        }
+        std::optional<Value> r = EvalArith(lit.arith_op, *a, *b);
+        if (!r) return;
+        if (bindings[lit.target]) {
+          if (*bindings[lit.target] == *r) step(li + 1);
+          return;
+        }
+        bindings[lit.target] = *r;
+        step(li + 1);
+        bindings[lit.target].reset();
+        return;
+      }
+    }
+  };
+  step(0);
+}
+
+}  // namespace
+
+std::map<std::string, Relation> Evaluate(const Program& program,
+                                         Strategy strategy, EvalStats* stats) {
+  EvalStats local;
+  EvalStats* s = stats ? stats : &local;
+  std::map<std::string, int> stratum = Stratify(program);
+  int max_stratum = 0;
+  for (const auto& [pred, st] : stratum) {
+    (void)pred;
+    max_stratum = std::max(max_stratum, st);
+  }
+  s->strata = max_stratum + 1;
+
+  State state;
+  state.full = program.facts();
+
+  for (int st = 0; st <= max_stratum; ++st) {
+    std::vector<const Rule*> rules;
+    for (const Rule& rule : program.rules()) {
+      if (stratum[rule.head.pred] == st) rules.push_back(&rule);
+    }
+    if (rules.empty()) continue;
+
+    // Initial round: evaluate every rule fully.
+    std::map<std::string, Relation> added;
+    for (const Rule* rule : rules) {
+      Relation derived;
+      EvalRuleOnce(*rule, state, /*delta_index=*/-1, &derived, s);
+      for (const Tuple& t : derived.SortedTuples()) {
+        if (!state.full[rule->head.pred].Contains(t)) {
+          added[rule->head.pred].Insert(t);
+        }
+      }
+    }
+    for (auto& [pred, rel] : added) state.full[pred].InsertAll(rel);
+    state.delta = std::move(added);
+    ++s->iterations;
+
+    // Iterate to fixpoint within the stratum.
+    for (;;) {
+      bool any_delta = false;
+      for (const auto& [pred, rel] : state.delta) {
+        (void)pred;
+        if (!rel.empty()) any_delta = true;
+      }
+      if (!any_delta) break;
+      ++s->iterations;
+      std::map<std::string, Relation> next_added;
+      for (const Rule* rule : rules) {
+        if (strategy == Strategy::kSemiNaive) {
+          // One pass per recursive-atom occurrence, with that occurrence
+          // restricted to the delta.
+          for (size_t li = 0; li < rule->body.size(); ++li) {
+            const Literal& lit = rule->body[li];
+            if (lit.kind != Literal::Kind::kPositive) continue;
+            if (stratum[lit.atom.pred] != st) continue;
+            Relation derived;
+            EvalRuleOnce(*rule, state, static_cast<int>(li), &derived, s);
+            for (const Tuple& t : derived.SortedTuples()) {
+              if (!state.full[rule->head.pred].Contains(t)) {
+                next_added[rule->head.pred].Insert(t);
+              }
+            }
+          }
+        } else {
+          Relation derived;
+          EvalRuleOnce(*rule, state, /*delta_index=*/-1, &derived, s);
+          for (const Tuple& t : derived.SortedTuples()) {
+            if (!state.full[rule->head.pred].Contains(t)) {
+              next_added[rule->head.pred].Insert(t);
+            }
+          }
+        }
+      }
+      for (auto& [pred, rel] : next_added) state.full[pred].InsertAll(rel);
+      state.delta = std::move(next_added);
+    }
+    state.delta.clear();
+  }
+  return state.full;
+}
+
+Relation EvaluatePredicate(const Program& program, const std::string& pred,
+                           Strategy strategy, EvalStats* stats) {
+  std::map<std::string, Relation> all = Evaluate(program, strategy, stats);
+  auto it = all.find(pred);
+  return it == all.end() ? Relation() : it->second;
+}
+
+}  // namespace datalog
+}  // namespace rel

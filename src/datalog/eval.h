@@ -1,0 +1,42 @@
+// Bottom-up evaluation for the classical Datalog engine: stratified negation,
+// naive or semi-naive iteration, set-at-a-time joins with hash indexes.
+
+#ifndef REL_DATALOG_EVAL_H_
+#define REL_DATALOG_EVAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datalog/program.h"
+
+namespace rel {
+namespace datalog {
+
+/// Evaluation strategy; naive exists for the ablation benchmark.
+enum class Strategy { kNaive, kSemiNaive };
+
+/// Evaluation statistics (exposed for benchmarks and tests).
+struct EvalStats {
+  int strata = 0;
+  int iterations = 0;        // total fixpoint iterations across strata
+  uint64_t tuples_derived = 0;  // insertions attempted (incl. duplicates)
+};
+
+/// Evaluates `program` to a fixpoint and returns all predicate extents.
+/// Throws kSafety if a rule is not range-restricted and kType if the
+/// program cannot be stratified.
+std::map<std::string, Relation> Evaluate(const Program& program,
+                                         Strategy strategy,
+                                         EvalStats* stats = nullptr);
+
+/// Convenience: evaluates and returns one predicate's extent.
+Relation EvaluatePredicate(const Program& program, const std::string& pred,
+                           Strategy strategy = Strategy::kSemiNaive,
+                           EvalStats* stats = nullptr);
+
+}  // namespace datalog
+}  // namespace rel
+
+#endif  // REL_DATALOG_EVAL_H_

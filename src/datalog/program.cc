@@ -1,0 +1,301 @@
+#include "datalog/program.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "base/error.h"
+
+namespace rel {
+namespace datalog {
+
+Literal Literal::Positive(Atom a) {
+  Literal l;
+  l.kind = Kind::kPositive;
+  l.atom = std::move(a);
+  return l;
+}
+
+Literal Literal::Negative(Atom a) {
+  Literal l;
+  l.kind = Kind::kNegative;
+  l.atom = std::move(a);
+  return l;
+}
+
+Literal Literal::Compare(CmpOp op, Term lhs, Term rhs) {
+  Literal l;
+  l.kind = Kind::kCompare;
+  l.cmp_op = op;
+  l.lhs = lhs;
+  l.rhs = rhs;
+  return l;
+}
+
+Literal Literal::Assign(int target_var, ArithOp op, Term a, Term b) {
+  Literal l;
+  l.kind = Kind::kAssign;
+  l.target = target_var;
+  l.arith_op = op;
+  l.lhs = a;
+  l.rhs = b;
+  return l;
+}
+
+void Program::AddFact(const std::string& pred, Tuple t) {
+  facts_[pred].Insert(std::move(t));
+}
+
+void Program::AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+std::vector<std::string> Program::Predicates() const {
+  std::map<std::string, bool> seen;
+  for (const auto& [pred, rel] : facts_) {
+    (void)rel;
+    seen[pred] = true;
+  }
+  for (const Rule& rule : rules_) {
+    seen[rule.head.pred] = true;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kPositive ||
+          lit.kind == Literal::Kind::kNegative) {
+        seen[lit.atom.pred] = true;
+      }
+    }
+  }
+  std::vector<std::string> out;
+  for (const auto& [pred, flag] : seen) {
+    (void)flag;
+    out.push_back(pred);
+  }
+  return out;
+}
+
+namespace {
+
+/// Hand-rolled parser for the classical Datalog syntax.
+class DatalogParser {
+ public:
+  explicit DatalogParser(const std::string& source) : src_(source) {}
+
+  Program Parse() {
+    Program program;
+    SkipWs();
+    while (pos_ < src_.size()) {
+      ParseClause(&program);
+      SkipWs();
+    }
+    return program;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) {
+    throw RelError(ErrorKind::kParse, "datalog: " + message + " at offset " +
+                                          std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' || (c == '/' && pos_ + 1 < src_.size() &&
+                              src_[pos_ + 1] == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < src_.size() && src_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void Expect(char c) {
+    if (!Eat(c)) Fail(std::string("expected '") + c + "'");
+  }
+
+  bool EatStr(const char* s) {
+    SkipWs();
+    size_t n = std::strlen(s);
+    if (src_.compare(pos_, n, s) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ParseIdent() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (start == pos_) Fail("expected identifier");
+    return src_.substr(start, pos_ - start);
+  }
+
+  int VarId(const std::string& name) {
+    auto [it, inserted] = vars_.try_emplace(name, next_var_);
+    if (inserted) ++next_var_;
+    return it->second;
+  }
+
+  Term ParseTerm() {
+    SkipWs();
+    char c = src_[pos_];
+    if (c == '"') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '"') ++pos_;
+      if (pos_ >= src_.size()) Fail("unterminated string");
+      std::string s = src_.substr(start, pos_ - start);
+      ++pos_;
+      return Term::Const(Value::String(s));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      bool is_float = false;
+      while (pos_ < src_.size()) {
+        char d = src_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++pos_;
+          continue;
+        }
+        // A '.' is part of the number only when a digit follows; otherwise
+        // it terminates the clause.
+        if (d == '.' && pos_ + 1 < src_.size() &&
+            std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+          is_float = true;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      std::string text = src_.substr(start, pos_ - start);
+      if (is_float) return Term::Const(Value::Float(std::stod(text)));
+      return Term::Const(Value::Int(std::stoll(text)));
+    }
+    std::string name = ParseIdent();
+    if (name == "_") {
+      // Anonymous variable: each occurrence is fresh.
+      return Term::Var(next_var_++);
+    }
+    if (std::isupper(static_cast<unsigned char>(name[0]))) {
+      return Term::Var(VarId(name));
+    }
+    // Lowercase bare identifiers are symbolic constants.
+    return Term::Const(Value::String(name));
+  }
+
+  Atom ParseAtom() {
+    Atom atom;
+    atom.pred = ParseIdent();
+    Expect('(');
+    if (!Eat(')')) {
+      atom.terms.push_back(ParseTerm());
+      while (Eat(',')) atom.terms.push_back(ParseTerm());
+      Expect(')');
+    }
+    return atom;
+  }
+
+  std::optional<CmpOp> TryCmpOp() {
+    if (EatStr("!=")) return CmpOp::kNeq;
+    if (EatStr("<=")) return CmpOp::kLe;
+    if (EatStr(">=")) return CmpOp::kGe;
+    if (EatStr("<")) return CmpOp::kLt;
+    if (EatStr(">")) return CmpOp::kGt;
+    if (EatStr("=")) return CmpOp::kEq;
+    return std::nullopt;
+  }
+
+  std::optional<ArithOp> TryArithOp() {
+    if (EatStr("+")) return ArithOp::kAdd;
+    if (EatStr("-")) return ArithOp::kSub;
+    if (EatStr("*")) return ArithOp::kMul;
+    if (EatStr("/")) return ArithOp::kDiv;
+    if (EatStr("%")) return ArithOp::kMod;
+    return std::nullopt;
+  }
+
+  Literal ParseLiteral() {
+    SkipWs();
+    if (Eat('!')) {
+      return Literal::Negative(ParseAtom());
+    }
+    // Lookahead: `ident(` is an atom; otherwise a comparison/assignment.
+    size_t save = pos_;
+    std::map<std::string, int> vars_save = vars_;
+    if (std::isalpha(static_cast<unsigned char>(src_[pos_])) ||
+        src_[pos_] == '_') {
+      std::string ident = ParseIdent();
+      SkipWs();
+      if (pos_ < src_.size() && src_[pos_] == '(') {
+        pos_ = save;
+        vars_ = vars_save;
+        return Literal::Positive(ParseAtom());
+      }
+      pos_ = save;
+      vars_ = vars_save;
+    }
+    Term lhs = ParseTerm();
+    std::optional<CmpOp> cmp = TryCmpOp();
+    if (!cmp) Fail("expected comparison operator");
+    Term a = ParseTerm();
+    // V = A + B is an assignment when followed by an arithmetic operator.
+    if (*cmp == CmpOp::kEq && lhs.is_var()) {
+      if (std::optional<ArithOp> arith = TryArithOp()) {
+        Term b = ParseTerm();
+        return Literal::Assign(lhs.var, *arith, a, b);
+      }
+    }
+    return Literal::Compare(*cmp, lhs, a);
+  }
+
+  void ParseClause(Program* program) {
+    vars_.clear();
+    next_var_ = 0;
+    Atom head = ParseAtom();
+    SkipWs();
+    if (Eat('.')) {
+      // A fact.
+      Tuple t;
+      for (const Term& term : head.terms) {
+        if (term.is_var()) Fail("facts must be ground");
+        t.Append(term.constant);
+      }
+      program->AddFact(head.pred, std::move(t));
+      return;
+    }
+    if (!EatStr(":-")) Fail("expected '.' or ':-'");
+    Rule rule;
+    rule.head = std::move(head);
+    rule.body.push_back(ParseLiteral());
+    while (Eat(',')) rule.body.push_back(ParseLiteral());
+    Expect('.');
+    program->AddRule(std::move(rule));
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  std::map<std::string, int> vars_;
+  int next_var_ = 0;
+};
+
+}  // namespace
+
+Program ParseDatalog(const std::string& source) {
+  return DatalogParser(source).Parse();
+}
+
+}  // namespace datalog
+}  // namespace rel

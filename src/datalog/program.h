@@ -1,0 +1,109 @@
+// A classical fixed-arity Datalog engine: the baseline the paper's language
+// generalizes (Section 3.1 "Datalog as a starting point", and the lineage of
+// Soufflé / LogicBlox cited in Section 7).
+//
+// Compared to the Rel engine in src/core, this engine is deliberately
+// conventional: positional predicates with fixed arity, stratified negation,
+// set-at-a-time semi-naive evaluation with hash-join indexes. It exists (a)
+// as the performance baseline for the benchmarks and (b) as a reference
+// implementation for differential testing of the Rel engine's recursion.
+
+#ifndef REL_DATALOG_PROGRAM_H_
+#define REL_DATALOG_PROGRAM_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace rel {
+namespace datalog {
+
+/// A term: a variable (non-negative id, scoped to one rule) or a constant.
+struct Term {
+  static Term Var(int id) {
+    Term t;
+    t.var = id;
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.constant = v;
+    return t;
+  }
+  bool is_var() const { return var >= 0; }
+
+  int var = -1;
+  Value constant;
+};
+
+/// A predicate applied to terms.
+struct Atom {
+  std::string pred;
+  std::vector<Term> terms;
+};
+
+/// Comparison operators for filter literals.
+enum class CmpOp { kEq, kNeq, kLt, kLe, kGt, kGe };
+
+/// Arithmetic for assignment literals: target := f(a, b).
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod, kMin, kMax };
+
+/// One body literal.
+struct Literal {
+  enum class Kind { kPositive, kNegative, kCompare, kAssign };
+
+  static Literal Positive(Atom a);
+  static Literal Negative(Atom a);
+  static Literal Compare(CmpOp op, Term lhs, Term rhs);
+  /// target must be a fresh variable; a and b must be bound earlier.
+  static Literal Assign(int target_var, ArithOp op, Term a, Term b);
+
+  Kind kind = Kind::kPositive;
+  Atom atom;       // kPositive / kNegative
+  CmpOp cmp_op = CmpOp::kEq;
+  Term lhs, rhs;   // kCompare
+  int target = -1; // kAssign
+  ArithOp arith_op = ArithOp::kAdd;
+};
+
+/// head :- body. Range restriction (every head/negated/compared variable
+/// bound by a positive literal or assignment) is validated by the evaluator.
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;
+};
+
+/// A Datalog program: facts (EDB) plus rules (IDB).
+class Program {
+ public:
+  void AddFact(const std::string& pred, Tuple t);
+  void AddRule(Rule rule);
+
+  const std::map<std::string, Relation>& facts() const { return facts_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// All predicate names (EDB and IDB).
+  std::vector<std::string> Predicates() const;
+
+ private:
+  std::map<std::string, Relation> facts_;
+  std::vector<Rule> rules_;
+};
+
+/// A tiny parser for classical Datalog text, used by tests and benches:
+///   tc(X, Y) :- edge(X, Y).
+///   tc(X, Z) :- edge(X, Y), tc(Y, Z).
+///   path(X, Y, D1) :- edge(X, Y), D1 = 1.
+/// Uppercase identifiers are variables; integers and "strings" constants;
+/// `!pred(...)` is negation; comparisons use =, !=, <, <=, >, >=;
+/// assignment uses V = A + B (or -, *, /, %).
+Program ParseDatalog(const std::string& source);
+
+}  // namespace datalog
+}  // namespace rel
+
+#endif  // REL_DATALOG_PROGRAM_H_

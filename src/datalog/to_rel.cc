@@ -1,0 +1,145 @@
+#include "datalog/to_rel.h"
+
+#include <map>
+#include <set>
+
+#include "base/error.h"
+
+namespace rel {
+namespace datalog {
+
+namespace {
+
+std::string VarName(int id) { return "v" + std::to_string(id); }
+
+std::string TermToRel(const Term& term) {
+  if (term.is_var()) return VarName(term.var);
+  return term.constant.ToString();  // Rel literal syntax
+}
+
+std::string AtomToRel(const Atom& atom) {
+  std::string out = atom.pred + "(";
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i) out += ", ";
+    out += TermToRel(atom.terms[i]);
+  }
+  out += ")";
+  return out;
+}
+
+const char* CmpToRel(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNeq: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "=";
+}
+
+const char* ArithToRel(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+    case ArithOp::kMod: return "%";
+    case ArithOp::kMin:
+    case ArithOp::kMax:
+      break;
+  }
+  return nullptr;
+}
+
+std::string LiteralToRel(const Literal& lit) {
+  switch (lit.kind) {
+    case Literal::Kind::kPositive:
+      return AtomToRel(lit.atom);
+    case Literal::Kind::kNegative:
+      return "not " + AtomToRel(lit.atom);
+    case Literal::Kind::kCompare:
+      return TermToRel(lit.lhs) + " " + CmpToRel(lit.cmp_op) + " " +
+             TermToRel(lit.rhs);
+    case Literal::Kind::kAssign: {
+      const char* op = ArithToRel(lit.arith_op);
+      if (op) {
+        return VarName(lit.target) + " = " + TermToRel(lit.lhs) + " " + op +
+               " " + TermToRel(lit.rhs);
+      }
+      const char* fn =
+          lit.arith_op == ArithOp::kMin ? "minimum" : "maximum";
+      return VarName(lit.target) + " = " + std::string(fn) + "[" +
+             TermToRel(lit.lhs) + ", " + TermToRel(lit.rhs) + "]";
+    }
+  }
+  return "";
+}
+
+void CollectVars(const Term& t, std::set<int>* vars) {
+  if (t.is_var()) vars->insert(t.var);
+}
+
+}  // namespace
+
+std::string RuleToRel(const Rule& rule) {
+  std::set<int> head_vars;
+  for (const Term& t : rule.head.terms) CollectVars(t, &head_vars);
+  std::set<int> body_vars;
+  for (const Literal& lit : rule.body) {
+    for (const Term& t : lit.atom.terms) CollectVars(t, &body_vars);
+    CollectVars(lit.lhs, &body_vars);
+    CollectVars(lit.rhs, &body_vars);
+    if (lit.target >= 0) body_vars.insert(lit.target);
+  }
+  std::set<int> existential;
+  for (int v : body_vars) {
+    if (!head_vars.count(v)) existential.insert(v);
+  }
+
+  std::string head = rule.head.pred + "(";
+  for (size_t i = 0; i < rule.head.terms.size(); ++i) {
+    if (i) head += ", ";
+    head += TermToRel(rule.head.terms[i]);
+  }
+  head += ")";
+
+  std::string body;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i) body += " and ";
+    body += LiteralToRel(rule.body[i]);
+  }
+  if (body.empty()) body = "true";
+
+  if (!existential.empty()) {
+    std::string binders;
+    for (int v : existential) {
+      if (!binders.empty()) binders += ", ";
+      binders += VarName(v);
+    }
+    body = "exists((" + binders + ") | " + body + ")";
+  }
+  return "def " + head + " : " + body;
+}
+
+std::string ProgramToRel(const Program& program) {
+  std::string out;
+  for (const auto& [pred, facts] : program.facts()) {
+    out += "def " + pred + " {";
+    bool first = true;
+    for (const Tuple& t : facts.SortedTuples()) {
+      if (!first) out += " ; ";
+      first = false;
+      out += t.ToString();
+    }
+    out += "}\n";
+  }
+  for (const Rule& rule : program.rules()) {
+    out += RuleToRel(rule) + "\n";
+  }
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace rel

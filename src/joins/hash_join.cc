@@ -1,0 +1,85 @@
+#include "joins/hash_join.h"
+
+#include <unordered_map>
+
+#include "base/hash.h"
+
+namespace rel {
+namespace joins {
+
+namespace {
+
+size_t KeyHash(const Tuple& t, const std::vector<size_t>& keys) {
+  size_t h = 0x9d2c;
+  for (size_t k : keys) h = HashCombine(h, t[k].Hash());
+  return h;
+}
+
+bool KeysEqual(const Tuple& a, const std::vector<size_t>& ka, const Tuple& b,
+               const std::vector<size_t>& kb) {
+  for (size_t i = 0; i < ka.size(); ++i) {
+    if (a[ka[i]] != b[kb[i]]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Tuple> HashJoin(const std::vector<Tuple>& left,
+                            const std::vector<size_t>& left_keys,
+                            const std::vector<Tuple>& right,
+                            const std::vector<size_t>& right_keys) {
+  std::vector<Tuple> out;
+  if (left.empty() || right.empty()) return out;
+
+  // Build on the right side, probe with the left (output order is
+  // left-major, which callers rely on for determinism after sorting).
+  std::unordered_multimap<size_t, size_t> index;
+  index.reserve(right.size());
+  for (size_t i = 0; i < right.size(); ++i) {
+    index.emplace(KeyHash(right[i], right_keys), i);
+  }
+  std::vector<bool> is_key(right.empty() ? 0 : right[0].arity(), false);
+  for (size_t k : right_keys) is_key[k] = true;
+
+  for (const Tuple& l : left) {
+    auto [lo, hi] = index.equal_range(KeyHash(l, left_keys));
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& r = right[it->second];
+      if (!KeysEqual(l, left_keys, r, right_keys)) continue;
+      Tuple joined = l;
+      for (size_t i = 0; i < r.arity(); ++i) {
+        if (!is_key[i]) joined.Append(r[i]);
+      }
+      out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+size_t CountTrianglesBinaryJoin(const std::vector<Tuple>& edges) {
+  // paths = E(x,y) ⋈ E(y,z): tuples (x, y, z) — materialized!
+  std::vector<Tuple> paths = HashJoin(edges, {1}, edges, {0});
+  // triangles: paths(x,y,z) ⋈ E(z,x).
+  std::unordered_multimap<size_t, size_t> index;
+  index.reserve(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    size_t h = HashCombine(HashCombine(0x77aa, edges[i][0].Hash()),
+                           edges[i][1].Hash());
+    index.emplace(h, i);
+  }
+  size_t count = 0;
+  for (const Tuple& p : paths) {
+    size_t h =
+        HashCombine(HashCombine(0x77aa, p[2].Hash()), p[0].Hash());
+    auto [lo, hi] = index.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& e = edges[it->second];
+      if (e[0] == p[2] && e[1] == p[0]) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace joins
+}  // namespace rel

@@ -1,0 +1,33 @@
+// Binary hash join over fixed-arity tuple vectors: the conventional join
+// the paper's worst-case-optimal-join discussion compares against
+// (Section 7, citing Ngo et al. and Veldhuizen).
+
+#ifndef REL_JOINS_HASH_JOIN_H_
+#define REL_JOINS_HASH_JOIN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/tuple.h"
+
+namespace rel {
+namespace joins {
+
+/// Equi-join: emits left ⋈ right on left[left_keys[i]] == right[right_keys[i]]
+/// as the concatenation of the left tuple with the non-key columns of the
+/// right tuple. Builds a hash table on the smaller input.
+std::vector<Tuple> HashJoin(const std::vector<Tuple>& left,
+                            const std::vector<size_t>& left_keys,
+                            const std::vector<Tuple>& right,
+                            const std::vector<size_t>& right_keys);
+
+/// Counts triangles in `edges` (pairs) with the binary-join plan
+/// (E ⋈ E) ⋈ E. Returns the number of ordered triangles (x,y,z) with
+/// E(x,y), E(y,z), E(z,x). The intermediate (E ⋈ E) result is materialized,
+/// which is exactly the weakness worst-case optimal joins avoid.
+size_t CountTrianglesBinaryJoin(const std::vector<Tuple>& edges);
+
+}  // namespace joins
+}  // namespace rel
+
+#endif  // REL_JOINS_HASH_JOIN_H_

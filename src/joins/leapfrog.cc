@@ -1,0 +1,223 @@
+#include "joins/leapfrog.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace rel {
+namespace joins {
+
+namespace {
+
+/// A trie view over a sorted tuple vector. At depth d the iterator walks the
+/// distinct values of column d within the row range selected by the values
+/// chosen at depths 0..d-1.
+class TrieIterator {
+ public:
+  explicit TrieIterator(const std::vector<Tuple>& rows) : rows_(rows) {}
+
+  /// Descends into the children of the current position (or the root).
+  void Open() {
+    size_t begin = 0;
+    size_t end = rows_.size();
+    if (!levels_.empty()) {
+      begin = levels_.back().cur_begin;
+      end = levels_.back().cur_end;
+    }
+    levels_.push_back(Level{begin, end, begin, begin});
+    if (begin < end) SetRunAt(begin);
+  }
+
+  void Up() { levels_.pop_back(); }
+
+  bool AtEnd() const {
+    const Level& l = levels_.back();
+    return l.cur_begin >= l.end;
+  }
+
+  const Value& Key() const {
+    return rows_[levels_.back().cur_begin][Depth()];
+  }
+
+  /// Advances to the next distinct value at this depth.
+  void Next() {
+    Level& l = levels_.back();
+    l.cur_begin = l.cur_end;
+    if (l.cur_begin < l.end) SetRunAt(l.cur_begin);
+  }
+
+  /// Positions at the first value >= `v` at this depth.
+  void SeekGE(const Value& v) {
+    Level& l = levels_.back();
+    size_t d = Depth();
+    size_t lo = l.cur_begin;
+    size_t hi = l.end;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (rows_[mid][d].Compare(v) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    l.cur_begin = lo;
+    if (l.cur_begin < l.end) SetRunAt(l.cur_begin);
+  }
+
+ private:
+  struct Level {
+    size_t begin, end;           // parent's row range
+    size_t cur_begin, cur_end;   // rows carrying the current value
+  };
+
+  size_t Depth() const { return levels_.size() - 1; }
+
+  /// Computes the run of rows sharing the value at `start` (column Depth()).
+  void SetRunAt(size_t start) {
+    Level& l = levels_.back();
+    size_t d = Depth();
+    const Value& v = rows_[start][d];
+    size_t lo = start + 1;
+    size_t hi = l.end;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (rows_[mid][d].Compare(v) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    l.cur_begin = start;
+    l.cur_end = lo;
+  }
+
+  const std::vector<Tuple>& rows_;
+  std::vector<Level> levels_;
+};
+
+/// The leapfrog search for one variable across the iterators that bind it.
+class LeapfrogLevel {
+ public:
+  explicit LeapfrogLevel(std::vector<TrieIterator*> iters)
+      : iters_(std::move(iters)) {}
+
+  /// Positions all iterators at the first common value; false if none.
+  bool Init() {
+    for (TrieIterator* it : iters_) {
+      if (it->AtEnd()) return false;
+    }
+    std::sort(iters_.begin(), iters_.end(),
+              [](TrieIterator* a, TrieIterator* b) {
+                return a->Key().Compare(b->Key()) < 0;
+              });
+    p_ = 0;
+    return Search();
+  }
+
+  /// Advances past the current common value; false when exhausted.
+  bool Advance() {
+    iters_[p_]->Next();
+    if (iters_[p_]->AtEnd()) return false;
+    p_ = (p_ + 1) % iters_.size();
+    return Search();
+  }
+
+  const Value& Key() const {
+    return iters_[(p_ + iters_.size() - 1) % iters_.size()]->Key();
+  }
+
+ private:
+  bool Search() {
+    // Invariant: iters_[p_-1] (cyclically) holds the max key.
+    Value max_key =
+        iters_[(p_ + iters_.size() - 1) % iters_.size()]->Key();
+    for (;;) {
+      Value least = iters_[p_]->Key();
+      if (least == max_key) return true;  // all equal
+      iters_[p_]->SeekGE(max_key);
+      if (iters_[p_]->AtEnd()) return false;
+      max_key = iters_[p_]->Key();
+      p_ = (p_ + 1) % iters_.size();
+    }
+  }
+
+  std::vector<TrieIterator*> iters_;
+  size_t p_ = 0;
+};
+
+}  // namespace
+
+size_t LeapfrogJoin(
+    int num_vars, const std::vector<AtomSpec>& atoms,
+    const std::function<void(const std::vector<Value>&)>& emit) {
+  for (const AtomSpec& atom : atoms) {
+    for (size_t i = 1; i < atom.vars.size(); ++i) {
+      InternalCheck(atom.vars[i - 1] < atom.vars[i],
+                    "LFTJ atom columns must follow the variable order");
+    }
+  }
+  std::vector<TrieIterator> iterators;
+  iterators.reserve(atoms.size());
+  for (const AtomSpec& atom : atoms) {
+    iterators.emplace_back(*atom.rows);
+  }
+
+  // Which iterators participate at each variable, and each atom's depth.
+  std::vector<std::vector<size_t>> at_var(num_vars);
+  for (size_t a = 0; a < atoms.size(); ++a) {
+    for (int v : atoms[a].vars) at_var[v].push_back(a);
+  }
+
+  size_t count = 0;
+  std::vector<Value> binding(num_vars);
+
+  std::function<void(int)> recurse = [&](int var) {
+    if (var == num_vars) {
+      ++count;
+      if (emit) emit(binding);
+      return;
+    }
+    std::vector<TrieIterator*> participating;
+    for (size_t a : at_var[var]) {
+      iterators[a].Open();
+      participating.push_back(&iterators[a]);
+    }
+    LeapfrogLevel level(participating);
+    if (level.Init()) {
+      do {
+        binding[var] = level.Key();
+        recurse(var + 1);
+      } while (level.Advance());
+    }
+    for (size_t a : at_var[var]) iterators[a].Up();
+  };
+  recurse(0);
+  return count;
+}
+
+size_t LeapfrogJoinCount(int num_vars, const std::vector<AtomSpec>& atoms) {
+  return LeapfrogJoin(num_vars, atoms, nullptr);
+}
+
+size_t CountTrianglesLeapfrog(const std::vector<Tuple>& edges) {
+  // Variables x=0, y=1, z=2. Atoms: E(x,y) -> edges as-is; E(y,z) -> edges;
+  // E(z,x) -> needs (x,z) order, i.e. the column-swapped copy, sorted.
+  std::vector<Tuple> sorted_edges = edges;
+  std::sort(sorted_edges.begin(), sorted_edges.end());
+  std::vector<Tuple> swapped;
+  swapped.reserve(edges.size());
+  for (const Tuple& e : edges) {
+    swapped.push_back(Tuple({e[1], e[0]}));
+  }
+  std::sort(swapped.begin(), swapped.end());
+
+  std::vector<AtomSpec> atoms = {
+      {&sorted_edges, {0, 1}},  // E(x,y)
+      {&sorted_edges, {1, 2}},  // E(y,z)
+      {&swapped, {0, 2}},       // E(z,x) stored as (x,z)
+  };
+  return LeapfrogJoinCount(3, atoms);
+}
+
+}  // namespace joins
+}  // namespace rel

@@ -1,0 +1,45 @@
+// Leapfrog Triejoin (Veldhuizen, ICDT 2014): the worst-case optimal join
+// algorithm the paper cites as the enabler of GNF's many-join modeling style
+// (Sections 2 and 7).
+//
+// Relations are presented as sorted tuple vectors; each atom maps its
+// columns to global variables, and the global variable order must be
+// consistent with every atom's column order (the classical triejoin
+// precondition — callers materialize column-permuted copies where needed).
+
+#ifndef REL_JOINS_LEAPFROG_H_
+#define REL_JOINS_LEAPFROG_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "data/tuple.h"
+
+namespace rel {
+namespace joins {
+
+/// One atom of the conjunctive query.
+struct AtomSpec {
+  /// Rows sorted lexicographically; all of one arity.
+  const std::vector<Tuple>* rows = nullptr;
+  /// Global variable id of each column; must be strictly increasing.
+  std::vector<int> vars;
+};
+
+/// Enumerates all satisfying assignments of the join, invoking `emit` with
+/// the values of variables 0..num_vars-1. Returns the number of results.
+size_t LeapfrogJoin(int num_vars, const std::vector<AtomSpec>& atoms,
+                    const std::function<void(const std::vector<Value>&)>& emit);
+
+/// Counts results without materializing them.
+size_t LeapfrogJoinCount(int num_vars, const std::vector<AtomSpec>& atoms);
+
+/// Counts ordered triangles E(x,y), E(y,z), E(z,x) with LFTJ. `edges` must
+/// be sorted; a column-swapped copy is built internally for the E(z,x) atom.
+size_t CountTrianglesLeapfrog(const std::vector<Tuple>& edges);
+
+}  // namespace joins
+}  // namespace rel
+
+#endif  // REL_JOINS_LEAPFROG_H_

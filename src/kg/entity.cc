@@ -1,0 +1,38 @@
+#include "kg/entity.h"
+
+#include "base/error.h"
+
+namespace rel {
+namespace kg {
+
+Value EntityRegistry::Get(const std::string& concept_name,
+                          const std::string& id) {
+  auto [it, inserted] = owner_.emplace(id, concept_name);
+  if (!inserted && it->second != concept_name) {
+    throw ConstraintViolation(
+        "unique_identifier",
+        "identifier \"" + id + "\" already belongs to concept '" +
+            it->second + "', cannot reuse it for '" + concept_name + "'");
+  }
+  if (inserted) by_concept_[concept_name].push_back(id);
+  return Value::Entity(concept_name, id);
+}
+
+Value EntityRegistry::Mint(const std::string& concept_name) {
+  std::string id = concept_name + ":" + std::to_string(next_id_++);
+  return Get(concept_name, id);
+}
+
+std::string EntityRegistry::ConceptOf(const std::string& id) const {
+  auto it = owner_.find(id);
+  return it == owner_.end() ? "" : it->second;
+}
+
+std::vector<std::string> EntityRegistry::IdsOf(
+    const std::string& concept_name) const {
+  auto it = by_concept_.find(concept_name);
+  return it == by_concept_.end() ? std::vector<std::string>() : it->second;
+}
+
+}  // namespace kg
+}  // namespace rel

@@ -1,0 +1,48 @@
+// Entity registry: "things, not strings" (Section 2).
+//
+// Mints database-unique entity identifiers per concept and enforces the
+// unique-identifier property at creation time (an id registered under one
+// concept cannot be reused by another).
+
+#ifndef REL_KG_ENTITY_H_
+#define REL_KG_ENTITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace rel {
+namespace kg {
+
+class EntityRegistry {
+ public:
+  /// Registers (or re-fetches) the entity `id` under `concept_name`.
+  /// Throws ConstraintViolation if `id` already belongs to a different
+  /// concept — the unique-identifier property.
+  Value Get(const std::string& concept_name, const std::string& id);
+
+  /// Mints a fresh entity of `concept_name` with a generated id
+  /// ("<concept>:<counter>").
+  Value Mint(const std::string& concept_name);
+
+  /// The concept owning `id`, or "" if unregistered.
+  std::string ConceptOf(const std::string& id) const;
+
+  /// All ids of one concept, in registration order.
+  std::vector<std::string> IdsOf(const std::string& concept_name) const;
+
+  size_t size() const { return owner_.size(); }
+
+ private:
+  std::map<std::string, std::string> owner_;  // id -> concept
+  std::map<std::string, std::vector<std::string>> by_concept_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace kg
+}  // namespace rel
+
+#endif  // REL_KG_ENTITY_H_

@@ -1,0 +1,75 @@
+#include "kg/gnf.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/error.h"
+
+namespace rel {
+namespace kg {
+
+namespace {
+
+std::string AttrRelation(const RecordSpec& spec, size_t attr) {
+  return spec.relation_prefix + spec.attributes[attr];
+}
+
+}  // namespace
+
+void DeclareRecord(const RecordSpec& spec, Schema* schema) {
+  for (size_t a = 0; a < spec.attributes.size(); ++a) {
+    schema->DeclareKeyValue(AttrRelation(spec, a), {spec.concept_name});
+  }
+}
+
+void DecomposeRecords(const RecordSpec& spec, const std::vector<WideRow>& rows,
+                      EntityRegistry* registry, Database* db) {
+  for (const WideRow& row : rows) {
+    if (row.values.size() != spec.attributes.size()) {
+      throw RelError(ErrorKind::kArity,
+                     "wide row for \"" + row.id + "\" has " +
+                         std::to_string(row.values.size()) + " values, spec '" +
+                         spec.relation_prefix + "' declares " +
+                         std::to_string(spec.attributes.size()));
+    }
+    Value entity = registry->Get(spec.concept_name, row.id);
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      if (!row.values[a]) continue;  // NULL: the whole tuple is omitted
+      db->Insert(AttrRelation(spec, a), Tuple({entity, *row.values[a]}));
+    }
+  }
+}
+
+std::vector<WideRow> ReassembleRecords(const RecordSpec& spec,
+                                       const Database& db) {
+  // Collect every entity id mentioned by any attribute relation.
+  std::set<std::string> ids;
+  for (size_t a = 0; a < spec.attributes.size(); ++a) {
+    for (const Tuple& t : db.Get(AttrRelation(spec, a)).TuplesOfArity(2)) {
+      if (t[0].is_entity()) ids.insert(t[0].EntityId());
+    }
+  }
+  std::vector<WideRow> rows;
+  rows.reserve(ids.size());
+  for (const std::string& id : ids) {
+    WideRow row;
+    row.id = id;
+    Value entity = Value::Entity(spec.concept_name, id);
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      Relation suffix =
+          db.Get(AttrRelation(spec, a)).Suffixes(Tuple({entity}));
+      std::optional<Value> value;
+      for (const Tuple& t : suffix.TuplesOfArity(1)) {
+        value = t[0];
+        break;  // key-value relations are functional; Validate() checks this
+      }
+      row.values.push_back(value);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace kg
+}  // namespace rel

@@ -1,0 +1,57 @@
+// Record-model <-> GNF decomposition (Section 2).
+//
+// Traditional modeling stores an entity as one wide record
+// (Product(product, name, price)); GNF splits it into one relation per
+// atomic fact (ProductName, ProductPrice). This module converts both ways,
+// turning NULL attributes into absent tuples (GNF needs no nulls) and back.
+
+#ifndef REL_KG_GNF_H_
+#define REL_KG_GNF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "kg/entity.h"
+#include "kg/schema.h"
+
+namespace rel {
+namespace kg {
+
+/// Describes a record ("ER-style entity with attributes"): a concept plus
+/// named attributes. The GNF decomposition creates one key-value relation
+/// per attribute, named <Concept><Attribute> as in the paper
+/// (ProductPrice, ProductName, ...).
+struct RecordSpec {
+  std::string concept_name;              // e.g. "product"
+  std::string relation_prefix;           // e.g. "Product"
+  std::vector<std::string> attributes;   // e.g. {"Name", "Price"}
+};
+
+/// One wide row: an entity id plus one optional value per attribute
+/// (nullopt = SQL NULL).
+struct WideRow {
+  std::string id;
+  std::vector<std::optional<Value>> values;
+};
+
+/// Declares the GNF relations of `spec` into `schema` (one key-value
+/// relation per attribute, keyed by the concept's entities).
+void DeclareRecord(const RecordSpec& spec, Schema* schema);
+
+/// Decomposes wide rows into GNF relations inside `db`, registering entity
+/// ids in `registry`. NULL attributes simply produce no tuple.
+void DecomposeRecords(const RecordSpec& spec, const std::vector<WideRow>& rows,
+                      EntityRegistry* registry, Database* db);
+
+/// Reassembles wide rows from the GNF relations (the inverse view). Rows are
+/// returned for every entity appearing in any of the attribute relations,
+/// with nullopt for missing attributes; sorted by id.
+std::vector<WideRow> ReassembleRecords(const RecordSpec& spec,
+                                       const Database& db);
+
+}  // namespace kg
+}  // namespace rel
+
+#endif  // REL_KG_GNF_H_

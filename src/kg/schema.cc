@@ -1,0 +1,182 @@
+#include "kg/schema.h"
+
+#include <set>
+
+#include "base/error.h"
+
+namespace rel {
+namespace kg {
+
+void Schema::Declare(RelationSchema schema) {
+  if (schema.arity == 0) {
+    throw RelError(ErrorKind::kType,
+                   "GNF relation '" + schema.name + "' must have arity >= 1");
+  }
+  if (!schema.column_concepts.empty() &&
+      schema.column_concepts.size() != schema.arity) {
+    throw RelError(ErrorKind::kType,
+                   "GNF relation '" + schema.name +
+                       "': concept list size must equal the arity");
+  }
+  if (schema.column_concepts.empty()) {
+    schema.column_concepts.assign(schema.arity, "");
+  }
+  auto [it, inserted] = relations_.emplace(schema.name, std::move(schema));
+  (void)it;
+  if (!inserted) {
+    throw RelError(ErrorKind::kType,
+                   "duplicate GNF relation declaration '" + it->first + "'");
+  }
+}
+
+void Schema::DeclareAllKey(const std::string& name,
+                           std::vector<std::string> column_concepts) {
+  RelationSchema s;
+  s.name = name;
+  s.arity = column_concepts.size();
+  s.kind = RelationKind::kAllKey;
+  s.column_concepts = std::move(column_concepts);
+  Declare(std::move(s));
+}
+
+void Schema::DeclareKeyValue(const std::string& name,
+                             std::vector<std::string> key_concepts,
+                             std::string value_concept) {
+  RelationSchema s;
+  s.name = name;
+  s.arity = key_concepts.size() + 1;
+  s.kind = RelationKind::kKeyValue;
+  s.column_concepts = std::move(key_concepts);
+  s.column_concepts.push_back(std::move(value_concept));
+  Declare(std::move(s));
+}
+
+bool Schema::Has(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+const RelationSchema& Schema::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    throw RelError(ErrorKind::kUnknownRelation,
+                   "no GNF declaration for '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, schema] : relations_) {
+    (void)schema;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<Violation> Schema::Validate(const Database& db) const {
+  std::vector<Violation> out;
+  // Unique-identifier property: identifier -> concept, across the database
+  // (Section 2, condition (2): "GNF does not allow disjoint concepts such
+  // as product and order to have the same identifier").
+  std::map<std::string, std::string> id_concept;
+
+  for (const auto& [name, schema] : relations_) {
+    const Relation& rel = db.Get(name);
+    // Arity check.
+    for (size_t arity : rel.Arities()) {
+      if (arity != schema.arity) {
+        out.push_back({name, "tuple of arity " + std::to_string(arity) +
+                                 " in a relation declared with arity " +
+                                 std::to_string(schema.arity)});
+      }
+    }
+    // Column concepts + unique identifiers.
+    for (const Tuple& t : rel.TuplesOfArity(schema.arity)) {
+      for (size_t i = 0; i < schema.arity; ++i) {
+        const std::string& concept_name = schema.column_concepts[i];
+        if (concept_name.empty()) {
+          if (t[i].is_entity()) {
+            out.push_back({name, "column " + std::to_string(i + 1) +
+                                     " holds entity " + t[i].ToString() +
+                                     " but is declared as a value column"});
+          }
+          continue;
+        }
+        if (!t[i].is_entity() || t[i].EntityConcept() != concept_name) {
+          out.push_back({name, "column " + std::to_string(i + 1) +
+                                   " must hold " + concept_name +
+                                   " entities, found " + t[i].ToString()});
+          continue;
+        }
+        auto [it, inserted] =
+            id_concept.emplace(t[i].EntityId(), concept_name);
+        if (!inserted && it->second != concept_name) {
+          out.push_back({name, "identifier \"" + t[i].EntityId() +
+                                   "\" is used by two concepts: " +
+                                   it->second + " and " + concept_name});
+        }
+      }
+    }
+    // Functional dependency for key-value relations.
+    if (schema.kind == RelationKind::kKeyValue && schema.arity >= 1) {
+      std::map<Tuple, Value> seen;
+      for (const Tuple& t : rel.TuplesOfArity(schema.arity)) {
+        Tuple key = t.Slice(0, schema.arity - 1);
+        const Value& value = t[schema.arity - 1];
+        auto [it, inserted] = seen.emplace(key, value);
+        if (!inserted && it->second != value) {
+          out.push_back({name, "key " + key.ToString() +
+                                   " maps to two values: " +
+                                   it->second.ToString() + " and " +
+                                   value.ToString()});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string Schema::ToRelConstraints() const {
+  std::string out;
+  for (const auto& [name, schema] : relations_) {
+    if (schema.kind == RelationKind::kKeyValue && schema.arity >= 2) {
+      // The key determines the value: R(k.., v1) and R(k.., v2) => v1 = v2.
+      std::string keys;
+      for (size_t i = 0; i + 1 < schema.arity; ++i) {
+        if (i) keys += ", ";
+        keys += "k" + std::to_string(i);
+      }
+      out += "ic " + name + "_functional(" + keys + ") requires\n";
+      out += "  forall((va, vb) | " + name + "(" + keys + ", va) and " +
+             name + "(" + keys + ", vb) implies va = vb)\n";
+    }
+    // Value columns (empty concept) must not hold entities.
+    for (size_t i = 0; i < schema.arity; ++i) {
+      if (!schema.column_concepts[i].empty()) continue;
+      std::string args;
+      for (size_t j = 0; j < schema.arity; ++j) {
+        if (j) args += ", ";
+        args += (j == i) ? "x" : "_";
+      }
+      out += "ic " + name + "_col" + std::to_string(i + 1) +
+             "_value(x) requires\n  " + name + "(" + args +
+             ") implies not Entity(x)\n";
+    }
+  }
+  return out;
+}
+
+void Schema::Enforce(const Database& db) const {
+  std::vector<Violation> violations = Validate(db);
+  if (!violations.empty()) {
+    throw ConstraintViolation(
+        "gnf:" + violations.front().relation, violations.front().message +
+            (violations.size() > 1
+                 ? " (+" + std::to_string(violations.size() - 1) + " more)"
+                 : ""));
+  }
+}
+
+}  // namespace kg
+}  // namespace rel

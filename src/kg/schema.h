@@ -1,0 +1,91 @@
+// Graph Normal Form schemas (Section 2 of the paper).
+//
+// GNF requires each k-ary relation to be in sixth normal form:
+//   - all k columns are the key ("all-key": the relation is a set of facts), or
+//   - the first k-1 columns are the key and the last column is the single
+//     value ("key-value": the relation is a function).
+// plus the unique-identifier property: every entity identifier belongs to
+// exactly one concept across the whole database (see entity.h).
+
+#ifndef REL_KG_SCHEMA_H_
+#define REL_KG_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+
+namespace rel {
+namespace kg {
+
+/// The two 6NF shapes GNF admits (Section 2, condition (1)).
+enum class RelationKind {
+  kAllKey,    // every column is part of the key
+  kKeyValue,  // all columns but the last form the key
+};
+
+/// Declares the GNF shape of one relation.
+struct RelationSchema {
+  std::string name;
+  size_t arity = 0;
+  RelationKind kind = RelationKind::kAllKey;
+  /// For each column: the concept its entities belong to, or empty when the
+  /// column holds a plain value (Int/Float/String).
+  std::vector<std::string> column_concepts;
+};
+
+/// One schema violation found by Validate().
+struct Violation {
+  std::string relation;
+  std::string message;
+};
+
+/// A GNF schema: a set of relation declarations plus the concepts they
+/// mention.
+class Schema {
+ public:
+  /// Declares a relation; throws kType on duplicate names or a concept list
+  /// whose size disagrees with the arity.
+  void Declare(RelationSchema schema);
+
+  /// Convenience: an all-key relation (e.g. PaymentOrder(payment, order)).
+  void DeclareAllKey(const std::string& name,
+                     std::vector<std::string> column_concepts);
+
+  /// Convenience: a key-value relation (e.g. ProductPrice(product, price)).
+  void DeclareKeyValue(const std::string& name,
+                       std::vector<std::string> key_concepts,
+                       std::string value_concept = "");
+
+  bool Has(const std::string& name) const;
+  const RelationSchema& Get(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// Checks `db` against this schema:
+  ///  - declared arities match,
+  ///  - key-value relations are functional (the key determines the value),
+  ///  - entity columns hold entities of the declared concept,
+  ///  - the unique-identifier property holds across all entity columns.
+  /// Returns all violations (empty = conforms).
+  std::vector<Violation> Validate(const Database& db) const;
+
+  /// Validate and throw ConstraintViolation on the first problem.
+  void Enforce(const Database& db) const;
+
+  /// Renders this schema as Rel integrity constraints (`ic` rules) that an
+  /// Engine can install with Define(): functional dependencies for
+  /// key-value relations and type checks for value columns. This is the
+  /// paper's "rich language of integrity constraints in place of a more
+  /// classical database schema" (Section 7), generated from the schema.
+  std::string ToRelConstraints() const;
+
+ private:
+  std::map<std::string, RelationSchema> relations_;
+};
+
+}  // namespace kg
+}  // namespace rel
+
+#endif  // REL_KG_SCHEMA_H_

@@ -1,0 +1,112 @@
+// Dependency / monotonicity analysis tests (stratification, Section 3.3).
+
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+
+namespace rel {
+namespace {
+
+ProgramAnalysis Analyze(const std::string& source) {
+  Program program = ParseProgram(source);
+  std::vector<std::shared_ptr<Def>> defs;
+  for (Def& def : program.defs) {
+    defs.push_back(std::make_shared<Def>(std::move(def)));
+  }
+  return ProgramAnalysis(defs);
+}
+
+TEST(Analysis, NonRecursiveChain) {
+  ProgramAnalysis a = Analyze(
+      "def a(x) : b(x)\n"
+      "def b(x) : c(x)");
+  EXPECT_FALSE(a.IsRecursive("a"));
+  EXPECT_FALSE(a.IsRecursive("b"));
+  EXPECT_FALSE(a.UsesReplacement("a"));
+  EXPECT_NE(a.ComponentOf("a"), a.ComponentOf("b"));
+}
+
+TEST(Analysis, PositiveRecursionAccumulates) {
+  ProgramAnalysis a = Analyze(
+      "def tc(x,y) : e(x,y)\n"
+      "def tc(x,y) : exists((z) | e(x,z) and tc(z,y))");
+  EXPECT_TRUE(a.IsRecursive("tc"));
+  EXPECT_FALSE(a.UsesReplacement("tc"));
+}
+
+TEST(Analysis, MutualRecursionSharesComponent) {
+  ProgramAnalysis a = Analyze(
+      "def even(x) : x = 0\n"
+      "def even(x) : exists((y) | pred(x,y) and odd(y))\n"
+      "def odd(x) : exists((y) | pred(x,y) and even(y))");
+  EXPECT_EQ(a.ComponentOf("even"), a.ComponentOf("odd"));
+  EXPECT_TRUE(a.IsRecursive("even"));
+  EXPECT_FALSE(a.UsesReplacement("even"));
+}
+
+TEST(Analysis, NegativeSelfReferenceNeedsReplacement) {
+  ProgramAnalysis a = Analyze("def p(x) : q(x) and not p(x)");
+  EXPECT_TRUE(a.UsesReplacement("p"));
+}
+
+TEST(Analysis, NegationAcrossStrataIsFine) {
+  ProgramAnalysis a = Analyze(
+      "def p(x) : q(x) and not r(x)\n"
+      "def r(x) : s(x)");
+  EXPECT_FALSE(a.UsesReplacement("p"));
+  EXPECT_FALSE(a.UsesReplacement("r"));
+}
+
+TEST(Analysis, AggregationOverSelfNeedsReplacement) {
+  // `min` is declared so the analysis knows its first argument is
+  // second-order (signatures come from the rule set under analysis).
+  ProgramAnalysis a = Analyze(
+      "def min[{A}] : reduce[rel_primitive_minimum, A]\n"
+      "def apsp(x,y,i) : i = min[(j) : apsp(x,y,j)]");
+  EXPECT_TRUE(a.UsesReplacement("apsp"));
+}
+
+TEST(Analysis, ReduceArgumentsAreAlwaysNonMonotone) {
+  ProgramAnalysis a = Analyze(
+      "def total(x) : x = reduce[rel_primitive_add, (s): total(s)]");
+  EXPECT_TRUE(a.UsesReplacement("total"));
+}
+
+TEST(Analysis, SecondOrderArgumentIsConservativelyNonMonotone) {
+  ProgramAnalysis a = Analyze(
+      "def empty({R}) : not exists((x...) | R(x...))\n"
+      "def pr(x) : f(x) where empty(pr)");
+  EXPECT_TRUE(a.UsesReplacement("pr"));
+}
+
+TEST(Analysis, ForallBodyIsNonMonotone) {
+  ProgramAnalysis a = Analyze(
+      "def p(x) : q(x) and forall((y in q) | p(y))");
+  EXPECT_TRUE(a.UsesReplacement("p"));
+}
+
+TEST(Analysis, DoubleNegationIsMonotone) {
+  ProgramAnalysis a = Analyze("def p(x) : q(x) and not not p(x)");
+  // NNF sees through the double negation... conservatively we still treat
+  // syntactic `not` as polarity-flipping twice: positive.
+  EXPECT_FALSE(a.UsesReplacement("p"));
+}
+
+TEST(Analysis, References) {
+  ProgramAnalysis a = Analyze(
+      "def a(x) : b(x) and not c(x) and x = 1");
+  std::set<std::string> refs = a.References("a");
+  EXPECT_TRUE(refs.count("b"));
+  EXPECT_TRUE(refs.count("c"));
+  EXPECT_FALSE(refs.count("rel_primitive_eq"));  // builtins are not edges
+}
+
+TEST(Analysis, DomainBindingsCreateEdges) {
+  ProgramAnalysis a = Analyze("def a[x in dom] : x * 2");
+  EXPECT_TRUE(a.References("a").count("dom"));
+}
+
+}  // namespace
+}  // namespace rel

@@ -1,0 +1,178 @@
+// Interpreter-internals tests: signature resolution, instance memoization,
+// second-order value handling, and fixpoint mode selection — through the
+// Interp API directly.
+
+#include "core/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "core/engine.h"
+#include "core/parser.h"
+
+namespace rel {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+std::vector<std::shared_ptr<Def>> Defs(const std::string& source) {
+  Program program = ParseProgram(source);
+  std::vector<std::shared_ptr<Def>> out;
+  for (Def& def : program.defs) {
+    out.push_back(std::make_shared<Def>(std::move(def)));
+  }
+  return out;
+}
+
+TEST(Interp, DefsGroupedBySignature) {
+  Database db;
+  Interp interp(&db, Defs("def f[{A}] : count[A]\n"
+                          "def f(x) : x = 1\n"
+                          "def f(x) : x = 2"));
+  EXPECT_TRUE(interp.HasDefs("f"));
+  EXPECT_EQ(interp.DefsOf("f", 0).size(), 2u);
+  EXPECT_EQ(interp.DefsOf("f", 1).size(), 1u);
+  EXPECT_EQ(interp.DefsOf("f", 2).size(), 0u);
+  EXPECT_FALSE(interp.HasDefs("g"));
+}
+
+TEST(Interp, ResolveSigUsesAnnotations) {
+  Database db;
+  Interp interp(&db, Defs("def f[{A}] : count[A]\n"
+                          "def f(x) : x = 1"));
+  std::vector<Arg> plain = {Arg{MakeIdent("whatever"), Annotation::kNone}};
+  EXPECT_THROW(interp.ResolveSig("f", plain), RelError);
+
+  std::vector<Arg> fo = {Arg{MakeIdent("w"), Annotation::kFirstOrder}};
+  EXPECT_EQ(interp.ResolveSig("f", fo), 0u);
+  std::vector<Arg> so = {Arg{MakeIdent("w"), Annotation::kSecondOrder}};
+  EXPECT_EQ(interp.ResolveSig("f", so), 1u);
+}
+
+TEST(Interp, ResolveSigUnknownNameIsFirstOrder) {
+  Database db;
+  Interp interp(&db, {});
+  EXPECT_EQ(interp.ResolveSig("base_rel", {}), 0u);
+}
+
+TEST(Interp, InstanceIncludesBaseFactsAndRules) {
+  Database db;
+  db.Insert("f", Tuple({I(10)}));
+  Interp interp(&db, Defs("def f(x) : x = 1"));
+  const Relation& f = interp.EvalInstance("f", 0, {});
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_TRUE(f.Contains(Tuple({I(10)})));
+  EXPECT_TRUE(f.Contains(Tuple({I(1)})));
+}
+
+TEST(Interp, InstancesMemoizedBySecondOrderValue) {
+  Database db;
+  Interp interp(&db, Defs("def double({A}, x, y) : A(x) and y = x * 2"));
+  SOValue arg1 = SOValue::Materialized(
+      Relation::FromTuples({Tuple({I(1)}), Tuple({I(2)})}));
+  SOValue arg2 = SOValue::Materialized(
+      Relation::FromTuples({Tuple({I(2)}), Tuple({I(1)})}));  // same content
+  const Relation& r1 = interp.EvalInstance("double", 1, {arg1});
+  const Relation& r2 = interp.EvalInstance("double", 1, {arg2});
+  // Content-equal second-order arguments share the instance.
+  EXPECT_EQ(&r1, &r2);
+  EXPECT_EQ(r1.ToString(), "{(1, 2); (2, 4)}");
+
+  SOValue arg3 = SOValue::Materialized(
+      Relation::FromTuples({Tuple({I(5)})}));
+  const Relation& r3 = interp.EvalInstance("double", 1, {arg3});
+  EXPECT_EQ(r3.ToString(), "{(5, 10)}");
+}
+
+TEST(Interp, BuiltinSOValuesApplyAsFunctions) {
+  Database db;
+  Interp interp(&db, {});
+  SOValue add = SOValue::ForBuiltin(FindBuiltin("add"));
+  EXPECT_EQ(*interp.ApplyBinary(add, I(2), I(3)), I(5));
+  SOValue table = SOValue::Materialized(
+      Relation::FromTuples({Tuple({I(2), I(3), I(99)})}));
+  EXPECT_EQ(*interp.ApplyBinary(table, I(2), I(3)), I(99));
+  EXPECT_FALSE(interp.ApplyBinary(table, I(1), I(1)).has_value());
+}
+
+TEST(Interp, MaterializeSOFailsOnBuiltins) {
+  Database db;
+  Interp interp(&db, {});
+  SOValue add = SOValue::ForBuiltin(FindBuiltin("add"));
+  try {
+    interp.MaterializeSO(add);
+    FAIL();
+  } catch (const RelError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kSafety);
+  }
+}
+
+TEST(Interp, SafetyFailureIsCachedPerInstance) {
+  Database db;
+  Interp interp(&db, Defs("def unsafe(x, y) : x = y"));
+  EXPECT_THROW(interp.EvalInstance("unsafe", 0, {}), RelError);
+  // Second call hits the cached failure (fast path, same error kind).
+  try {
+    interp.EvalInstance("unsafe", 0, {});
+    FAIL();
+  } catch (const RelError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kSafety);
+  }
+}
+
+TEST(Interp, ReplacementModeSelection) {
+  Database db;
+  Interp interp(&db, Defs("def tc(x,y) : e(x,y)\n"
+                          "def tc(x,y) : exists((z) | tc(x,z) and tc(z,y))\n"
+                          "def odd(x) : d(x) and not odd(x)"));
+  EXPECT_FALSE(interp.UsesReplacement("tc"));
+  EXPECT_TRUE(interp.UsesReplacement("odd"));
+}
+
+TEST(Interp, SOValueEqualityAndHashing) {
+  Relation r = Relation::FromTuples({Tuple({I(1)})});
+  SOValue a = SOValue::Materialized(r);
+  SOValue b = SOValue::Materialized(r);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  SOValue c = SOValue::ForBuiltin(FindBuiltin("add"));
+  EXPECT_FALSE(a == c);
+
+  auto expr = MakeIdent("X");
+  auto env1 = std::make_shared<Env>();
+  env1->vars["x"] = I(1);
+  auto env2 = std::make_shared<Env>();
+  env2->vars["x"] = I(1);
+  SOValue c1 = SOValue::Closure(expr, env1);
+  SOValue c2 = SOValue::Closure(expr, env2);
+  EXPECT_TRUE(c1 == c2);  // same expression, equal captured environments
+  EXPECT_EQ(c1.Hash(), c2.Hash());
+  env2->vars["x"] = I(2);
+  SOValue c3 = SOValue::Closure(expr, env2);
+  EXPECT_FALSE(c1 == c3);
+}
+
+TEST(Interp, EvalExprRelUnderEnvironment) {
+  Database db;
+  Interp interp(&db, {});
+  Env env;
+  env.vars["x"] = I(7);
+  Relation out = interp.EvalExprRel(ParseExpression("(x, x + 1)"), env);
+  EXPECT_EQ(out.ToString(), "{(7, 8)}");
+}
+
+TEST(Interp, PartialReadsTracked) {
+  // Evaluating a recursive instance reads partial values; the counter lets
+  // memo tables refuse to cache provisional results.
+  Database db;
+  db.Insert("e", Tuple({I(1), I(2)}));
+  db.Insert("e", Tuple({I(2), I(3)}));
+  Interp interp(&db, Defs("def tc(x,y) : e(x,y)\n"
+                          "def tc(x,y) : exists((z) | e(x,z) and tc(z,y))"));
+  uint64_t before = interp.partial_reads();
+  interp.EvalInstance("tc", 0, {});
+  EXPECT_GT(interp.partial_reads(), before);
+}
+
+}  // namespace
+}  // namespace rel

@@ -1,0 +1,125 @@
+#include "data/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "data/database.h"
+
+namespace rel {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+TEST(Tuple, SliceConcatCompare) {
+  Tuple t({I(1), I(2), I(3)});
+  EXPECT_EQ(t.Slice(1, 3), Tuple({I(2), I(3)}));
+  EXPECT_EQ(t.Slice(0, 0), Tuple{});
+  EXPECT_EQ(Tuple({I(1)}).Concat(Tuple({I(2)})), Tuple({I(1), I(2)}));
+  EXPECT_TRUE(t.StartsWith(Tuple({I(1), I(2)})));
+  EXPECT_FALSE(t.StartsWith(Tuple({I(2)})));
+  // Prefixes order before extensions.
+  EXPECT_LT(Tuple({I(1)}), Tuple({I(1), I(0)}));
+}
+
+TEST(Relation, SetSemantics) {
+  Relation r;
+  EXPECT_TRUE(r.Insert(Tuple({I(1)})));
+  EXPECT_FALSE(r.Insert(Tuple({I(1)})));  // duplicate collapses
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Relation, MixedArity) {
+  Relation r;
+  r.Insert(Tuple{});
+  r.Insert(Tuple({I(1)}));
+  r.Insert(Tuple({I(1), I(2)}));
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.Arities(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(r.SortedTuples().size(), 3u);
+}
+
+TEST(Relation, BooleanEncoding) {
+  EXPECT_TRUE(Relation::True().AsBool());
+  EXPECT_TRUE(Relation::True().IsBoolean());
+  EXPECT_FALSE(Relation::False().AsBool());
+  EXPECT_TRUE(Relation::False().IsBoolean());
+  Relation r = Relation::Singleton(Tuple({I(1)}));
+  EXPECT_FALSE(r.IsBoolean());
+}
+
+TEST(Relation, PrefixScanAndSuffixes) {
+  Relation r = Relation::FromTuples({
+      Tuple({I(1), I(10)}),
+      Tuple({I(1), I(20)}),
+      Tuple({I(2), I(30)}),
+      Tuple({I(1), I(20), I(99)}),  // different arity also matches prefix
+  });
+  Relation suffixes = r.Suffixes(Tuple({I(1)}));
+  EXPECT_EQ(suffixes.size(), 3u);
+  EXPECT_TRUE(suffixes.Contains(Tuple({I(10)})));
+  EXPECT_TRUE(suffixes.Contains(Tuple({I(20), I(99)})));
+
+  int count = 0;
+  r.ScanPrefix(Tuple({I(1)}), [&count](const Tuple&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Relation, ScanPrefixEarlyStop) {
+  Relation r = Relation::FromTuples(
+      {Tuple({I(1), I(1)}), Tuple({I(1), I(2)}), Tuple({I(1), I(3)})});
+  int count = 0;
+  r.ScanPrefix(Tuple({I(1)}), [&count](const Tuple&) {
+    ++count;
+    return count < 2;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Relation, SetAlgebra) {
+  Relation a = Relation::FromTuples({Tuple({I(1)}), Tuple({I(2)})});
+  Relation b = Relation::FromTuples({Tuple({I(2)}), Tuple({I(3)})});
+  EXPECT_EQ(a.Union(b).size(), 3u);
+  EXPECT_EQ(a.Intersect(b).size(), 1u);
+  EXPECT_EQ(a.Minus(b).size(), 1u);
+  EXPECT_TRUE(a.Minus(b).Contains(Tuple({I(1)})));
+}
+
+TEST(Relation, EqualityAndHashAreOrderInsensitive) {
+  Relation a, b;
+  a.Insert(Tuple({I(1)}));
+  a.Insert(Tuple({I(2)}));
+  b.Insert(Tuple({I(2)}));
+  b.Insert(Tuple({I(1)}));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Insert(Tuple({I(3)}));
+  EXPECT_NE(a, b);
+}
+
+TEST(Relation, EraseMaintainsInvariants) {
+  Relation r = Relation::FromTuples({Tuple({I(1)}), Tuple({I(2)})});
+  EXPECT_TRUE(r.Erase(Tuple({I(1)})));
+  EXPECT_FALSE(r.Erase(Tuple({I(1)})));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_FALSE(r.Contains(Tuple({I(1)})));
+}
+
+TEST(Database, InsertDeleteVersioning) {
+  Database db;
+  uint64_t v0 = db.version();
+  db.Insert("R", Tuple({I(1)}));
+  EXPECT_GT(db.version(), v0);
+  EXPECT_TRUE(db.Has("R"));
+  db.Delete("R", Tuple({I(1)}));
+  EXPECT_FALSE(db.Has("R"));  // empty relations are dropped
+  EXPECT_EQ(db.Get("R").size(), 0u);
+  db.Insert("A", Tuple({I(1)}));
+  db.Insert("B", Tuple({I(2)}));
+  EXPECT_EQ(db.Names(), (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(db.TotalTuples(), 2u);
+}
+
+}  // namespace
+}  // namespace rel

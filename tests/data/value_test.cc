@@ -1,0 +1,64 @@
+#include "data/value.h"
+
+#include <gtest/gtest.h>
+
+namespace rel {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Float(2.5).AsFloat(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  Value e = Value::Entity("product", "P1");
+  EXPECT_EQ(e.EntityConcept(), "product");
+  EXPECT_EQ(e.EntityId(), "P1");
+  EXPECT_TRUE(Value::Int(1).is_number());
+  EXPECT_TRUE(Value::Float(1).is_number());
+  EXPECT_FALSE(Value::String("1").is_number());
+}
+
+TEST(Value, StrictOrderingByKindThenContent) {
+  // Int < Float < String < Entity.
+  EXPECT_LT(Value::Int(99), Value::Float(0.0));
+  EXPECT_LT(Value::Float(99), Value::String("a"));
+  EXPECT_LT(Value::String("z"), Value::Entity("c", "a"));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+}
+
+TEST(Value, StrictEqualityIsKindSensitive) {
+  EXPECT_NE(Value::Int(1), Value::Float(1.0));
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+  EXPECT_NE(Value::Entity("a", "x"), Value::Entity("b", "x"));
+}
+
+TEST(Value, NumericCompareBridgesIntAndFloat) {
+  EXPECT_EQ(Value::Int(1).NumericCompare(Value::Float(1.0)),
+            Value::Ordering::kEqual);
+  EXPECT_EQ(Value::Int(1).NumericCompare(Value::Float(1.5)),
+            Value::Ordering::kLess);
+  EXPECT_EQ(Value::Float(2.0).NumericCompare(Value::Int(1)),
+            Value::Ordering::kGreater);
+  EXPECT_EQ(Value::Int(1).NumericCompare(Value::String("1")),
+            Value::Ordering::kUnordered);
+  EXPECT_EQ(Value::String("a").NumericCompare(Value::String("b")),
+            Value::Ordering::kLess);
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::Int(7).Hash(), Value::Int(8).Hash());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Float(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value::Float(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Entity("product", "P1").ToString(), "product:\"P1\"");
+}
+
+}  // namespace
+}  // namespace rel

@@ -1,0 +1,104 @@
+// Tests for the join algorithms: binary hash join vs Leapfrog Triejoin.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchutil/generators.h"
+#include "benchutil/reference.h"
+#include "joins/hash_join.h"
+#include "joins/leapfrog.h"
+
+namespace rel {
+namespace joins {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+TEST(HashJoin, Basic) {
+  std::vector<Tuple> left = {Tuple({I(1), I(2)}), Tuple({I(3), I(4)})};
+  std::vector<Tuple> right = {Tuple({I(2), I(9)}), Tuple({I(2), I(8)}),
+                              Tuple({I(5), I(7)})};
+  std::vector<Tuple> out = HashJoin(left, {1}, right, {0});
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Tuple({I(1), I(2), I(8)}));
+  EXPECT_EQ(out[1], Tuple({I(1), I(2), I(9)}));
+}
+
+TEST(HashJoin, EmptyInputs) {
+  std::vector<Tuple> rows = {Tuple({I(1), I(2)})};
+  EXPECT_TRUE(HashJoin({}, {0}, rows, {0}).empty());
+  EXPECT_TRUE(HashJoin(rows, {0}, {}, {0}).empty());
+}
+
+TEST(HashJoin, MultiColumnKeys) {
+  std::vector<Tuple> left = {Tuple({I(1), I(2), I(3)})};
+  std::vector<Tuple> right = {Tuple({I(1), I(2), I(77)}),
+                              Tuple({I(1), I(9), I(88)})};
+  std::vector<Tuple> out = HashJoin(left, {0, 1}, right, {0, 1});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Tuple({I(1), I(2), I(3), I(77)}));
+}
+
+TEST(Leapfrog, TwoWayJoinMatchesHashJoin) {
+  std::vector<Tuple> r = benchutil::RandomGraph(40, 120, 7);
+  std::vector<Tuple> s = benchutil::RandomGraph(40, 120, 8);
+  // R(x,y) ⋈ S(y,z).
+  std::vector<Tuple> r_sorted = r, s_sorted = s;
+  std::sort(r_sorted.begin(), r_sorted.end());
+  std::sort(s_sorted.begin(), s_sorted.end());
+  std::vector<AtomSpec> atoms = {{&r_sorted, {0, 1}}, {&s_sorted, {1, 2}}};
+  size_t lftj = LeapfrogJoinCount(3, atoms);
+  EXPECT_EQ(lftj, HashJoin(r, {1}, s, {0}).size());
+}
+
+TEST(Leapfrog, EmitsBindings) {
+  std::vector<Tuple> e = {Tuple({I(1), I(2)}), Tuple({I(2), I(3)})};
+  std::sort(e.begin(), e.end());
+  std::vector<AtomSpec> atoms = {{&e, {0, 1}}, {&e, {1, 2}}};
+  std::vector<std::vector<Value>> results;
+  LeapfrogJoin(3, atoms,
+               [&results](const std::vector<Value>& b) { results.push_back(b); });
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], (std::vector<Value>{I(1), I(2), I(3)}));
+}
+
+TEST(Leapfrog, TriangleCountsAgreeOnRandomGraphs) {
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    std::vector<Tuple> edges = benchutil::RandomGraph(25, 140, seed);
+    size_t expected = benchutil::CountTrianglesRef(edges);
+    EXPECT_EQ(CountTrianglesLeapfrog(edges), expected) << "seed " << seed;
+    EXPECT_EQ(CountTrianglesBinaryJoin(edges), expected) << "seed " << seed;
+  }
+}
+
+TEST(Leapfrog, TriangleCountsAgreeOnSkewedGraphs) {
+  std::vector<Tuple> edges = benchutil::SkewedTriangleGraph(60, 8, 5);
+  size_t expected = benchutil::CountTrianglesRef(edges);
+  EXPECT_GT(expected, 0u);
+  EXPECT_EQ(CountTrianglesLeapfrog(edges), expected);
+  EXPECT_EQ(CountTrianglesBinaryJoin(edges), expected);
+}
+
+TEST(Leapfrog, EmptyRelation) {
+  std::vector<Tuple> empty;
+  std::vector<AtomSpec> atoms = {{&empty, {0, 1}}};
+  EXPECT_EQ(LeapfrogJoinCount(2, atoms), 0u);
+  EXPECT_EQ(CountTrianglesLeapfrog({}), 0u);
+}
+
+TEST(Leapfrog, DuplicateKeyRuns) {
+  // Multiple rows with the same leading value exercise the run detection.
+  std::vector<Tuple> r = {Tuple({I(1), I(1)}), Tuple({I(1), I(2)}),
+                          Tuple({I(1), I(3)}), Tuple({I(2), I(3)})};
+  std::vector<AtomSpec> atoms = {{&r, {0, 1}}, {&r, {1, 2}}};
+  // Join R(x,y), R(y,z): y in {1,2,3} ∩ heads {1,2}.
+  // (1,1,{1,2,3}), (1,2,3), (2,3,-)... count pairs.
+  size_t expected = HashJoin(r, {1}, r, {0}).size();
+  EXPECT_EQ(LeapfrogJoinCount(3, atoms), expected);
+}
+
+}  // namespace
+}  // namespace joins
+}  // namespace rel

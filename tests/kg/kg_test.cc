@@ -1,0 +1,163 @@
+// Tests for the GNF / knowledge-graph layer (Section 2).
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "kg/entity.h"
+#include "kg/gnf.h"
+#include "kg/schema.h"
+
+namespace rel {
+namespace kg {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value S(const char* s) { return Value::String(s); }
+
+TEST(EntityRegistry, UniqueIdentifierProperty) {
+  EntityRegistry registry;
+  Value p = registry.Get("product", "P1");
+  EXPECT_EQ(p.EntityConcept(), "product");
+  // Same concept: fine (idempotent).
+  EXPECT_EQ(registry.Get("product", "P1"), p);
+  // Different concept for the same id: forbidden (Section 2, condition (2)).
+  EXPECT_THROW(registry.Get("order", "P1"), ConstraintViolation);
+  EXPECT_EQ(registry.ConceptOf("P1"), "product");
+}
+
+TEST(EntityRegistry, MintGeneratesDistinctIds) {
+  EntityRegistry registry;
+  Value a = registry.Mint("order");
+  Value b = registry.Mint("order");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.IdsOf("order").size(), 2u);
+}
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  SchemaTest() {
+    // The GNF schema of Section 2.
+    schema_.DeclareKeyValue("ProductPrice", {"product"});
+    schema_.DeclareKeyValue("ProductName", {"product"});
+    schema_.DeclareKeyValue("OrderCustomer", {"order"}, "customer");
+    schema_.DeclareKeyValue("OrderProductQuantity", {"order", "product"});
+    schema_.DeclareKeyValue("PaymentAmount", {"payment"});
+    schema_.DeclareAllKey("PaymentOrder", {"payment", "order"});
+  }
+
+  Value Product(const char* id) { return Value::Entity("product", id); }
+  Value Order(const char* id) { return Value::Entity("order", id); }
+  Value Payment(const char* id) { return Value::Entity("payment", id); }
+
+  Schema schema_;
+  Database db_;
+};
+
+TEST_F(SchemaTest, ValidDatabaseConforms) {
+  db_.Insert("ProductPrice", Tuple({Product("P1"), I(10)}));
+  db_.Insert("OrderProductQuantity", Tuple({Order("O1"), Product("P1"), I(2)}));
+  db_.Insert("PaymentOrder", Tuple({Payment("Pmt1"), Order("O1")}));
+  EXPECT_TRUE(schema_.Validate(db_).empty());
+  EXPECT_NO_THROW(schema_.Enforce(db_));
+}
+
+TEST_F(SchemaTest, FunctionalDependencyViolation) {
+  db_.Insert("ProductPrice", Tuple({Product("P1"), I(10)}));
+  db_.Insert("ProductPrice", Tuple({Product("P1"), I(20)}));
+  std::vector<Violation> v = schema_.Validate(db_);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].relation, "ProductPrice");
+  EXPECT_THROW(schema_.Enforce(db_), ConstraintViolation);
+}
+
+TEST_F(SchemaTest, AllKeyRelationsAllowManyFacts) {
+  db_.Insert("PaymentOrder", Tuple({Payment("Pmt1"), Order("O1")}));
+  db_.Insert("PaymentOrder", Tuple({Payment("Pmt2"), Order("O1")}));
+  EXPECT_TRUE(schema_.Validate(db_).empty());
+}
+
+TEST_F(SchemaTest, WrongConceptDetected) {
+  db_.Insert("ProductPrice", Tuple({Order("O1"), I(10)}));
+  EXPECT_FALSE(schema_.Validate(db_).empty());
+}
+
+TEST_F(SchemaTest, SharedIdentifierAcrossConceptsDetected) {
+  // The identifier "X" used by two disjoint concepts violates the
+  // unique-identifier property (Section 2, condition (2)).
+  db_.Insert("ProductPrice", Tuple({Product("X"), I(10)}));
+  db_.Insert("OrderCustomer",
+             Tuple({Value::Entity("order", "X"),
+                    Value::Entity("customer", "c1")}));
+  std::vector<Violation> v = schema_.Validate(db_);
+  ASSERT_FALSE(v.empty());
+  bool found = false;
+  for (const Violation& violation : v) {
+    if (violation.message.find("two concepts") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SchemaTest, ArityViolation) {
+  db_.Insert("ProductPrice", Tuple({Product("P1")}));
+  EXPECT_FALSE(schema_.Validate(db_).empty());
+}
+
+TEST_F(SchemaTest, EntityInValueColumn) {
+  db_.Insert("ProductPrice", Tuple({Product("P1"), Product("P2")}));
+  EXPECT_FALSE(schema_.Validate(db_).empty());
+}
+
+TEST(SchemaDecl, Errors) {
+  Schema s;
+  s.DeclareKeyValue("R", {"a"});
+  EXPECT_THROW(s.DeclareKeyValue("R", {"a"}), RelError);  // duplicate
+  EXPECT_THROW(s.Get("NoSuch"), RelError);
+  RelationSchema zero;
+  zero.name = "Z";
+  zero.arity = 0;
+  EXPECT_THROW(s.Declare(zero), RelError);
+}
+
+TEST(Gnf, DecomposeAndReassembleRoundTrip) {
+  RecordSpec spec{"product", "Product", {"Name", "Price"}};
+  Schema schema;
+  DeclareRecord(spec, &schema);
+  EXPECT_TRUE(schema.Has("ProductName"));
+  EXPECT_TRUE(schema.Has("ProductPrice"));
+
+  EntityRegistry registry;
+  Database db;
+  std::vector<WideRow> rows = {
+      {"P1", {S("widget"), I(10)}},
+      {"P2", {S("gadget"), std::nullopt}},  // NULL price
+      {"P3", {std::nullopt, I(30)}},        // NULL name
+  };
+  DecomposeRecords(spec, rows, &registry, &db);
+
+  // NULLs become absent tuples — no null markers anywhere (Section 2).
+  EXPECT_EQ(db.Get("ProductName").size(), 2u);
+  EXPECT_EQ(db.Get("ProductPrice").size(), 2u);
+  EXPECT_TRUE(schema.Validate(db).empty());
+
+  std::vector<WideRow> back = ReassembleRecords(spec, db);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].id, "P1");
+  EXPECT_EQ(*back[0].values[0], S("widget"));
+  EXPECT_EQ(*back[0].values[1], I(10));
+  EXPECT_FALSE(back[1].values[1].has_value());
+  EXPECT_FALSE(back[2].values[0].has_value());
+}
+
+TEST(Gnf, DecomposeChecksArity) {
+  RecordSpec spec{"product", "Product", {"Name"}};
+  EntityRegistry registry;
+  Database db;
+  std::vector<WideRow> bad = {{"P1", {S("a"), I(1)}}};
+  EXPECT_THROW(DecomposeRecords(spec, bad, &registry, &db), RelError);
+}
+
+}  // namespace
+}  // namespace kg
+}  // namespace rel
