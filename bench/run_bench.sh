@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Runs the benchmark binaries and distills the google-benchmark JSON into
+# one machine-readable BENCH_<name>.json per bench, so the performance
+# trajectory can be tracked across PRs.
+#
+# Usage: bench/run_bench.sh [build_dir] [out_dir] [extra benchmark flags...]
+#
+# Output schema (a JSON array, one object per benchmark run):
+#   {
+#     "bench":          "BM_TC_DatalogSemiNaive/n:64/random:1",
+#     "n":              64,            // first size-like arg, null if none
+#     "wall_ms":        4.2,           // real time per iteration, ms
+#     "tuples_derived": 11972.0        // derived/tuples counter, null if none
+#   }
+# Extra per-run counters (probes, scans, triangles, ...) are passed through
+# under "counters".
+
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-"$BUILD_DIR/bench_json"}
+shift $(( $# > 2 ? 2 : $# )) || true
+EXTRA_FLAGS=("$@")
+
+BENCHES=(bench_tc bench_apsp bench_wcoj bench_aggregation bench_gnf
+         bench_matmul bench_pagerank bench_transactions)
+
+mkdir -p "$OUT_DIR"
+
+distill() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+def to_ms(value, unit):
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+    return value * scale.get(unit, 1e-6)
+
+rows = []
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b.get("name", "")
+    n = None
+    for part in name.split("/")[1:]:
+        key, _, val = part.partition(":")
+        if key in ("n",) and val.lstrip("-").isdigit():
+            n = int(val)
+            break
+        if not _ and key.lstrip("-").isdigit():  # positional arg
+            n = int(key)
+            break
+    reserved = {
+        "name", "run_name", "run_type", "family_index",
+        "per_family_instance_index", "repetitions", "repetition_index",
+        "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    }
+    counters = {k: v for k, v in b.items()
+                if k not in reserved and isinstance(v, (int, float))}
+    derived = counters.pop("derived", None)
+    if derived is None:
+        derived = counters.pop("tuples", None)
+    rows.append({
+        "bench": name,
+        "n": n,
+        "wall_ms": to_ms(b.get("real_time", 0.0), b.get("time_unit", "ns")),
+        "tuples_derived": derived,
+        "counters": counters,
+    })
+
+with open(out_path, "w") as f:
+    json.dump(rows, f, indent=1)
+    f.write("\n")
+EOF
+}
+
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "skip: $bench (not built)" >&2
+    continue
+  fi
+  raw="$OUT_DIR/${bench}.raw.json"
+  out="$OUT_DIR/BENCH_${bench#bench_}.json"
+  echo "running $bench ..." >&2
+  if ! "$bin" --benchmark_format=json "${EXTRA_FLAGS[@]}" > "$raw" \
+      || [[ ! -s "$raw" ]]; then
+    echo "skip: $bench (failed or no benchmarks matched)" >&2
+    rm -f "$raw"
+    continue
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    distill "$raw" "$out"
+    rm -f "$raw"
+  else
+    # No python3: keep the raw google-benchmark JSON under the stable name.
+    mv "$raw" "$out"
+  fi
+  echo "wrote $out" >&2
+done

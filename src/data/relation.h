@@ -58,6 +58,26 @@ class Relation {
   /// All tuples, sorted by (arity, lexicographic). Deterministic.
   std::vector<Tuple> SortedTuples() const;
 
+  /// Invokes fn(tuple) for every tuple, without copying and without forcing
+  /// the sorted view. Iteration order is unspecified (hash-set order); use
+  /// SortedTuples() when determinism matters.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [arity, block] : blocks_) {
+      (void)arity;
+      for (const Tuple& t : block.set) fn(t);
+    }
+  }
+
+  /// Like ForEach but restricted to one arity. Unlike TuplesOfArity this
+  /// does not force (or sort) the sorted view.
+  template <typename Fn>
+  void ForEachOfArity(size_t arity, Fn&& fn) const {
+    auto it = blocks_.find(arity);
+    if (it == blocks_.end()) return;
+    for (const Tuple& t : it->second.set) fn(t);
+  }
+
   /// Tuples of arity >= prefix.arity() that start with `prefix`, i.e. the
   /// matches used by partial application. The callback receives each full
   /// matching tuple; return false from it to stop early.

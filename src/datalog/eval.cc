@@ -1,13 +1,18 @@
 #include "datalog/eval.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "base/error.h"
 #include "base/hash.h"
+#include "datalog/index.h"
+#include "joins/leapfrog.h"
 
 namespace rel {
 namespace datalog {
@@ -52,54 +57,7 @@ std::map<std::string, int> Stratify(const Program& program) {
   return stratum;
 }
 
-// --- join machinery -----------------------------------------------------------
-
-/// A hash index over one relation for a fixed set of key positions.
-class HashIndex {
- public:
-  HashIndex(const std::vector<Tuple>& rows, const std::vector<size_t>& keys)
-      : rows_(rows), keys_(keys) {
-    buckets_.reserve(rows.size());
-    for (size_t i = 0; i < rows.size(); ++i) {
-      buckets_.emplace(KeyHash(rows[i]), i);
-    }
-  }
-
-  template <typename Fn>
-  void Probe(const Tuple& probe_keys, Fn&& fn) const {
-    size_t h = ProbeHash(probe_keys);
-    auto [lo, hi] = buckets_.equal_range(h);
-    for (auto it = lo; it != hi; ++it) {
-      const Tuple& row = rows_[it->second];
-      bool match = true;
-      for (size_t k = 0; k < keys_.size(); ++k) {
-        if (row[keys_[k]] != probe_keys[k]) {
-          match = false;
-          break;
-        }
-      }
-      if (match) fn(row);
-    }
-  }
-
- private:
-  size_t KeyHash(const Tuple& row) const {
-    size_t h = 0x51ed;
-    for (size_t k : keys_) h = HashCombine(h, row[k].Hash());
-    return h;
-  }
-  size_t ProbeHash(const Tuple& keys) const {
-    size_t h = 0x51ed;
-    for (size_t i = 0; i < keys.arity(); ++i) {
-      h = HashCombine(h, keys[i].Hash());
-    }
-    return h;
-  }
-
-  const std::vector<Tuple>& rows_;
-  std::vector<size_t> keys_;
-  std::unordered_multimap<size_t, size_t> buckets_;
-};
+// --- scalar evaluation -------------------------------------------------------
 
 std::optional<Value> EvalArith(ArithOp op, const Value& a, const Value& b) {
   auto both_int = a.is_int() && b.is_int();
@@ -114,15 +72,26 @@ std::optional<Value> EvalArith(ArithOp op, const Value& a, const Value& b) {
     case ArithOp::kMul:
       return both_int ? Value::Int(a.AsInt() * b.AsInt())
                       : Value::Float(a.AsDouble() * b.AsDouble());
-    case ArithOp::kDiv:
+    case ArithOp::kDiv: {
       if (b.AsDouble() == 0) return std::nullopt;
-      if (both_int && a.AsInt() % b.AsInt() == 0) {
-        return Value::Int(a.AsInt() / b.AsInt());
+      if (both_int) {
+        int64_t x = a.AsInt();
+        int64_t y = b.AsInt();
+        if (y == -1) {
+          // INT64_MIN / -1 overflows (UB); promote that one case to float.
+          if (x == INT64_MIN) return Value::Float(-static_cast<double>(x));
+          return Value::Int(-x);
+        }
+        if (x % y == 0) return Value::Int(x / y);
       }
       return Value::Float(a.AsDouble() / b.AsDouble());
-    case ArithOp::kMod:
+    }
+    case ArithOp::kMod: {
       if (!both_int || b.AsInt() == 0) return std::nullopt;
+      // x % -1 is 0 for all x, but the instruction traps on INT64_MIN (UB).
+      if (b.AsInt() == -1) return Value::Int(0);
       return Value::Int(a.AsInt() % b.AsInt());
+    }
     case ArithOp::kMin:
       return a.NumericCompare(b) == Value::Ordering::kGreater ? b : a;
     case ArithOp::kMax:
@@ -177,32 +146,50 @@ struct State {
     auto it = full.find(pred);
     return it == full.end() ? *empty : it->second;
   }
+
+  const std::vector<Tuple>& DeltaRows(const std::string& pred,
+                                      size_t arity) const {
+    static const std::vector<Tuple>* empty = new std::vector<Tuple>();
+    auto it = delta.find(pred);
+    return it == delta.end() ? *empty : it->second.TuplesOfArity(arity);
+  }
 };
 
-/// Evaluates one rule; `delta_index`, when >= 0, forces that positive-atom
-/// occurrence to range over the delta relation (semi-naive evaluation).
-void EvalRuleOnce(const Rule& rule, const State& state, int delta_index,
+/// Builds the head tuple and inserts it into `out`. When `dedup_against` is
+/// non-null (the indexed path), tuples already in that extent are dropped at
+/// the source — the fixpoint diff happens here, with no intermediate
+/// relation and no copy-and-sort.
+void EmitHead(const Rule& rule, const Bindings& bindings, Relation* out,
+              EvalStats* stats, const Relation* dedup_against = nullptr) {
+  Tuple head;
+  for (const Term& t : rule.head.terms) {
+    if (t.is_var()) {
+      if (!bindings[t.var]) {
+        throw RelError(ErrorKind::kSafety,
+                       "head variable unbound in rule for '" + rule.head.pred +
+                           "'");
+      }
+      head.Append(*bindings[t.var]);
+    } else {
+      head.Append(t.constant);
+    }
+  }
+  if (stats) ++stats->tuples_derived;
+  if (dedup_against && dedup_against->Contains(head)) return;
+  out->Insert(std::move(head));
+}
+
+// --- scan-based evaluation (kNaive / kSemiNaiveScan ablation baseline) -------
+
+/// Evaluates one rule by nested-loop scans; `delta_index`, when >= 0, forces
+/// that positive-atom occurrence to range over the delta relation.
+void EvalRuleScan(const Rule& rule, const State& state, int delta_index,
                   Relation* out, EvalStats* stats) {
   Bindings bindings(static_cast<size_t>(MaxVar(rule) + 1));
 
-  // Recursive nested-loop over body literals with per-literal hash probes.
   std::function<void(size_t)> step = [&](size_t li) {
     if (li == rule.body.size()) {
-      Tuple head;
-      for (const Term& t : rule.head.terms) {
-        if (t.is_var()) {
-          if (!bindings[t.var]) {
-            throw RelError(ErrorKind::kSafety,
-                           "head variable unbound in rule for '" +
-                               rule.head.pred + "'");
-          }
-          head.Append(*bindings[t.var]);
-        } else {
-          head.Append(t.constant);
-        }
-      }
-      if (stats) ++stats->tuples_derived;
-      out->Insert(std::move(head));
+      EmitHead(rule, bindings, out, stats);
       return;
     }
     const Literal& lit = rule.body[li];
@@ -213,16 +200,26 @@ void EvalRuleOnce(const Rule& rule, const State& state, int delta_index,
     switch (lit.kind) {
       case Literal::Kind::kPositive: {
         bool use_delta = static_cast<int>(li) == delta_index;
-        static const std::vector<Tuple>* empty_rows = new std::vector<Tuple>();
-        const std::vector<Tuple>* rows = empty_rows;
-        if (use_delta) {
-          auto it = state.delta.find(lit.atom.pred);
-          if (it != state.delta.end()) {
-            rows = &it->second.TuplesOfArity(lit.atom.terms.size());
+        const std::vector<Tuple>* rows =
+            use_delta
+                ? &state.DeltaRows(lit.atom.pred, lit.atom.terms.size())
+                : &state.Full(lit.atom.pred)
+                       .TuplesOfArity(lit.atom.terms.size());
+        if (stats) {
+          bool any_bound = false;
+          for (const Term& t : lit.atom.terms) {
+            if (!t.is_var() || bindings[t.var]) {
+              any_bound = true;
+              break;
+            }
           }
-        } else {
-          rows = &state.Full(lit.atom.pred)
-                      .TuplesOfArity(lit.atom.terms.size());
+          if (use_delta) {
+            ++stats->delta_scans;
+          } else if (any_bound) {
+            ++stats->full_scans;
+          } else {
+            ++stats->driver_scans;
+          }
         }
         for (const Tuple& row : *rows) {
           bool ok = true;
@@ -261,11 +258,15 @@ void EvalRuleOnce(const Rule& rule, const State& state, int delta_index,
         std::optional<Value> a = value_of(lit.lhs);
         std::optional<Value> b = value_of(lit.rhs);
         if (!a || !b) {
-          // `V = c` with V unbound acts as a binding.
-          if (lit.cmp_op == CmpOp::kEq && lit.lhs.is_var() && !a && b) {
-            bindings[lit.lhs.var] = *b;
+          // An equality with exactly one side known acts as a binding; the
+          // unknown side is necessarily a variable (constants always have a
+          // value). Handles both `V = c` and `c = V`.
+          if (lit.cmp_op == CmpOp::kEq && (!a != !b)) {
+            const Term& unbound = a ? lit.rhs : lit.lhs;
+            const Value& known = a ? *a : *b;
+            bindings[unbound.var] = known;
             step(li + 1);
-            bindings[lit.lhs.var].reset();
+            bindings[unbound.var].reset();
             return;
           }
           throw RelError(ErrorKind::kSafety,
@@ -299,6 +300,404 @@ void EvalRuleOnce(const Rule& rule, const State& state, int delta_index,
   step(0);
 }
 
+// --- join planning (kSemiNaive) ----------------------------------------------
+
+/// One step of a compiled rule plan.
+struct PlanStep {
+  enum class Kind {
+    kScanDelta,  // scan the semi-naive delta occurrence (always first)
+    kScanFull,   // scan an all-free leading atom
+    kProbe,      // probe the (pred, arity, key_positions) hash index
+    kNegation,   // all-bound negated atom: Contains check
+    kFilter,     // all-bound comparison
+    kBind,       // equality with one unbound variable side: binds it
+    kAssign,     // arithmetic assignment; operands bound
+  };
+  Kind kind;
+  size_t lit_index = 0;
+  std::vector<size_t> key_positions;  // kProbe: columns bound at entry
+  bool bind_lhs = false;              // kBind: the lhs is the unbound side
+};
+
+/// A compiled per-(rule, delta-occurrence) evaluation plan.
+struct RulePlan {
+  std::vector<PlanStep> steps;
+  int num_vars = 0;
+  bool leapfrog = false;  // route the whole body through LeapfrogJoin
+};
+
+/// True if the rule body is a pure conjunction of >= 2 all-variable positive
+/// atoms with no repeated variables inside an atom and every rule variable
+/// covered — the shape LeapfrogJoin handles once columns are permuted into
+/// the global variable order.
+bool LeapfrogEligible(const Rule& rule, int num_vars) {
+  if (rule.body.size() < 2 || num_vars == 0) return false;
+  std::vector<bool> covered(num_vars, false);
+  for (const Literal& lit : rule.body) {
+    if (lit.kind != Literal::Kind::kPositive) return false;
+    if (lit.atom.terms.empty()) return false;
+    std::vector<bool> in_atom(num_vars, false);
+    for (const Term& t : lit.atom.terms) {
+      if (!t.is_var()) return false;
+      if (in_atom[t.var]) return false;
+      in_atom[t.var] = true;
+      covered[t.var] = true;
+    }
+  }
+  for (int v = 0; v < num_vars; ++v) {
+    if (!covered[v]) return false;
+  }
+  for (const Term& t : rule.head.terms) {
+    if (t.is_var() && !covered[t.var]) return false;
+  }
+  return true;
+}
+
+/// Compiles the join plan for one (rule, delta-occurrence) pair: delta atom
+/// first, filters/bindings/assignments/negations hoisted as early as their
+/// variables allow, remaining positive atoms ordered greedily by bound-column
+/// count with estimated cardinality as tie-break. Throws kSafety when the
+/// rule is not range-restricted.
+RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state) {
+  RulePlan plan;
+  plan.num_vars = MaxVar(rule) + 1;
+  if (delta_index < 0 && LeapfrogEligible(rule, plan.num_vars)) {
+    plan.leapfrog = true;
+    return plan;
+  }
+
+  size_t n = rule.body.size();
+  std::vector<bool> done(n, false);
+  std::vector<bool> bound(plan.num_vars, false);
+  auto term_known = [&](const Term& t) { return !t.is_var() || bound[t.var]; };
+  auto bind_atom_vars = [&](const Atom& atom) {
+    for (const Term& t : atom.terms) {
+      if (t.is_var()) bound[t.var] = true;
+    }
+  };
+  // True if some positive atom or assignment will bind `var` once planned.
+  // Equalities on such variables must stay filters (EvalCompare equates
+  // Int 1 with Float 1.0) rather than become bindings checked with
+  // type-exact index hashes or tuple equality.
+  auto bound_elsewhere = [&](int var) {
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kAssign && lit.target == var) {
+        return true;
+      }
+      if (lit.kind != Literal::Kind::kPositive) continue;
+      for (const Term& t : lit.atom.terms) {
+        if (t.is_var() && t.var == var) return true;
+      }
+    }
+    return false;
+  };
+
+  // Hoists every non-positive literal whose variables are available; repeats
+  // because a hoisted assignment/binding can unlock further literals.
+  auto hoist = [&]() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (done[i]) continue;
+        const Literal& lit = rule.body[i];
+        switch (lit.kind) {
+          case Literal::Kind::kPositive:
+            break;
+          case Literal::Kind::kNegative: {
+            bool all = true;
+            for (const Term& t : lit.atom.terms) all &= term_known(t);
+            if (all) {
+              plan.steps.push_back({PlanStep::Kind::kNegation, i, {}, false});
+              done[i] = true;
+              progress = true;
+            }
+            break;
+          }
+          case Literal::Kind::kCompare: {
+            bool lk = term_known(lit.lhs);
+            bool rk = term_known(lit.rhs);
+            if (lk && rk) {
+              plan.steps.push_back({PlanStep::Kind::kFilter, i, {}, false});
+              done[i] = true;
+              progress = true;
+            } else if (lit.cmp_op == CmpOp::kEq && lk != rk &&
+                       !bound_elsewhere((lk ? lit.rhs : lit.lhs).var)) {
+              // Equality with exactly one side known binds the other side
+              // (which is necessarily a variable) — but only for pure
+              // output variables no atom will bind, preserving the
+              // numeric-tolerant filter semantics for join variables.
+              PlanStep s{PlanStep::Kind::kBind, i, {}, !lk};
+              bound[(s.bind_lhs ? lit.lhs : lit.rhs).var] = true;
+              plan.steps.push_back(std::move(s));
+              done[i] = true;
+              progress = true;
+            }
+            break;
+          }
+          case Literal::Kind::kAssign: {
+            if (term_known(lit.lhs) && term_known(lit.rhs)) {
+              plan.steps.push_back({PlanStep::Kind::kAssign, i, {}, false});
+              bound[lit.target] = true;
+              done[i] = true;
+              progress = true;
+            }
+            break;
+          }
+        }
+      }
+    }
+  };
+
+  if (delta_index >= 0) {
+    plan.steps.push_back(
+        {PlanStep::Kind::kScanDelta, static_cast<size_t>(delta_index), {},
+         false});
+    bind_atom_vars(rule.body[delta_index].atom);
+    done[delta_index] = true;
+  }
+  hoist();
+
+  for (;;) {
+    int best = -1;
+    size_t best_bound = 0;
+    size_t best_rows = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i] || rule.body[i].kind != Literal::Kind::kPositive) continue;
+      const Atom& atom = rule.body[i].atom;
+      size_t nb = 0;
+      for (const Term& t : atom.terms) nb += term_known(t);
+      size_t rows =
+          state.Full(atom.pred).TuplesOfArity(atom.terms.size()).size();
+      if (best < 0 || nb > best_bound ||
+          (nb == best_bound && rows < best_rows)) {
+        best = static_cast<int>(i);
+        best_bound = nb;
+        best_rows = rows;
+      }
+    }
+    if (best < 0) break;
+    const Atom& atom = rule.body[best].atom;
+    PlanStep s{PlanStep::Kind::kProbe, static_cast<size_t>(best), {}, false};
+    for (size_t p = 0; p < atom.terms.size(); ++p) {
+      if (term_known(atom.terms[p])) s.key_positions.push_back(p);
+    }
+    if (s.key_positions.empty()) s.kind = PlanStep::Kind::kScanFull;
+    plan.steps.push_back(std::move(s));
+    bind_atom_vars(atom);
+    done[best] = true;
+    hoist();
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!done[i]) {
+      const char* what =
+          rule.body[i].kind == Literal::Kind::kNegative
+              ? "variable in negated atom of rule for '"
+              : rule.body[i].kind == Literal::Kind::kCompare
+                    ? "comparison over unbound variables in rule for '"
+                    : "assignment over unbound variables in rule for '";
+      throw RelError(ErrorKind::kSafety, what + rule.head.pred + "'");
+    }
+  }
+  for (const Term& t : rule.head.terms) {
+    if (t.is_var() && !bound[t.var]) {
+      throw RelError(ErrorKind::kSafety,
+                     "head variable unbound in rule for '" + rule.head.pred +
+                         "'");
+    }
+  }
+  return plan;
+}
+
+// --- plan execution ----------------------------------------------------------
+
+/// Runs an all-positive all-variable rule through Leapfrog Triejoin.
+/// Column-permuted sorted copies are materialized for atoms whose column
+/// order disagrees with the variable-id order (the triejoin precondition).
+void ExecLeapfrog(const Rule& rule, const RulePlan& plan, const State& state,
+                  Relation* out, EvalStats* stats,
+                  const Relation* dedup_against) {
+  std::deque<std::vector<Tuple>> permuted_storage;
+  std::vector<joins::AtomSpec> atoms;
+  atoms.reserve(rule.body.size());
+  for (const Literal& lit : rule.body) {
+    const std::vector<Tuple>& rows =
+        state.Full(lit.atom.pred).TuplesOfArity(lit.atom.terms.size());
+    // (var, column) pairs sorted by var give the triejoin column order.
+    std::vector<std::pair<int, size_t>> order;
+    order.reserve(lit.atom.terms.size());
+    for (size_t p = 0; p < lit.atom.terms.size(); ++p) {
+      order.emplace_back(lit.atom.terms[p].var, p);
+    }
+    std::sort(order.begin(), order.end());
+    bool identity = true;
+    joins::AtomSpec spec;
+    for (size_t k = 0; k < order.size(); ++k) {
+      identity &= order[k].second == k;
+      spec.vars.push_back(order[k].first);
+    }
+    if (identity) {
+      spec.rows = &rows;
+    } else {
+      std::vector<Tuple> copy;
+      copy.reserve(rows.size());
+      for (const Tuple& row : rows) {
+        Tuple t;
+        for (const auto& [var, col] : order) {
+          (void)var;
+          t.Append(row[col]);
+        }
+        copy.push_back(std::move(t));
+      }
+      std::sort(copy.begin(), copy.end());
+      permuted_storage.push_back(std::move(copy));
+      spec.rows = &permuted_storage.back();
+    }
+    atoms.push_back(std::move(spec));
+  }
+  if (stats) ++stats->leapfrog_joins;
+  joins::LeapfrogJoin(
+      plan.num_vars, atoms, [&](const std::vector<Value>& binding) {
+        Tuple head;
+        for (const Term& t : rule.head.terms) {
+          head.Append(t.is_var() ? binding[t.var] : t.constant);
+        }
+        if (stats) ++stats->tuples_derived;
+        if (dedup_against && dedup_against->Contains(head)) return;
+        out->Insert(std::move(head));
+      });
+}
+
+/// Executes a compiled plan: scans drive, probes follow, filters prune.
+/// `out` receives only tuples not already in `dedup_against`.
+void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
+              IndexCache* cache, Relation* out, EvalStats* stats,
+              const Relation* dedup_against) {
+  if (plan.leapfrog) {
+    ExecLeapfrog(rule, plan, state, out, stats, dedup_against);
+    return;
+  }
+  Bindings bindings(static_cast<size_t>(plan.num_vars));
+  // Reusable probe-key scratch, one buffer per plan step: a step never
+  // re-enters itself while its own probe is live (recursion only descends),
+  // so per-step reuse is safe and avoids an allocation per probe.
+  std::vector<std::vector<Value>> key_bufs(plan.steps.size());
+  // Index handles resolved at most once per step per rule evaluation:
+  // extents are frozen while a plan runs (derivations go to a separate
+  // relation), so the cache lookup — string/vector key construction plus a
+  // map walk — must not sit on the per-probe path.
+  std::vector<const HashIndex*> step_index(plan.steps.size(), nullptr);
+  auto value_of = [&](const Term& t) -> const Value& {
+    // Plan construction guarantees the term is known here.
+    return t.is_var() ? *bindings[t.var] : t.constant;
+  };
+
+  auto step = [&](auto&& self, size_t si) -> void {
+    if (si == plan.steps.size()) {
+      EmitHead(rule, bindings, out, stats, dedup_against);
+      return;
+    }
+    const PlanStep& ps = plan.steps[si];
+    const Literal& lit = rule.body[ps.lit_index];
+
+    // Matches `row` against the atom (binding fresh variables, checking
+    // constants and repeated occurrences) and recurses on success.
+    auto match_row = [&](const Tuple& row) {
+      bool ok = true;
+      int newly_bound[8];
+      size_t num_newly = 0;
+      std::vector<int> overflow;
+      for (size_t i = 0; i < lit.atom.terms.size() && ok; ++i) {
+        const Term& t = lit.atom.terms[i];
+        if (!t.is_var()) {
+          ok = row[i] == t.constant;
+        } else if (bindings[t.var]) {
+          ok = row[i] == *bindings[t.var];
+        } else {
+          bindings[t.var] = row[i];
+          if (num_newly < 8) {
+            newly_bound[num_newly++] = t.var;
+          } else {
+            overflow.push_back(t.var);
+          }
+        }
+      }
+      if (ok) self(self, si + 1);
+      for (size_t i = 0; i < num_newly; ++i) bindings[newly_bound[i]].reset();
+      for (int v : overflow) bindings[v].reset();
+    };
+
+    switch (ps.kind) {
+      case PlanStep::Kind::kScanDelta: {
+        if (stats) ++stats->delta_scans;
+        auto it = state.delta.find(lit.atom.pred);
+        if (it != state.delta.end()) {
+          // Hash-set order; skips the per-round sort TuplesOfArity forces.
+          it->second.ForEachOfArity(lit.atom.terms.size(), match_row);
+        }
+        return;
+      }
+      case PlanStep::Kind::kScanFull: {
+        if (stats) ++stats->driver_scans;
+        state.Full(lit.atom.pred)
+            .ForEachOfArity(lit.atom.terms.size(), match_row);
+        return;
+      }
+      case PlanStep::Kind::kProbe: {
+        if (!step_index[si]) {
+          step_index[si] = &cache->Get(
+              lit.atom.pred, state.Full(lit.atom.pred), lit.atom.terms.size(),
+              ps.key_positions, stats ? &stats->index_builds : nullptr);
+        }
+        const HashIndex& index = *step_index[si];
+        std::vector<Value>& key = key_bufs[si];
+        key.clear();
+        for (size_t p : ps.key_positions) {
+          key.push_back(value_of(lit.atom.terms[p]));
+        }
+        if (stats) ++stats->index_probes;
+        index.Probe(key, match_row);
+        return;
+      }
+      case PlanStep::Kind::kNegation: {
+        Tuple probe;
+        for (const Term& t : lit.atom.terms) probe.Append(value_of(t));
+        if (!state.Full(lit.atom.pred).Contains(probe)) self(self, si + 1);
+        return;
+      }
+      case PlanStep::Kind::kFilter: {
+        if (EvalCompare(lit.cmp_op, value_of(lit.lhs), value_of(lit.rhs))) {
+          self(self, si + 1);
+        }
+        return;
+      }
+      case PlanStep::Kind::kBind: {
+        const Term& target = ps.bind_lhs ? lit.lhs : lit.rhs;
+        const Term& source = ps.bind_lhs ? lit.rhs : lit.lhs;
+        bindings[target.var] = value_of(source);
+        self(self, si + 1);
+        bindings[target.var].reset();
+        return;
+      }
+      case PlanStep::Kind::kAssign: {
+        std::optional<Value> r =
+            EvalArith(lit.arith_op, value_of(lit.lhs), value_of(lit.rhs));
+        if (!r) return;
+        if (bindings[lit.target]) {
+          if (*bindings[lit.target] == *r) self(self, si + 1);
+          return;
+        }
+        bindings[lit.target] = *r;
+        self(self, si + 1);
+        bindings[lit.target].reset();
+        return;
+      }
+    }
+  };
+  step(step, 0);
+}
+
 }  // namespace
 
 std::map<std::string, Relation> Evaluate(const Program& program,
@@ -312,9 +711,12 @@ std::map<std::string, Relation> Evaluate(const Program& program,
     max_stratum = std::max(max_stratum, st);
   }
   s->strata = max_stratum + 1;
+  bool indexed = strategy == Strategy::kSemiNaive;
+  bool semi_naive = strategy != Strategy::kNaive;
 
   State state;
   state.full = program.facts();
+  IndexCache index_cache;
 
   for (int st = 0; st <= max_stratum; ++st) {
     std::vector<const Rule*> rules;
@@ -323,16 +725,38 @@ std::map<std::string, Relation> Evaluate(const Program& program,
     }
     if (rules.empty()) continue;
 
+    // Join plans are computed once per stratum (cardinality estimates are
+    // taken at first use) and keyed by (rule, delta occurrence).
+    //
+    // The indexed path streams fresh tuples straight into the per-round
+    // `added` set, deduplicating against the full extent at the emit site —
+    // no intermediate relation, no copy-and-sort. The scan path keeps the
+    // derive-then-diff shape (ForEach + Contains) as the ablation baseline.
+    std::map<std::pair<const Rule*, int>, RulePlan> plans;
+    auto eval_rule = [&](const Rule* rule, int delta_index,
+                         std::map<std::string, Relation>* added) {
+      Relation& full = state.full[rule->head.pred];
+      if (indexed) {
+        auto key = std::make_pair(rule, delta_index);
+        auto it = plans.find(key);
+        if (it == plans.end()) {
+          it = plans.emplace(key, BuildPlan(*rule, delta_index, state)).first;
+        }
+        ExecPlan(*rule, it->second, state, &index_cache,
+                 &(*added)[rule->head.pred], s, &full);
+        return;
+      }
+      Relation derived;
+      EvalRuleScan(*rule, state, delta_index, &derived, s);
+      derived.ForEach([&](const Tuple& t) {
+        if (!full.Contains(t)) (*added)[rule->head.pred].Insert(t);
+      });
+    };
+
     // Initial round: evaluate every rule fully.
     std::map<std::string, Relation> added;
     for (const Rule* rule : rules) {
-      Relation derived;
-      EvalRuleOnce(*rule, state, /*delta_index=*/-1, &derived, s);
-      for (const Tuple& t : derived.SortedTuples()) {
-        if (!state.full[rule->head.pred].Contains(t)) {
-          added[rule->head.pred].Insert(t);
-        }
-      }
+      eval_rule(rule, /*delta_index=*/-1, &added);
     }
     for (auto& [pred, rel] : added) state.full[pred].InsertAll(rel);
     state.delta = std::move(added);
@@ -349,29 +773,17 @@ std::map<std::string, Relation> Evaluate(const Program& program,
       ++s->iterations;
       std::map<std::string, Relation> next_added;
       for (const Rule* rule : rules) {
-        if (strategy == Strategy::kSemiNaive) {
+        if (semi_naive) {
           // One pass per recursive-atom occurrence, with that occurrence
           // restricted to the delta.
           for (size_t li = 0; li < rule->body.size(); ++li) {
             const Literal& lit = rule->body[li];
             if (lit.kind != Literal::Kind::kPositive) continue;
             if (stratum[lit.atom.pred] != st) continue;
-            Relation derived;
-            EvalRuleOnce(*rule, state, static_cast<int>(li), &derived, s);
-            for (const Tuple& t : derived.SortedTuples()) {
-              if (!state.full[rule->head.pred].Contains(t)) {
-                next_added[rule->head.pred].Insert(t);
-              }
-            }
+            eval_rule(rule, static_cast<int>(li), &next_added);
           }
         } else {
-          Relation derived;
-          EvalRuleOnce(*rule, state, /*delta_index=*/-1, &derived, s);
-          for (const Tuple& t : derived.SortedTuples()) {
-            if (!state.full[rule->head.pred].Contains(t)) {
-              next_added[rule->head.pred].Insert(t);
-            }
-          }
+          eval_rule(rule, /*delta_index=*/-1, &next_added);
         }
       }
       for (auto& [pred, rel] : next_added) state.full[pred].InsertAll(rel);
@@ -386,7 +798,7 @@ Relation EvaluatePredicate(const Program& program, const std::string& pred,
                            Strategy strategy, EvalStats* stats) {
   std::map<std::string, Relation> all = Evaluate(program, strategy, stats);
   auto it = all.find(pred);
-  return it == all.end() ? Relation() : it->second;
+  return it == all.end() ? Relation() : std::move(it->second);
 }
 
 }  // namespace datalog

@@ -1,5 +1,48 @@
 // Bottom-up evaluation for the classical Datalog engine: stratified negation,
-// naive or semi-naive iteration, set-at-a-time joins with hash indexes.
+// naive or semi-naive iteration, planned indexed joins.
+//
+// Evaluation design (the fast path, Strategy::kSemiNaive):
+//
+//   * Planning. For every (rule, delta-occurrence) pair the evaluator builds
+//     a join plan once per stratum. The forced delta atom (if any) is placed
+//     first; the remaining positive literals are ordered greedily by number
+//     of bound columns (descending) with estimated cardinality as the
+//     tie-break — sideways information passing. Comparisons, assignments and
+//     negations are hoisted to the earliest point at which their variables
+//     are bound, so they prune the join as soon as possible. Safety (range
+//     restriction) is checked at plan time.
+//
+//   * Indexed access paths. Every positive literal with at least one bound
+//     column is evaluated by probing a generalized hash index mapping
+//     (predicate, arity, bound-position set) -> rows, built lazily per
+//     fixpoint round by an IndexCache (src/datalog/index.h) and shared
+//     across rules. Only leading all-free atoms and delta atoms are scanned.
+//
+//   * Worst-case optimal routing. Rules whose bodies are pure all-variable
+//     conjunctions of two or more atoms (triangle-style self-joins) are
+//     routed through joins::LeapfrogJoin; column-permuted sorted copies are
+//     materialized where an atom's column order disagrees with the global
+//     variable order, so the triejoin precondition always holds.
+//
+// The nested-loop scan evaluator is retained behind Strategy::kNaive and
+// Strategy::kSemiNaiveScan as an ablation baseline for benchmarks.
+//
+// Intended semantic differences, both consequences of the scan strategies
+// evaluating body literals in syntactic order:
+//
+//   * Safety. A comparison/negation written before the atom that binds its
+//     variables throws kSafety under the scan strategies; the planned
+//     strategy is order-independent and accepts every rule that is safe
+//     under SOME literal order.
+//
+//   * Mixed int/float equality. When `V = c` appears syntactically before
+//     the atom or assignment that produces V, the scan strategies bind V
+//     to c and later compare type-exactly (Int 5 != Float 5.0); the
+//     planned strategy always evaluates such equalities as numeric-tolerant
+//     filters after V is produced, matching what the scan strategies do
+//     when the equality is written after the producer. On programs whose
+//     values are consistently typed (or whose equalities follow their
+//     producers) all strategies agree.
 
 #ifndef REL_DATALOG_EVAL_H_
 #define REL_DATALOG_EVAL_H_
@@ -14,14 +57,24 @@
 namespace rel {
 namespace datalog {
 
-/// Evaluation strategy; naive exists for the ablation benchmark.
-enum class Strategy { kNaive, kSemiNaive };
+/// Evaluation strategy. kSemiNaive (the default) uses planned, indexed
+/// joins; the other two are scan-based ablation baselines for benchmarks:
+/// kNaive re-derives everything each round, kSemiNaiveScan is the pre-index
+/// semi-naive nested-loop evaluator.
+enum class Strategy { kNaive, kSemiNaive, kSemiNaiveScan };
 
 /// Evaluation statistics (exposed for benchmarks and tests).
 struct EvalStats {
   int strata = 0;
-  int iterations = 0;        // total fixpoint iterations across strata
+  int iterations = 0;           // total fixpoint iterations across strata
   uint64_t tuples_derived = 0;  // insertions attempted (incl. duplicates)
+  uint64_t index_builds = 0;    // hash indexes (re)built by the cache
+  uint64_t index_probes = 0;    // indexed lookups of bound-column literals
+  uint64_t full_scans = 0;      // bound-column literals evaluated by scan
+                                // (always 0 under the indexed strategy)
+  uint64_t driver_scans = 0;    // unavoidable scans of all-free leading atoms
+  uint64_t delta_scans = 0;     // scans of the semi-naive delta occurrence
+  uint64_t leapfrog_joins = 0;  // rules routed through LeapfrogJoin
 };
 
 /// Evaluates `program` to a fixpoint and returns all predicate extents.

@@ -1,0 +1,54 @@
+#include "datalog/index.h"
+
+#include <algorithm>
+
+#include "base/hash.h"
+
+namespace rel {
+namespace datalog {
+
+namespace {
+constexpr size_t kIndexSeed = 0x51ed;
+}  // namespace
+
+void HashIndex::Build(const std::vector<Tuple>* rows,
+                      std::vector<size_t> key_positions) {
+  rows_ = rows;
+  keys_ = std::move(key_positions);
+  built_size_ = rows->size();
+  entries_.clear();
+  entries_.reserve(built_size_);
+  for (size_t i = 0; i < built_size_; ++i) {
+    entries_.push_back(Entry{RowHash((*rows)[i]), static_cast<uint32_t>(i)});
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.hash < b.hash; });
+}
+
+size_t HashIndex::KeyHash(const std::vector<Value>& key) const {
+  size_t h = kIndexSeed;
+  for (const Value& v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+size_t HashIndex::RowHash(const Tuple& row) const {
+  size_t h = kIndexSeed;
+  for (size_t k : keys_) h = HashCombine(h, row[k].Hash());
+  return h;
+}
+
+const HashIndex& IndexCache::Get(const std::string& pred, const Relation& rel,
+                                 size_t arity,
+                                 const std::vector<size_t>& key_positions,
+                                 uint64_t* build_counter) {
+  HashIndex& index = cache_[Key(pred, arity, key_positions)];
+  const std::vector<Tuple>& rows = rel.TuplesOfArity(arity);
+  if (!index.built() || index.built_size() != rows.size()) {
+    index.Build(&rows, key_positions);
+    if (build_counter) ++*build_counter;
+  }
+  return index;
+}
+
+}  // namespace datalog
+}  // namespace rel

@@ -1,0 +1,97 @@
+// Generalized hash indexes for the Datalog evaluator.
+//
+// A HashIndex maps a fixed set of key columns of one tuple vector to the
+// rows carrying those key values; the evaluator probes it instead of
+// scanning the whole extent whenever a body literal has at least one column
+// bound by the enclosing join prefix. An IndexCache memoizes indexes per
+// (predicate, arity, bound-position set) so they are built at most once per
+// fixpoint round and shared across rules.
+
+#ifndef REL_DATALOG_INDEX_H_
+#define REL_DATALOG_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace rel {
+namespace datalog {
+
+/// A hash index over one tuple vector for a fixed set of key positions.
+class HashIndex {
+ public:
+  HashIndex() = default;
+
+  /// Builds over `rows` keyed on `key_positions`. `rows` is not owned; it
+  /// must outlive the index and keep its first built_size() elements stable
+  /// while the index is in use (the cache rebuilds on growth).
+  void Build(const std::vector<Tuple>* rows, std::vector<size_t> key_positions);
+
+  bool built() const { return rows_ != nullptr; }
+  size_t built_size() const { return built_size_; }
+  const std::vector<size_t>& key_positions() const { return keys_; }
+
+  /// Invokes fn(row) for every row whose key columns equal `key`; `key` is
+  /// ordered like the key_positions passed to Build.
+  ///
+  /// Storage is a flat (hash, row) array sorted by hash — binary search plus
+  /// a contiguous run beats a node-based multimap on probe-heavy workloads.
+  template <typename Fn>
+  void Probe(const std::vector<Value>& key, Fn&& fn) const {
+    size_t h = KeyHash(key);
+    auto lo = std::lower_bound(
+        entries_.begin(), entries_.end(), h,
+        [](const Entry& e, size_t hash) { return e.hash < hash; });
+    for (; lo != entries_.end() && lo->hash == h; ++lo) {
+      const Tuple& row = (*rows_)[lo->row];
+      bool match = true;
+      for (size_t k = 0; k < keys_.size() && match; ++k) {
+        match = row[keys_[k]] == key[k];
+      }
+      if (match) fn(row);
+    }
+  }
+
+ private:
+  struct Entry {
+    size_t hash;
+    uint32_t row;
+  };
+
+  size_t KeyHash(const std::vector<Value>& key) const;
+  size_t RowHash(const Tuple& row) const;
+
+  const std::vector<Tuple>* rows_ = nullptr;
+  size_t built_size_ = 0;
+  std::vector<size_t> keys_;
+  std::vector<Entry> entries_;
+};
+
+/// Cache of hash indexes keyed by (predicate, arity, bound-position set).
+/// Indexes are built lazily on first probe and rebuilt when the indexed
+/// extent has grown. Relations only grow during fixpoint evaluation, and the
+/// evaluator only merges deltas between rounds, so a size comparison is a
+/// sufficient invalidation test.
+class IndexCache {
+ public:
+  /// Returns the (built) index over `rel`'s tuples of `arity` keyed on
+  /// `key_positions`, building or rebuilding it first when needed.
+  /// Increments *build_counter on every (re)build when non-null.
+  const HashIndex& Get(const std::string& pred, const Relation& rel,
+                       size_t arity, const std::vector<size_t>& key_positions,
+                       uint64_t* build_counter);
+
+ private:
+  using Key = std::tuple<std::string, size_t, std::vector<size_t>>;
+  std::map<Key, HashIndex> cache_;
+};
+
+}  // namespace datalog
+}  // namespace rel
+
+#endif  // REL_DATALOG_INDEX_H_

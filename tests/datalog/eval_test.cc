@@ -1,0 +1,338 @@
+// Tests for the planned, indexed Datalog evaluator: strategy equivalence
+// over a suite of recursive programs, the comparison-binding and arithmetic
+// edge cases, and the EvalStats counters that make the access paths
+// observable.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "benchutil/generators.h"
+#include "benchutil/reference.h"
+#include "datalog/eval.h"
+#include "datalog/program.h"
+
+namespace rel {
+namespace datalog {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+const Strategy kAllStrategies[] = {Strategy::kNaive, Strategy::kSemiNaive,
+                                   Strategy::kSemiNaiveScan};
+
+/// Evaluates `pred` under every strategy and checks the extents agree;
+/// returns the (common) result.
+Relation EvalAllStrategies(const std::string& source, const std::string& pred,
+                           const std::vector<Tuple>* edges = nullptr,
+                           const std::string& edge_pred = "edge") {
+  Relation reference;
+  bool first = true;
+  for (Strategy strategy : kAllStrategies) {
+    Program p = ParseDatalog(source);
+    if (edges) {
+      for (const Tuple& e : *edges) p.AddFact(edge_pred, e);
+    }
+    Relation r = EvaluatePredicate(p, pred, strategy);
+    if (first) {
+      reference = r;
+      first = false;
+    } else {
+      EXPECT_EQ(r, reference) << "strategy " << static_cast<int>(strategy)
+                              << " diverges for '" << pred << "'";
+    }
+  }
+  return reference;
+}
+
+TEST(EvalEquivalence, TransitiveClosureOverRandomGraphs) {
+  const std::string rules =
+      "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).";
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    std::vector<Tuple> edges = benchutil::RandomGraph(28, 80, seed);
+    Relation tc = EvalAllStrategies(rules, "tc", &edges);
+    auto ref = benchutil::TransitiveClosureRef(edges);
+    EXPECT_EQ(tc.size(), ref.size());
+    for (const auto& [a, b] : ref) {
+      EXPECT_TRUE(tc.Contains(Tuple({I(a), I(b)})));
+    }
+  }
+}
+
+TEST(EvalEquivalence, TransitiveClosureOverChain) {
+  std::vector<Tuple> edges = benchutil::ChainGraph(40);
+  Relation tc = EvalAllStrategies(
+      "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).", "tc", &edges);
+  EXPECT_EQ(tc.size(), 40u * 39u / 2u);  // all i < j pairs over nodes 0..39
+  EXPECT_TRUE(tc.Contains(Tuple({I(0), I(39)})));
+}
+
+TEST(EvalEquivalence, SameGeneration) {
+  // Classic same-generation: linear recursion with two EDB probes per step.
+  const std::string program =
+      "parent(1, 3). parent(1, 4). parent(2, 5).\n"
+      "parent(3, 6). parent(4, 7). parent(5, 8).\n"
+      "sg(X, Y) :- parent(P, X), parent(P, Y), X != Y.\n"
+      "sg(X, Y) :- parent(A, X), parent(B, Y), sg(A, B).";
+  Relation sg = EvalAllStrategies(program, "sg");
+  EXPECT_TRUE(sg.Contains(Tuple({I(3), I(4)})));   // siblings
+  EXPECT_TRUE(sg.Contains(Tuple({I(6), I(7)})));   // cousins via sg(3,4)
+  EXPECT_FALSE(sg.Contains(Tuple({I(6), I(8)})));  // 3 and 5 are unrelated
+  EXPECT_FALSE(sg.Contains(Tuple({I(3), I(3)})));
+  EXPECT_EQ(sg.size(), 4u);  // {(3,4),(4,3),(6,7),(7,6)}
+}
+
+TEST(EvalEquivalence, NegationAcrossStrata) {
+  const std::string program =
+      "node(1). node(2). node(3). node(4).\n"
+      "edge(1,2). edge(2,3).\n"
+      "reach(X) :- edge(1, X).\n"
+      "reach(X) :- reach(Y), edge(Y, X).\n"
+      "unreach(X) :- node(X), !reach(X), X != 1.\n"
+      "island(X) :- unreach(X), !edge(X, 1).";
+  EXPECT_EQ(EvalAllStrategies(program, "unreach").ToString(), "{(4)}");
+  EXPECT_EQ(EvalAllStrategies(program, "island").ToString(), "{(4)}");
+}
+
+TEST(EvalEquivalence, MixedArityFacts) {
+  // One predicate holding tuples of several arities; rules match per arity.
+  Program base;
+  base.AddFact("r", Tuple({I(1)}));
+  base.AddFact("r", Tuple({I(1), I(2)}));
+  base.AddFact("r", Tuple({I(2), I(3)}));
+  base.AddFact("r", Tuple({I(1), I(2), I(3)}));
+  Program rules = ParseDatalog(
+      "unary(X) :- r(X).\n"
+      "pair(X, Y) :- r(X, Y).\n"
+      "chain(X, Z) :- r(X, Y), r(Y, Z).\n"
+      "wide(X) :- r(X, _, _).");
+  Relation expected_pair, expected_chain;
+  bool first = true;
+  for (Strategy strategy : kAllStrategies) {
+    Program p = base;
+    for (const Rule& r : rules.rules()) p.AddRule(r);
+    std::map<std::string, Relation> all = Evaluate(p, strategy);
+    EXPECT_EQ(all.at("unary").ToString(), "{(1)}");
+    EXPECT_EQ(all.at("wide").ToString(), "{(1)}");
+    if (first) {
+      expected_pair = all.at("pair");
+      expected_chain = all.at("chain");
+      first = false;
+    } else {
+      EXPECT_EQ(all.at("pair"), expected_pair);
+      EXPECT_EQ(all.at("chain"), expected_chain);
+    }
+  }
+  EXPECT_EQ(expected_pair.size(), 2u);
+  EXPECT_EQ(expected_chain.ToString(), "{(1, 3)}");
+}
+
+TEST(EvalEquivalence, TriangleRuleMatchesScanAndLeapfrogFires) {
+  // The all-free self-join shape: routed through LeapfrogJoin under the
+  // indexed strategy, nested scans under the ablation strategies.
+  std::vector<Tuple> edges =
+      benchutil::SkewedTriangleGraph(60, 8, /*seed=*/3);
+  Relation tri = EvalAllStrategies(
+      "tri(X, Y, Z) :- e(X, Y), e(Y, Z), e(Z, X).", "tri", &edges, "e");
+  EXPECT_GT(tri.size(), 0u);
+
+  Program p = ParseDatalog("tri(X, Y, Z) :- e(X, Y), e(Y, Z), e(Z, X).");
+  for (const Tuple& e : edges) p.AddFact("e", e);
+  EvalStats stats;
+  EvaluatePredicate(p, "tri", Strategy::kSemiNaive, &stats);
+  EXPECT_GT(stats.leapfrog_joins, 0u);
+}
+
+TEST(EvalStatsCounters, IndexedTCUsesProbesNeverBoundScans) {
+  std::vector<Tuple> edges = benchutil::RandomGraph(32, 96, 5);
+  Program p = ParseDatalog(
+      "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).");
+  for (const Tuple& e : edges) p.AddFact("edge", e);
+  EvalStats stats;
+  EvaluatePredicate(p, "tc", Strategy::kSemiNaive, &stats);
+  EXPECT_GT(stats.index_probes, 0u);
+  EXPECT_GT(stats.index_builds, 0u);
+  EXPECT_EQ(stats.full_scans, 0u);  // every bound literal goes through an index
+
+  // The scan baseline pays a full relation scan per bound literal instead.
+  Program p2 = ParseDatalog(
+      "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).");
+  for (const Tuple& e : edges) p2.AddFact("edge", e);
+  EvalStats scan_stats;
+  EvaluatePredicate(p2, "tc", Strategy::kSemiNaiveScan, &scan_stats);
+  EXPECT_GT(scan_stats.full_scans, 0u);
+  EXPECT_EQ(scan_stats.index_probes, 0u);
+}
+
+TEST(EvalStatsCounters, DerivationCountsAgreeAcrossJoinOrders) {
+  // The indexed planner reorders literals; the set of satisfying
+  // assignments (and hence tuples_derived) must not change.
+  std::vector<Tuple> edges = benchutil::RandomGraph(20, 50, 11);
+  uint64_t derived[2];
+  int i = 0;
+  for (Strategy strategy : {Strategy::kSemiNaive, Strategy::kSemiNaiveScan}) {
+    Program p = ParseDatalog(
+        "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).");
+    for (const Tuple& e : edges) p.AddFact("edge", e);
+    EvalStats stats;
+    EvaluatePredicate(p, "tc", strategy, &stats);
+    derived[i++] = stats.tuples_derived;
+  }
+  EXPECT_EQ(derived[0], derived[1]);
+}
+
+TEST(CompareBinding, EqualityBindsLhsVariable) {
+  for (Strategy strategy : kAllStrategies) {
+    Program p = ParseDatalog("n(1). n(2). v(Y) :- n(_), Y = 7.");
+    Relation v = EvaluatePredicate(p, "v", strategy);
+    EXPECT_EQ(v.ToString(), "{(7)}");
+  }
+}
+
+TEST(CompareBinding, EqualityBindsRhsVariable) {
+  // `c = V` with V unbound must bind symmetrically (used to throw kSafety).
+  for (Strategy strategy : kAllStrategies) {
+    Program p = ParseDatalog("n(1). n(2). v(Y) :- n(_), 7 = Y.");
+    Relation v = EvaluatePredicate(p, "v", strategy);
+    EXPECT_EQ(v.ToString(), "{(7)}");
+  }
+}
+
+TEST(CompareBinding, EqualityBindsFromBoundVariable) {
+  for (Strategy strategy : kAllStrategies) {
+    Program p = ParseDatalog("n(3). copy(Y) :- n(X), Y = X.");
+    EXPECT_EQ(EvaluatePredicate(p, "copy", strategy).ToString(), "{(3)}");
+    Program q = ParseDatalog("n(3). copy(Y) :- n(X), X = Y.");
+    EXPECT_EQ(EvaluatePredicate(q, "copy", strategy).ToString(), "{(3)}");
+  }
+}
+
+TEST(CompareBinding, JoinVariableEqualityKeepsNumericSemantics) {
+  // X is bound by q, so `X = 1.0` must stay a numeric-tolerant filter
+  // (Int 1 == Float 1.0) in every strategy — not become a Float binding
+  // probed with type-exact index hashes.
+  for (Strategy strategy : kAllStrategies) {
+    Program p = ParseDatalog("q(1). q(2). p(X) :- q(X), X = 1.0.");
+    EXPECT_EQ(EvaluatePredicate(p, "p", strategy).ToString(), "{(1)}")
+        << "strategy " << static_cast<int>(strategy);
+  }
+}
+
+TEST(CompareBinding, OutputVariableBindingStillUsableInNegation) {
+  for (Strategy strategy : kAllStrategies) {
+    Program p = ParseDatalog("q(1). r(5). s(V) :- q(_), V = 5, !r(V).");
+    EXPECT_TRUE(EvaluatePredicate(p, "s", strategy).empty());
+    Program p2 = ParseDatalog("q(1). r(6). s(V) :- q(_), V = 5, !r(V).");
+    EXPECT_EQ(EvaluatePredicate(p2, "s", strategy).ToString(), "{(5)}");
+  }
+}
+
+TEST(CompareBinding, AssignTargetEqualityKeepsNumericSemantics) {
+  // X is produced by an assignment, so `X = 5` must stay a numeric filter
+  // under the planner even though it is written first; with int facts all
+  // strategies agree.
+  for (Strategy strategy : kAllStrategies) {
+    Program p = ParseDatalog("e(4). h(X) :- X = 5, e(Y), X = Y + 1.");
+    EXPECT_EQ(EvaluatePredicate(p, "h", strategy).ToString(), "{(5)}")
+        << "strategy " << static_cast<int>(strategy);
+  }
+  // Mixed-type corner (documented in eval.h): the planner's filter
+  // semantics equate Int 5 with the computed Float 5.0.
+  Program p = ParseDatalog("e(4.0). h(X) :- X = 5, e(Y), X = Y + 1.");
+  EXPECT_EQ(EvaluatePredicate(p, "h", Strategy::kSemiNaive).ToString(),
+            "{(5.0)}");
+}
+
+TEST(Planner, ReorderableRulesAcceptedByPlannedStrategyOnly) {
+  // Documented divergence: the planner is literal-order-independent, so a
+  // filter written before its binding atom works under kSemiNaive; the
+  // scan baselines evaluate syntactically and throw kSafety.
+  Program p = ParseDatalog("q(1). q(-2). p(X) :- X > 0, q(X).");
+  EXPECT_EQ(EvaluatePredicate(p, "p", Strategy::kSemiNaive).ToString(),
+            "{(1)}");
+  Program p2 = ParseDatalog("q(1). q(-2). p(X) :- X > 0, q(X).");
+  EXPECT_THROW(EvaluatePredicate(p2, "p", Strategy::kSemiNaiveScan), RelError);
+}
+
+TEST(CompareBinding, BothSidesUnboundStillRejected) {
+  for (Strategy strategy : kAllStrategies) {
+    Program p = ParseDatalog("n(1). bad(X) :- n(_), X = Y.");
+    EXPECT_THROW(EvaluatePredicate(p, "bad", strategy), RelError);
+  }
+}
+
+TEST(ArithGuards, Int64MinDividedByMinusOnePromotesToFloat) {
+  for (Strategy strategy : kAllStrategies) {
+    Program p = ParseDatalog(
+        "m(-9223372036854775808). d(Y) :- m(X), Y = X / -1.");
+    Relation d = EvaluatePredicate(p, "d", strategy);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_TRUE(d.Contains(Tuple({Value::Float(9223372036854775808.0)})));
+  }
+}
+
+TEST(ArithGuards, Int64MinModMinusOneIsZero) {
+  // `%` doubles as the comment marker in the text syntax, so the mod rule
+  // is built through the API:  r(Y) :- m(X), Y = X % -1.
+  for (Strategy strategy : kAllStrategies) {
+    Program p;
+    p.AddFact("m", Tuple({I(INT64_MIN)}));
+    Rule rule;
+    rule.head = Atom{"r", {Term::Var(1)}};
+    rule.body.push_back(Literal::Positive(Atom{"m", {Term::Var(0)}}));
+    rule.body.push_back(
+        Literal::Assign(1, ArithOp::kMod, Term::Var(0), Term::Const(I(-1))));
+    p.AddRule(rule);
+    EXPECT_EQ(EvaluatePredicate(p, "r", strategy).ToString(), "{(0)}");
+  }
+}
+
+TEST(ArithGuards, PlainDivisionStillWorks) {
+  for (Strategy strategy : kAllStrategies) {
+    Program p = ParseDatalog(
+        "n(6). half(Y) :- n(X), Y = X / 2. third(Y) :- n(X), Y = X / 4.\n"
+        "none(Y) :- n(X), Y = X / 0. neg(Y) :- n(X), Y = X / -1.");
+    EXPECT_EQ(EvaluatePredicate(p, "half", strategy).ToString(), "{(3)}");
+    EXPECT_EQ(EvaluatePredicate(p, "third", strategy).ToString(), "{(1.5)}");
+    EXPECT_TRUE(EvaluatePredicate(p, "none", strategy).empty());
+    EXPECT_EQ(EvaluatePredicate(p, "neg", strategy).ToString(), "{(-6)}");
+  }
+}
+
+TEST(Planner, ConstantsInAtomsProbeAsBoundColumns) {
+  // A constant column counts as bound, so the planner probes on it.
+  std::vector<Tuple> edges = benchutil::RandomGraph(16, 48, 9);
+  Relation from0 = EvalAllStrategies(
+      "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).\n"
+      "goal(Y) :- tc(0, Y).", "goal", &edges);
+  Relation tc = EvalAllStrategies(
+      "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).", "tc", &edges);
+  size_t expected = 0;
+  tc.ForEach([&](const Tuple& t) { expected += t[0] == I(0); });
+  EXPECT_EQ(from0.size(), expected);
+}
+
+TEST(Planner, UnsafeRulesStillRejected) {
+  for (Strategy strategy : kAllStrategies) {
+    Program head_unbound = ParseDatalog("p(X, Y) :- q(X). q(1).");
+    EXPECT_THROW(Evaluate(head_unbound, strategy), RelError);
+    Program neg_unbound = ParseDatalog("p(X) :- q(X), !r(X, Y). q(1).");
+    EXPECT_THROW(Evaluate(neg_unbound, strategy), RelError);
+  }
+}
+
+TEST(Planner, BoundedPathArithmeticAcrossStrategies) {
+  std::vector<Tuple> edges = benchutil::RandomGraph(12, 30, 13);
+  Relation paths = EvalAllStrategies(
+      "path(X, Y, D) :- edge(X, Y), D = 1 + 0.\n"
+      "path(X, Z, D) :- path(X, Y, E), edge(Y, Z), D = E + 1, E < 6.",
+      "path", &edges);
+  EXPECT_GT(paths.size(), 0u);
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace rel
