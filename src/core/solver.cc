@@ -1813,7 +1813,7 @@ class Executor {
       }
       break;
     }
-    relation.ScanPrefix(prefix, [&](const Tuple& tuple) {
+    relation.ScanPrefix(prefix, [&](const TupleRef& tuple) {
       MatchTuple(args, tuple, frame, out);
       return true;
     });
@@ -1821,12 +1821,15 @@ class Executor {
 
   /// Matches one tuple against the argument pattern, appending every
   /// resulting frame extension (tuple-variable splits can yield several).
-  void MatchTuple(const std::vector<CTerm>& args, const Tuple& tuple,
+  /// `Row` is either an owning Tuple or a columnar TupleRef row view.
+  template <typename Row>
+  void MatchTuple(const std::vector<CTerm>& args, const Row& tuple,
                   const Frame& frame, std::vector<Frame>* out) const {
     MatchFrom(args, 0, tuple, 0, frame, out);
   }
 
-  void MatchFrom(const std::vector<CTerm>& args, size_t ai, const Tuple& tuple,
+  template <typename Row>
+  void MatchFrom(const std::vector<CTerm>& args, size_t ai, const Row& tuple,
                  size_t ti, const Frame& frame,
                  std::vector<Frame>* out) const {
     if (ai == args.size()) {

@@ -1,20 +1,256 @@
 #include "data/relation.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "base/error.h"
 #include "base/hash.h"
 
 namespace rel {
 
-const std::vector<Tuple>& Relation::ArityBlock::Sorted() const {
-  if (!sorted_valid) {
-    sorted.assign(set.begin(), set.end());
-    std::sort(sorted.begin(), sorted.end());
-    sorted_valid = true;
-  }
-  return sorted;
+namespace {
+
+size_t HashSpan(const Value* vals, size_t n) {
+  size_t seed = kTupleHashSeed;
+  for (size_t i = 0; i < n; ++i) seed = HashCombine(seed, vals[i].Hash());
+  return seed;
 }
+
+/// splitmix64 finalizer. Row hashes built over std::hash<int64_t> (identity
+/// on common standard libraries) have strided low bits; mixing before the
+/// power-of-two mask keeps linear-probe runs short.
+size_t MixHash(size_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+// --- ColumnArena -------------------------------------------------------------
+
+uint64_t ColumnArena::NextId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+ColumnArena::ColumnArena(size_t arity)
+    : arity_(arity), id_(NextId()), columns_(arity) {}
+
+ColumnArena::ColumnArena(const ColumnArena& other) : ColumnArena(other.arity_) {
+  *this = other;
+}
+
+ColumnArena& ColumnArena::operator=(const ColumnArena& other) {
+  if (this == &other) return *this;
+  const uint64_t id = id_;  // keep this storage's identity
+  arity_ = other.arity_;
+  num_rows_ = other.num_rows_;
+  // Contents changed wholesale; stay ahead of any version a cache may have
+  // recorded for this storage.
+  version_ = std::max(version_, other.version_) + 1;
+  columns_ = other.columns_;
+  hashes_ = other.hashes_;
+  slots_ = other.slots_;
+  tombstones_ = other.tombstones_;
+  sorted_rows_ = other.sorted_rows_;
+  sorted_valid_ = other.sorted_valid_;
+  sorted_tuples_ = other.sorted_tuples_;
+  tuples_valid_ = other.tuples_valid_;
+  id_ = id;
+  return *this;
+}
+
+template <typename GetFn>
+bool ColumnArena::RowEquals(size_t row, GetFn&& get) const {
+  for (size_t c = 0; c < arity_; ++c) {
+    if (columns_[c][row] != get(c)) return false;
+  }
+  return true;
+}
+
+bool ColumnArena::RowEqualsSpan(size_t row, const Value* vals) const {
+  return RowEquals(row, [vals](size_t c) -> const Value& { return vals[c]; });
+}
+
+template <typename EqFn>
+size_t ColumnArena::FindRow(size_t h, EqFn&& eq) const {
+  if (slots_.empty()) return kNoRow;
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = MixHash(h) & mask;; i = (i + 1) & mask) {
+    uint32_t s = slots_[i];
+    if (s == kEmptySlot) return kNoRow;
+    if (s != kTombstone && hashes_[s] == h && eq(static_cast<size_t>(s))) {
+      return s;
+    }
+  }
+}
+
+template <typename GetFn>
+void ColumnArena::AppendRow(size_t h, GetFn&& get) {
+  const uint32_t row = static_cast<uint32_t>(num_rows_);
+  for (size_t c = 0; c < arity_; ++c) columns_[c].push_back(get(c));
+  hashes_.push_back(h);
+  ++num_rows_;
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = MixHash(h) & mask;; i = (i + 1) & mask) {
+    uint32_t s = slots_[i];
+    if (s == kEmptySlot || s == kTombstone) {
+      if (s == kTombstone) --tombstones_;
+      slots_[i] = row;
+      return;
+    }
+  }
+}
+
+template <typename GetFn>
+bool ColumnArena::InsertImpl(size_t h, GetFn&& get) {
+  MaybeGrowTable();
+  size_t existing = FindRow(h, [&](size_t row) { return RowEquals(row, get); });
+  if (existing != kNoRow) return false;
+  AppendRow(h, get);
+  ++version_;
+  Invalidate();
+  return true;
+}
+
+bool ColumnArena::Insert(const Value* vals) {
+  return InsertImpl(HashSpan(vals, arity_),
+                    [vals](size_t c) -> const Value& { return vals[c]; });
+}
+
+bool ColumnArena::Insert(const TupleRef& ref) {
+  InternalCheck(ref.arity() == arity_, "arena insert arity mismatch");
+  return InsertImpl(ref.Hash(),
+                    [&ref](size_t c) -> const Value& { return ref[c]; });
+}
+
+bool ColumnArena::InsertRowOf(const ColumnArena& src, size_t row) {
+  InternalCheck(src.arity_ == arity_, "arena insert arity mismatch");
+  return InsertImpl(src.hashes_[row], [&src, row](size_t c) -> const Value& {
+    return src.columns_[c][row];
+  });
+}
+
+bool ColumnArena::Contains(const Value* vals) const {
+  return FindRow(HashSpan(vals, arity_), [&](size_t row) {
+           return RowEqualsSpan(row, vals);
+         }) != kNoRow;
+}
+
+bool ColumnArena::Contains(const TupleRef& ref) const {
+  InternalCheck(ref.arity() == arity_, "arena contains arity mismatch");
+  return FindRow(ref.Hash(), [&](size_t r) {
+           return RowEquals(r, [&ref](size_t c) -> const Value& { return ref[c]; });
+         }) != kNoRow;
+}
+
+bool ColumnArena::ContainsRowOf(const ColumnArena& src, size_t row) const {
+  return FindRow(src.hashes_[row], [&](size_t r) {
+           return RowEquals(r, [&src, row](size_t c) -> const Value& {
+             return src.columns_[c][row];
+           });
+         }) != kNoRow;
+}
+
+size_t ColumnArena::SlotOf(size_t row) const {
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = MixHash(hashes_[row]) & mask;; i = (i + 1) & mask) {
+    if (slots_[i] == row) return i;
+    InternalCheck(slots_[i] != kEmptySlot, "arena table lost a row");
+  }
+}
+
+bool ColumnArena::Erase(const Value* vals) {
+  size_t h = HashSpan(vals, arity_);
+  size_t row =
+      FindRow(h, [&](size_t r) { return RowEqualsSpan(r, vals); });
+  if (row == kNoRow) return false;
+  slots_[SlotOf(row)] = kTombstone;
+  ++tombstones_;
+  const size_t last = num_rows_ - 1;
+  if (row != last) {
+    // Swap the last row into the hole and renumber its table entry.
+    size_t last_slot = SlotOf(last);
+    for (size_t c = 0; c < arity_; ++c) {
+      columns_[c][row] = columns_[c][last];
+    }
+    hashes_[row] = hashes_[last];
+    slots_[last_slot] = static_cast<uint32_t>(row);
+  }
+  for (size_t c = 0; c < arity_; ++c) columns_[c].pop_back();
+  hashes_.pop_back();
+  --num_rows_;
+  ++version_;
+  Invalidate();
+  // Row indices moved; stale sorted views would dangle past the new end.
+  sorted_rows_.clear();
+  sorted_tuples_.clear();
+  return true;
+}
+
+void ColumnArena::MaybeGrowTable() {
+  // Keep occupancy (live rows + tombstones) at or below 3/4.
+  if ((num_rows_ + tombstones_ + 1) * 4 > slots_.size() * 3) {
+    size_t want = 16;
+    while (want < (num_rows_ + 1) * 2) want <<= 1;
+    Rehash(want);
+  }
+}
+
+void ColumnArena::Rehash(size_t min_slots) {
+  slots_.assign(min_slots, kEmptySlot);
+  tombstones_ = 0;
+  const size_t mask = slots_.size() - 1;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    for (size_t i = MixHash(hashes_[row]) & mask;; i = (i + 1) & mask) {
+      if (slots_[i] == kEmptySlot) {
+        slots_[i] = static_cast<uint32_t>(row);
+        break;
+      }
+    }
+  }
+}
+
+void ColumnArena::Invalidate() {
+  sorted_valid_ = false;
+  tuples_valid_ = false;
+}
+
+const std::vector<uint32_t>& ColumnArena::SortedRows() const {
+  if (!sorted_valid_) {
+    sorted_rows_.resize(num_rows_);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      sorted_rows_[r] = static_cast<uint32_t>(r);
+    }
+    std::sort(sorted_rows_.begin(), sorted_rows_.end(),
+              [this](uint32_t a, uint32_t b) {
+                for (size_t c = 0; c < arity_; ++c) {
+                  int cmp = columns_[c][a].Compare(columns_[c][b]);
+                  if (cmp != 0) return cmp < 0;
+                }
+                return false;
+              });
+    sorted_valid_ = true;
+  }
+  return sorted_rows_;
+}
+
+const std::vector<Tuple>& ColumnArena::SortedTuples() const {
+  if (!tuples_valid_) {
+    const std::vector<uint32_t>& order = SortedRows();
+    sorted_tuples_.clear();
+    sorted_tuples_.reserve(order.size());
+    for (uint32_t r : order) sorted_tuples_.push_back(Row(r).ToTuple());
+    tuples_valid_ = true;
+  }
+  return sorted_tuples_;
+}
+
+// --- Relation ----------------------------------------------------------------
 
 Relation Relation::True() { return Singleton(Tuple{}); }
 
@@ -22,7 +258,7 @@ Relation Relation::False() { return Relation(); }
 
 Relation Relation::Singleton(Tuple t) {
   Relation r;
-  r.Insert(std::move(t));
+  r.Insert(t);
   return r;
 }
 
@@ -32,23 +268,38 @@ Relation Relation::FromTuples(const std::vector<Tuple>& tuples) {
   return r;
 }
 
-bool Relation::Insert(Tuple t) {
-  ArityBlock& block = blocks_[t.arity()];
-  auto [it, inserted] = block.set.insert(std::move(t));
-  (void)it;
-  if (inserted) {
-    block.sorted_valid = false;
-    ++size_;
-  }
+ColumnArena& Relation::ArenaFor(size_t arity) {
+  return blocks_.try_emplace(arity, arity).first->second;
+}
+
+bool Relation::Insert(const Tuple& t) {
+  return Insert(t.values().data(), t.arity());
+}
+
+bool Relation::Insert(const Value* vals, size_t arity) {
+  bool inserted = ArenaFor(arity).Insert(vals);
+  if (inserted) ++size_;
   return inserted;
+}
+
+bool Relation::Insert(const TupleRef& ref) {
+  bool inserted = ArenaFor(ref.arity()).Insert(ref);
+  if (inserted) ++size_;
+  return inserted;
+}
+
+bool Relation::InsertRowFrom(const ColumnArena& src, size_t row) {
+  if (!ArenaFor(src.arity()).InsertRowOf(src, row)) return false;
+  ++size_;
+  return true;
 }
 
 bool Relation::InsertAll(const Relation& other) {
   bool changed = false;
-  for (const auto& [arity, block] : other.blocks_) {
+  for (const auto& [arity, src] : other.blocks_) {
     (void)arity;
-    for (const Tuple& t : block.set) {
-      changed |= Insert(t);
+    for (size_t r = 0; r < src.size(); ++r) {
+      changed |= InsertRowFrom(src, r);
     }
   }
   return changed;
@@ -57,16 +308,24 @@ bool Relation::InsertAll(const Relation& other) {
 bool Relation::Erase(const Tuple& t) {
   auto it = blocks_.find(t.arity());
   if (it == blocks_.end()) return false;
-  if (it->second.set.erase(t) == 0) return false;
-  it->second.sorted_valid = false;
+  if (!it->second.Erase(t.values().data())) return false;
   --size_;
-  if (it->second.set.empty()) blocks_.erase(it);
+  if (it->second.empty()) blocks_.erase(it);
   return true;
 }
 
 bool Relation::Contains(const Tuple& t) const {
-  auto it = blocks_.find(t.arity());
-  return it != blocks_.end() && it->second.set.count(t) > 0;
+  return Contains(t.values().data(), t.arity());
+}
+
+bool Relation::Contains(const Value* vals, size_t arity) const {
+  auto it = blocks_.find(arity);
+  return it != blocks_.end() && it->second.Contains(vals);
+}
+
+bool Relation::Contains(const TupleRef& ref) const {
+  auto it = blocks_.find(ref.arity());
+  return it != blocks_.end() && it->second.Contains(ref);
 }
 
 bool Relation::IsBoolean() const {
@@ -78,26 +337,36 @@ bool Relation::AsBool() const { return blocks_.count(0) > 0; }
 std::vector<size_t> Relation::Arities() const {
   std::vector<size_t> arities;
   arities.reserve(blocks_.size());
-  for (const auto& [arity, block] : blocks_) {
-    (void)block;
+  for (const auto& [arity, arena] : blocks_) {
+    (void)arena;
     arities.push_back(arity);
   }
   return arities;
+}
+
+size_t Relation::CountOfArity(size_t arity) const {
+  auto it = blocks_.find(arity);
+  return it == blocks_.end() ? 0 : it->second.size();
+}
+
+const ColumnArena* Relation::ArenaOfArity(size_t arity) const {
+  auto it = blocks_.find(arity);
+  return it == blocks_.end() ? nullptr : &it->second;
 }
 
 const std::vector<Tuple>& Relation::TuplesOfArity(size_t arity) const {
   static const std::vector<Tuple>* empty_vec = new std::vector<Tuple>();
   auto it = blocks_.find(arity);
   if (it == blocks_.end()) return *empty_vec;
-  return it->second.Sorted();
+  return it->second.SortedTuples();
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {
   std::vector<Tuple> out;
   out.reserve(size_);
-  for (const auto& [arity, block] : blocks_) {
+  for (const auto& [arity, arena] : blocks_) {
     (void)arity;
-    const std::vector<Tuple>& sorted = block.Sorted();
+    const std::vector<Tuple>& sorted = arena.SortedTuples();
     out.insert(out.end(), sorted.begin(), sorted.end());
   }
   return out;
@@ -105,7 +374,7 @@ std::vector<Tuple> Relation::SortedTuples() const {
 
 Relation Relation::Suffixes(const Tuple& prefix) const {
   Relation out;
-  ScanPrefix(prefix, [&](const Tuple& t) {
+  ScanPrefix(prefix, [&](const TupleRef& t) {
     out.Insert(t.Slice(prefix.arity(), t.arity()));
     return true;
   });
@@ -122,10 +391,11 @@ Relation Relation::Intersect(const Relation& other) const {
   const Relation& small = size() <= other.size() ? *this : other;
   const Relation& large = size() <= other.size() ? other : *this;
   Relation out;
-  for (const auto& [arity, block] : small.blocks_) {
-    (void)arity;
-    for (const Tuple& t : block.set) {
-      if (large.Contains(t)) out.Insert(t);
+  for (const auto& [arity, arena] : small.blocks_) {
+    const ColumnArena* other_arena = large.ArenaOfArity(arity);
+    if (!other_arena) continue;
+    for (size_t r = 0; r < arena.size(); ++r) {
+      if (other_arena->ContainsRowOf(arena, r)) out.InsertRowFrom(arena, r);
     }
   }
   return out;
@@ -133,10 +403,12 @@ Relation Relation::Intersect(const Relation& other) const {
 
 Relation Relation::Minus(const Relation& other) const {
   Relation out;
-  for (const auto& [arity, block] : blocks_) {
-    (void)arity;
-    for (const Tuple& t : block.set) {
-      if (!other.Contains(t)) out.Insert(t);
+  for (const auto& [arity, arena] : blocks_) {
+    const ColumnArena* other_arena = other.ArenaOfArity(arity);
+    for (size_t r = 0; r < arena.size(); ++r) {
+      if (!other_arena || !other_arena->ContainsRowOf(arena, r)) {
+        out.InsertRowFrom(arena, r);
+      }
     }
   }
   return out;
@@ -145,24 +417,24 @@ Relation Relation::Minus(const Relation& other) const {
 bool Relation::operator==(const Relation& other) const {
   if (size_ != other.size_) return false;
   if (blocks_.size() != other.blocks_.size()) return false;
-  for (const auto& [arity, block] : blocks_) {
-    auto it = other.blocks_.find(arity);
-    if (it == other.blocks_.end()) return false;
-    if (block.set.size() != it->second.set.size()) return false;
-    for (const Tuple& t : block.set) {
-      if (it->second.set.count(t) == 0) return false;
+  for (const auto& [arity, arena] : blocks_) {
+    const ColumnArena* other_arena = other.ArenaOfArity(arity);
+    if (!other_arena) return false;
+    if (arena.size() != other_arena->size()) return false;
+    for (size_t r = 0; r < arena.size(); ++r) {
+      if (!other_arena->ContainsRowOf(arena, r)) return false;
     }
   }
   return true;
 }
 
 size_t Relation::Hash() const {
-  // XOR of tuple hashes is order-insensitive, then mix in the size.
+  // XOR of row hashes is order-insensitive, then mix in the size.
   size_t acc = 0;
-  for (const auto& [arity, block] : blocks_) {
+  for (const auto& [arity, arena] : blocks_) {
     (void)arity;
-    for (const Tuple& t : block.set) {
-      acc ^= t.Hash();
+    for (size_t r = 0; r < arena.size(); ++r) {
+      acc ^= arena.RowHash(r);
     }
   }
   return HashCombine(acc, size_);

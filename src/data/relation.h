@@ -1,8 +1,12 @@
 // Relation: a set of tuples, possibly of mixed arity (Rels1 in Addendum A).
 //
-// Storage is per-arity: a hash set for O(1) membership and insertion, plus a
-// lazily maintained sorted vector used for deterministic iteration and for
-// prefix range scans (the access path behind partial application R[a,b]).
+// Storage is column-major: each arity that occurs in the relation owns a
+// ColumnArena — one flat std::vector<Value> per column, an open-addressing
+// hash table over row *indices* for O(1) dedup/membership (no materialized
+// tuples), and a lazily maintained sorted row-index view used for
+// deterministic iteration and for prefix range scans (the access path behind
+// partial application R[a,b]). Rows are handed out as lightweight TupleRef
+// views; see src/data/README.md for the layout and validity invariants.
 //
 // Mixed arity is a first-class feature: the paper's `Prefix` and `Perm`
 // examples (Section 4.1) produce relations whose tuples have many arities.
@@ -10,14 +14,129 @@
 #ifndef REL_DATA_RELATION_H_
 #define REL_DATA_RELATION_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "data/tuple.h"
 
 namespace rel {
+
+/// Column-major storage for the fixed-arity slice of a relation: `arity`
+/// parallel column vectors, per-row cached content hashes, an open-addressing
+/// row-index table for dedup, and lazy sorted views. Append-only except for
+/// Erase (which swaps the last row into the hole, renumbering that one row).
+class ColumnArena {
+ public:
+  explicit ColumnArena(size_t arity);
+  // Copies are distinct storage and get a fresh id. Moves are deleted: a
+  // defaulted move would leave the source with a stale size and a duplicate
+  // id, and no container here ever relocates an arena (std::map nodes are
+  // stable).
+  ColumnArena(const ColumnArena& other);
+  ColumnArena& operator=(const ColumnArena& other);
+  ColumnArena(ColumnArena&&) = delete;
+  ColumnArena& operator=(ColumnArena&&) = delete;
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+  /// Bumped on every successful mutation; consumers (index caches) use it to
+  /// detect staleness — unlike a size comparison it also catches erase+insert
+  /// sequences that return to a previous size.
+  uint64_t version() const { return version_; }
+  /// Process-unique, never reused. Caches key on (id, version) rather than
+  /// the arena address: a new arena allocated where a freed one lived (the
+  /// erase-all-then-reinsert path) must not alias its predecessor's entries.
+  uint64_t id() const { return id_; }
+
+  const Value& At(size_t row, size_t col) const { return columns_[col][row]; }
+  const std::vector<Value>& Column(size_t col) const { return columns_[col]; }
+  TupleRef Row(size_t row) const {
+    return TupleRef(columns_.data(), arity_, row);
+  }
+  /// The cached content hash of a row (equals Tuple::Hash of the row).
+  size_t RowHash(size_t row) const { return hashes_[row]; }
+
+  /// Inserts the row `vals[0..arity)`; returns false if already present.
+  bool Insert(const Value* vals);
+  bool Insert(const TupleRef& ref);
+  /// Inserts row `row` of `src` (same arity); reuses src's cached hash.
+  bool InsertRowOf(const ColumnArena& src, size_t row);
+
+  bool Contains(const Value* vals) const;
+  bool Contains(const TupleRef& ref) const;
+  bool ContainsRowOf(const ColumnArena& src, size_t row) const;
+
+  /// Removes the row equal to `vals`, swapping the last row into its slot
+  /// (row indices of the moved row change; all views are invalidated).
+  bool Erase(const Value* vals);
+
+  /// Row indices in lexicographic tuple order. Rebuilt lazily; the returned
+  /// vector is stable across Insert (stale but safe), not across Erase.
+  const std::vector<uint32_t>& SortedRows() const;
+
+  /// Materialized sorted tuples — the compatibility view for row-oriented
+  /// consumers (scan-strategy ablation baselines, kg layer, tests). Built
+  /// lazily; the columnar fast paths never force it.
+  const std::vector<Tuple>& SortedTuples() const;
+
+  /// Invokes fn(TupleRef) for every row present at entry. The row count is
+  /// snapshotted, and appends never move existing rows, so inserting into
+  /// this arena from `fn` is safe (new rows are not visited this pass).
+  /// Erasing from `fn` is NOT safe.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    const size_t n = num_rows_;
+    for (size_t r = 0; r < n; ++r) fn(Row(r));
+  }
+
+ private:
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+  static constexpr uint32_t kTombstone = 0xfffffffeu;
+  static constexpr size_t kNoRow = static_cast<size_t>(-1);
+
+  // True iff row `row` equals the candidate whose value at column c is
+  // get(c) — the single definition of row equality.
+  template <typename GetFn>
+  bool RowEquals(size_t row, GetFn&& get) const;
+  // Returns the index of the row whose hash is `h` and whose columns satisfy
+  // eq(row), or kNoRow. `eq` is only called when hashes match.
+  template <typename EqFn>
+  size_t FindRow(size_t h, EqFn&& eq) const;
+  // Appends a row (values provided by get(col)) and links it into the table.
+  template <typename GetFn>
+  void AppendRow(size_t h, GetFn&& get);
+  template <typename GetFn>
+  bool InsertImpl(size_t h, GetFn&& get);
+  bool RowEqualsSpan(size_t row, const Value* vals) const;
+  void MaybeGrowTable();
+  void Rehash(size_t min_slots);
+  // The slot holding row index `row` (which must be present).
+  size_t SlotOf(size_t row) const;
+  void Invalidate();
+
+  static uint64_t NextId();
+
+  size_t arity_ = 0;
+  size_t num_rows_ = 0;
+  uint64_t version_ = 0;
+  uint64_t id_ = 0;
+  std::vector<std::vector<Value>> columns_;  // columns_[c][r]; size() == arity_
+  std::vector<size_t> hashes_;               // per-row content hash
+  std::vector<uint32_t> slots_;              // open addressing; power of two
+  size_t tombstones_ = 0;
+
+  // Lazy views. Invalidation only flips the flags — the vectors keep their
+  // previous (stale) contents so iteration in flight during an Insert stays
+  // memory-safe.
+  mutable std::vector<uint32_t> sorted_rows_;
+  mutable bool sorted_valid_ = true;
+  mutable std::vector<Tuple> sorted_tuples_;
+  mutable bool tuples_valid_ = false;
+};
 
 /// A (first-order) relation: a finite set of tuples of mixed arity.
 class Relation {
@@ -34,13 +153,20 @@ class Relation {
   static Relation FromTuples(const std::vector<Tuple>& tuples);
 
   /// Inserts `t`; returns true if it was not already present.
-  bool Insert(Tuple t);
+  bool Insert(const Tuple& t);
+  /// Inserts the tuple `vals[0..arity)` without materializing a Tuple — the
+  /// zero-allocation emit path of the Datalog evaluator.
+  bool Insert(const Value* vals, size_t arity);
+  bool Insert(const TupleRef& ref);
   /// Inserts every tuple of `other`; returns true if anything was added.
   bool InsertAll(const Relation& other);
   /// Removes `t`; returns true if it was present.
   bool Erase(const Tuple& t);
 
   bool Contains(const Tuple& t) const;
+  bool Contains(const Value* vals, size_t arity) const;
+  bool Contains(const TupleRef& ref) const;
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
@@ -52,35 +178,49 @@ class Relation {
   /// All arities that occur in the relation, ascending.
   std::vector<size_t> Arities() const;
 
-  /// All tuples of a given arity in sorted order (empty if none).
+  /// Number of tuples of one arity, without forcing any view.
+  size_t CountOfArity(size_t arity) const;
+
+  /// The column arena backing one arity, or nullptr if that arity is absent.
+  /// The arena address is stable while the arity remains populated and the
+  /// Relation is neither copied, moved-from, nor destroyed.
+  const ColumnArena* ArenaOfArity(size_t arity) const;
+
+  /// All tuples of a given arity in sorted order (empty if none). This is
+  /// the materialized compatibility view; columnar consumers should use
+  /// ArenaOfArity / ForEachOfArity instead.
   const std::vector<Tuple>& TuplesOfArity(size_t arity) const;
 
   /// All tuples, sorted by (arity, lexicographic). Deterministic.
   std::vector<Tuple> SortedTuples() const;
 
-  /// Invokes fn(tuple) for every tuple, without copying and without forcing
-  /// the sorted view. Iteration order is unspecified (hash-set order); use
-  /// SortedTuples() when determinism matters.
+  /// Invokes fn(TupleRef) for every tuple, without copying and without
+  /// forcing the sorted view. Iteration order is unspecified (insertion
+  /// order per arity); use SortedTuples() when determinism matters.
+  /// Inserting into this relation from `fn` is safe: rows appended to an
+  /// already-visited or in-progress arity are not visited this pass (the
+  /// per-arity row count is snapshotted), though a brand-new arity created
+  /// mid-iteration may be. Erasing from `fn` is not supported.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const auto& [arity, block] : blocks_) {
+    for (const auto& [arity, arena] : blocks_) {
       (void)arity;
-      for (const Tuple& t : block.set) fn(t);
+      arena.ForEachRow(fn);
     }
   }
 
-  /// Like ForEach but restricted to one arity. Unlike TuplesOfArity this
-  /// does not force (or sort) the sorted view.
+  /// Like ForEach but restricted to one arity. Same insert-while-iterating
+  /// guarantee; does not force (or sort) any view.
   template <typename Fn>
   void ForEachOfArity(size_t arity, Fn&& fn) const {
     auto it = blocks_.find(arity);
     if (it == blocks_.end()) return;
-    for (const Tuple& t : it->second.set) fn(t);
+    it->second.ForEachRow(fn);
   }
 
   /// Tuples of arity >= prefix.arity() that start with `prefix`, i.e. the
   /// matches used by partial application. The callback receives each full
-  /// matching tuple; return false from it to stop early.
+  /// matching row as a TupleRef; return false from it to stop early.
   template <typename Fn>
   void ScanPrefix(const Tuple& prefix, Fn&& fn) const;
 
@@ -103,29 +243,72 @@ class Relation {
   std::string ToString() const;
 
  private:
-  struct ArityBlock {
-    std::unordered_set<Tuple> set;
-    // Sorted view, rebuilt on demand; valid iff sorted_valid.
-    mutable std::vector<Tuple> sorted;
-    mutable bool sorted_valid = true;
+  ColumnArena& ArenaFor(size_t arity);
+  /// Inserts row `row` of `src` into this relation's arena of the same
+  /// arity, keeping size_ in sync — the one place that invariant lives for
+  /// arena-to-arena copies.
+  bool InsertRowFrom(const ColumnArena& src, size_t row);
 
-    const std::vector<Tuple>& Sorted() const;
-  };
-
-  std::map<size_t, ArityBlock> blocks_;
+  std::map<size_t, ColumnArena> blocks_;
   size_t size_ = 0;
 };
 
 template <typename Fn>
 void Relation::ScanPrefix(const Tuple& prefix, Fn&& fn) const {
-  for (const auto& [arity, block] : blocks_) {
-    if (arity < prefix.arity()) continue;
-    const std::vector<Tuple>& sorted = block.Sorted();
-    // Binary search for the first tuple >= prefix; all matches are a
-    // contiguous run because order is lexicographic.
-    auto it = std::lower_bound(sorted.begin(), sorted.end(), prefix);
-    for (; it != sorted.end() && it->StartsWith(prefix); ++it) {
-      if (!fn(*it)) return;
+  const size_t k = prefix.arity();
+  const Value* pvals = prefix.values().data();
+  for (const auto& [arity, arena] : blocks_) {
+    if (arity < k) continue;
+    const std::vector<uint32_t>& order = arena.SortedRows();
+    // Lexicographic compare of the row's first k columns against the prefix
+    // (no arity tie-break: every row in this block extends the prefix).
+    auto cmp_prefix = [&](uint32_t row) {
+      for (size_t i = 0; i < k; ++i) {
+        int c = arena.At(row, i).Compare(pvals[i]);
+        if (c != 0) return c;
+      }
+      return 0;
+    };
+    // Matches form a contiguous run; two binary searches bound it.
+    size_t lo = 0;
+    size_t hi = order.size();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (cmp_prefix(order[mid]) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    size_t end_lo = lo;
+    size_t end_hi = order.size();
+    while (end_lo < end_hi) {
+      size_t mid = end_lo + (end_hi - end_lo) / 2;
+      if (cmp_prefix(order[mid]) <= 0) {
+        end_lo = mid + 1;
+      } else {
+        end_hi = mid;
+      }
+    }
+    if (lo == end_lo) continue;
+    // Snapshot the run before calling out: a callback that inserts and then
+    // touches a sorted view re-sorts sorted_rows_ in place, which would
+    // shift the run under a live iteration over `order`. Typical partial-
+    // application runs are short, so a stack buffer avoids an allocation on
+    // the solver's hot path.
+    const size_t count = end_lo - lo;
+    uint32_t small[64];
+    std::vector<uint32_t> big;
+    const uint32_t* run;
+    if (count <= 64) {
+      std::copy(order.begin() + lo, order.begin() + end_lo, small);
+      run = small;
+    } else {
+      big.assign(order.begin() + lo, order.begin() + end_lo);
+      run = big.data();
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (!fn(arena.Row(run[i]))) return;
     }
   }
 }

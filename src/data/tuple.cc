@@ -5,6 +5,50 @@
 
 namespace rel {
 
+Tuple TupleRef::ToTuple() const { return Slice(0, arity_); }
+
+Tuple TupleRef::Slice(size_t begin, size_t end) const {
+  InternalCheck(begin <= end && end <= arity_, "bad tuple-ref slice");
+  std::vector<Value> values;
+  values.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) values.push_back((*this)[i]);
+  return Tuple(std::move(values));
+}
+
+bool TupleRef::StartsWith(const Tuple& prefix) const {
+  if (prefix.arity() > arity_) return false;
+  for (size_t i = 0; i < prefix.arity(); ++i) {
+    if ((*this)[i] != prefix[i]) return false;
+  }
+  return true;
+}
+
+size_t TupleRef::Hash() const {
+  size_t seed = kTupleHashSeed;
+  for (size_t i = 0; i < arity_; ++i) {
+    seed = HashCombine(seed, (*this)[i].Hash());
+  }
+  return seed;
+}
+
+bool TupleRef::operator==(const Tuple& other) const {
+  if (arity_ != other.arity()) return false;
+  for (size_t i = 0; i < arity_; ++i) {
+    if ((*this)[i] != other[i]) return false;
+  }
+  return true;
+}
+
+std::string TupleRef::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < arity_; ++i) {
+    if (i > 0) out += ", ";
+    out += (*this)[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
 void Tuple::AppendAll(const Tuple& t) {
   values_.insert(values_.end(), t.values_.begin(), t.values_.end());
 }
@@ -39,7 +83,7 @@ int Tuple::Compare(const Tuple& other) const {
 }
 
 size_t Tuple::Hash() const {
-  size_t seed = 0xa1b2c3d4;
+  size_t seed = kTupleHashSeed;
   for (const Value& v : values_) {
     seed = HashCombine(seed, v.Hash());
   }

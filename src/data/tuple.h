@@ -14,6 +14,57 @@
 
 namespace rel {
 
+/// Seed for row/tuple content hashing. Shared by Tuple::Hash, TupleRef::Hash
+/// and the columnar arena's per-row hashes so that all three agree on equal
+/// content.
+inline constexpr size_t kTupleHashSeed = 0xa1b2c3d4;
+
+class Tuple;
+
+/// A non-owning view of one row of column-major relation storage.
+///
+/// `cols` points at a contiguous array of `arity` column vectors; position i
+/// of the row is cols[i][row]. The view stays valid while rows are appended
+/// to the owning arena (element buffers may reallocate, but access goes
+/// through the column vector objects, whose addresses are fixed), and is
+/// invalidated by Erase or by destruction/copy of the owning relation. See
+/// src/data/README.md for the full invariants.
+class TupleRef {
+ public:
+  TupleRef() = default;
+  TupleRef(const std::vector<Value>* cols, size_t arity, size_t row)
+      : cols_(cols),
+        arity_(static_cast<uint32_t>(arity)),
+        row_(static_cast<uint32_t>(row)) {}
+
+  size_t arity() const { return arity_; }
+  bool empty() const { return arity_ == 0; }
+  /// The row index within the owning arena.
+  size_t row() const { return row_; }
+
+  const Value& operator[](size_t i) const { return cols_[i][row_]; }
+
+  /// Materializes an owning Tuple with this row's values.
+  Tuple ToTuple() const;
+  /// Owning tuple made of positions [begin, end).
+  Tuple Slice(size_t begin, size_t end) const;
+
+  bool StartsWith(const Tuple& prefix) const;
+
+  /// Equals Tuple::Hash() of the materialized row.
+  size_t Hash() const;
+
+  bool operator==(const Tuple& other) const;
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  const std::vector<Value>* cols_ = nullptr;
+  uint32_t arity_ = 0;
+  uint32_t row_ = 0;
+};
+
 /// A first-order tuple. Thin wrapper over std::vector<Value> with ordering,
 /// hashing, slicing and printing.
 class Tuple {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <set>
@@ -155,12 +154,9 @@ struct State {
   }
 };
 
-/// Builds the head tuple and inserts it into `out`. When `dedup_against` is
-/// non-null (the indexed path), tuples already in that extent are dropped at
-/// the source — the fixpoint diff happens here, with no intermediate
-/// relation and no copy-and-sort.
+/// Builds the head tuple and inserts it into `out` (scan-path variant).
 void EmitHead(const Rule& rule, const Bindings& bindings, Relation* out,
-              EvalStats* stats, const Relation* dedup_against = nullptr) {
+              EvalStats* stats) {
   Tuple head;
   for (const Term& t : rule.head.terms) {
     if (t.is_var()) {
@@ -175,8 +171,36 @@ void EmitHead(const Rule& rule, const Bindings& bindings, Relation* out,
     }
   }
   if (stats) ++stats->tuples_derived;
-  if (dedup_against && dedup_against->Contains(head)) return;
-  out->Insert(std::move(head));
+  out->Insert(head);
+}
+
+/// Indexed-path emit: gathers the head values into the caller's reusable
+/// scratch buffer and inserts the span straight into `out`'s column arena —
+/// no per-candidate Tuple allocation. When `dedup_against` is non-null,
+/// tuples already in that extent are dropped at the source — the fixpoint
+/// diff happens here, with no intermediate relation and no copy-and-sort.
+void EmitHeadColumnar(const Rule& rule, const Bindings& bindings,
+                      std::vector<Value>& scratch, Relation* out,
+                      EvalStats* stats, const Relation* dedup_against) {
+  scratch.clear();
+  for (const Term& t : rule.head.terms) {
+    if (t.is_var()) {
+      if (!bindings[t.var]) {
+        throw RelError(ErrorKind::kSafety,
+                       "head variable unbound in rule for '" + rule.head.pred +
+                           "'");
+      }
+      scratch.push_back(*bindings[t.var]);
+    } else {
+      scratch.push_back(t.constant);
+    }
+  }
+  if (stats) ++stats->tuples_derived;
+  if (dedup_against &&
+      dedup_against->Contains(scratch.data(), scratch.size())) {
+    return;
+  }
+  out->Insert(scratch.data(), scratch.size());
 }
 
 // --- scan-based evaluation (kNaive / kSemiNaiveScan ablation baseline) -------
@@ -467,8 +491,7 @@ RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state) {
       const Atom& atom = rule.body[i].atom;
       size_t nb = 0;
       for (const Term& t : atom.terms) nb += term_known(t);
-      size_t rows =
-          state.Full(atom.pred).TuplesOfArity(atom.terms.size()).size();
+      size_t rows = state.Full(atom.pred).CountOfArity(atom.terms.size());
       if (best < 0 || nb > best_bound ||
           (nb == best_bound && rows < best_rows)) {
         best = static_cast<int>(i);
@@ -513,17 +536,15 @@ RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state) {
 // --- plan execution ----------------------------------------------------------
 
 /// Runs an all-positive all-variable rule through Leapfrog Triejoin.
-/// Column-permuted sorted copies are materialized for atoms whose column
-/// order disagrees with the variable-id order (the triejoin precondition).
+/// Column-permuted sorted copies (the triejoin precondition) come from the
+/// IndexCache — built once per (predicate, column order) per version instead
+/// of rematerialized on every call.
 void ExecLeapfrog(const Rule& rule, const RulePlan& plan, const State& state,
-                  Relation* out, EvalStats* stats,
+                  IndexCache* cache, Relation* out, EvalStats* stats,
                   const Relation* dedup_against) {
-  std::deque<std::vector<Tuple>> permuted_storage;
   std::vector<joins::AtomSpec> atoms;
   atoms.reserve(rule.body.size());
   for (const Literal& lit : rule.body) {
-    const std::vector<Tuple>& rows =
-        state.Full(lit.atom.pred).TuplesOfArity(lit.atom.terms.size());
     // (var, column) pairs sorted by var give the triejoin column order.
     std::vector<std::pair<int, size_t>> order;
     order.reserve(lit.atom.terms.size());
@@ -531,41 +552,33 @@ void ExecLeapfrog(const Rule& rule, const RulePlan& plan, const State& state,
       order.emplace_back(lit.atom.terms[p].var, p);
     }
     std::sort(order.begin(), order.end());
-    bool identity = true;
     joins::AtomSpec spec;
-    for (size_t k = 0; k < order.size(); ++k) {
-      identity &= order[k].second == k;
-      spec.vars.push_back(order[k].first);
+    std::vector<size_t> col_order;
+    col_order.reserve(order.size());
+    for (const auto& [var, col] : order) {
+      spec.vars.push_back(var);
+      col_order.push_back(col);
     }
-    if (identity) {
-      spec.rows = &rows;
-    } else {
-      std::vector<Tuple> copy;
-      copy.reserve(rows.size());
-      for (const Tuple& row : rows) {
-        Tuple t;
-        for (const auto& [var, col] : order) {
-          (void)var;
-          t.Append(row[col]);
-        }
-        copy.push_back(std::move(t));
-      }
-      std::sort(copy.begin(), copy.end());
-      permuted_storage.push_back(std::move(copy));
-      spec.rows = &permuted_storage.back();
-    }
+    spec.rel = &cache->GetSorted(lit.atom.pred, state.Full(lit.atom.pred),
+                                 lit.atom.terms.size(), col_order,
+                                 stats ? &stats->sorted_builds : nullptr);
     atoms.push_back(std::move(spec));
   }
   if (stats) ++stats->leapfrog_joins;
+  std::vector<Value> scratch;
+  scratch.reserve(rule.head.terms.size());
   joins::LeapfrogJoin(
       plan.num_vars, atoms, [&](const std::vector<Value>& binding) {
-        Tuple head;
+        scratch.clear();
         for (const Term& t : rule.head.terms) {
-          head.Append(t.is_var() ? binding[t.var] : t.constant);
+          scratch.push_back(t.is_var() ? binding[t.var] : t.constant);
         }
         if (stats) ++stats->tuples_derived;
-        if (dedup_against && dedup_against->Contains(head)) return;
-        out->Insert(std::move(head));
+        if (dedup_against &&
+            dedup_against->Contains(scratch.data(), scratch.size())) {
+          return;
+        }
+        out->Insert(scratch.data(), scratch.size());
       });
 }
 
@@ -575,10 +588,14 @@ void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
               IndexCache* cache, Relation* out, EvalStats* stats,
               const Relation* dedup_against) {
   if (plan.leapfrog) {
-    ExecLeapfrog(rule, plan, state, out, stats, dedup_against);
+    ExecLeapfrog(rule, plan, state, cache, out, stats, dedup_against);
     return;
   }
   Bindings bindings(static_cast<size_t>(plan.num_vars));
+  // Reusable head-emission buffer: values stream from here straight into the
+  // output relation's column arena, so no Tuple is allocated per derivation.
+  std::vector<Value> head_buf;
+  head_buf.reserve(rule.head.terms.size());
   // Reusable probe-key scratch, one buffer per plan step: a step never
   // re-enters itself while its own probe is live (recursion only descends),
   // so per-step reuse is safe and avoids an allocation per probe.
@@ -595,7 +612,7 @@ void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
 
   auto step = [&](auto&& self, size_t si) -> void {
     if (si == plan.steps.size()) {
-      EmitHead(rule, bindings, out, stats, dedup_against);
+      EmitHeadColumnar(rule, bindings, head_buf, out, stats, dedup_against);
       return;
     }
     const PlanStep& ps = plan.steps[si];
@@ -603,7 +620,7 @@ void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
 
     // Matches `row` against the atom (binding fresh variables, checking
     // constants and repeated occurrences) and recurses on success.
-    auto match_row = [&](const Tuple& row) {
+    auto match_row = [&](const TupleRef& row) {
       bool ok = true;
       int newly_bound[8];
       size_t num_newly = 0;
@@ -633,7 +650,7 @@ void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
         if (stats) ++stats->delta_scans;
         auto it = state.delta.find(lit.atom.pred);
         if (it != state.delta.end()) {
-          // Hash-set order; skips the per-round sort TuplesOfArity forces.
+          // Insertion order; skips the per-round sort TuplesOfArity forces.
           it->second.ForEachOfArity(lit.atom.terms.size(), match_row);
         }
         return;
@@ -661,9 +678,12 @@ void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
         return;
       }
       case PlanStep::Kind::kNegation: {
-        Tuple probe;
-        for (const Term& t : lit.atom.terms) probe.Append(value_of(t));
-        if (!state.Full(lit.atom.pred).Contains(probe)) self(self, si + 1);
+        std::vector<Value>& probe = key_bufs[si];
+        probe.clear();
+        for (const Term& t : lit.atom.terms) probe.push_back(value_of(t));
+        if (!state.Full(lit.atom.pred).Contains(probe.data(), probe.size())) {
+          self(self, si + 1);
+        }
         return;
       }
       case PlanStep::Kind::kFilter: {
@@ -748,7 +768,7 @@ std::map<std::string, Relation> Evaluate(const Program& program,
       }
       Relation derived;
       EvalRuleScan(*rule, state, delta_index, &derived, s);
-      derived.ForEach([&](const Tuple& t) {
+      derived.ForEach([&](const TupleRef& t) {
         if (!full.Contains(t)) (*added)[rule->head.pred].Insert(t);
       });
     };

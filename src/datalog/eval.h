@@ -69,6 +69,8 @@ struct EvalStats {
   int iterations = 0;           // total fixpoint iterations across strata
   uint64_t tuples_derived = 0;  // insertions attempted (incl. duplicates)
   uint64_t index_builds = 0;    // hash indexes (re)built by the cache
+  uint64_t sorted_builds = 0;   // column-permuted sorted copies (re)built
+                                // by the cache for LeapfrogJoin
   uint64_t index_probes = 0;    // indexed lookups of bound-column literals
   uint64_t full_scans = 0;      // bound-column literals evaluated by scan
                                 // (always 0 under the indexed strategy)

@@ -11,18 +11,20 @@ namespace {
 constexpr size_t kIndexSeed = 0x51ed;
 }  // namespace
 
-void HashIndex::Build(const std::vector<Tuple>* rows,
+void HashIndex::Build(const ColumnArena* arena,
                       std::vector<size_t> key_positions) {
-  rows_ = rows;
+  arena_ = arena;
+  built_id_ = arena->id();
+  built_version_ = arena->version();
   keys_ = std::move(key_positions);
-  built_size_ = rows->size();
-  entries_.clear();
-  entries_.reserve(built_size_);
-  for (size_t i = 0; i < built_size_; ++i) {
-    entries_.push_back(Entry{RowHash((*rows)[i]), static_cast<uint32_t>(i)});
-  }
-  std::sort(entries_.begin(), entries_.end(),
-            [](const Entry& a, const Entry& b) { return a.hash < b.hash; });
+  entries_.Build(arena->size(), [this](size_t row) { return RowKeyHash(row); });
+}
+
+void HashIndex::Clear() {
+  arena_ = nullptr;
+  built_id_ = 0;
+  built_version_ = 0;
+  entries_.Clear();
 }
 
 size_t HashIndex::KeyHash(const std::vector<Value>& key) const {
@@ -31,9 +33,9 @@ size_t HashIndex::KeyHash(const std::vector<Value>& key) const {
   return h;
 }
 
-size_t HashIndex::RowHash(const Tuple& row) const {
+size_t HashIndex::RowKeyHash(size_t row) const {
   size_t h = kIndexSeed;
-  for (size_t k : keys_) h = HashCombine(h, row[k].Hash());
+  for (size_t k : keys_) h = HashCombine(h, arena_->At(row, k).Hash());
   return h;
 }
 
@@ -42,12 +44,42 @@ const HashIndex& IndexCache::Get(const std::string& pred, const Relation& rel,
                                  const std::vector<size_t>& key_positions,
                                  uint64_t* build_counter) {
   HashIndex& index = cache_[Key(pred, arity, key_positions)];
-  const std::vector<Tuple>& rows = rel.TuplesOfArity(arity);
-  if (!index.built() || index.built_size() != rows.size()) {
-    index.Build(&rows, key_positions);
+  const ColumnArena* arena = rel.ArenaOfArity(arity);
+  if (arena == nullptr) {
+    // No rows of this arity: probes are no-ops on an unbuilt index.
+    index.Clear();
+    return index;
+  }
+  if (!index.built() || index.built_id() != arena->id() ||
+      index.built_version() != arena->version()) {
+    index.Build(arena, key_positions);
     if (build_counter) ++*build_counter;
   }
   return index;
+}
+
+const joins::SortedColumns& IndexCache::GetSorted(
+    const std::string& pred, const Relation& rel, size_t arity,
+    const std::vector<size_t>& col_order, uint64_t* build_counter) {
+  SortedEntry& entry = sorted_cache_[Key(pred, arity, col_order)];
+  const ColumnArena* arena = rel.ArenaOfArity(arity);
+  if (arena == nullptr) {
+    if (entry.built && entry.data.rows != 0) entry = SortedEntry{};
+    entry.built = true;
+    entry.data.cols.resize(col_order.size());
+    return entry.data;
+  }
+  if (entry.built && entry.built_id == arena->id() &&
+      entry.built_version == arena->version()) {
+    return entry.data;
+  }
+
+  entry.built_id = arena->id();
+  entry.built_version = arena->version();
+  entry.built = true;
+  entry.data = joins::ToSortedColumns(*arena, col_order);
+  if (build_counter) ++*build_counter;
+  return entry.data;
 }
 
 }  // namespace datalog

@@ -1,82 +1,85 @@
 // Generalized hash indexes for the Datalog evaluator.
 //
-// A HashIndex maps a fixed set of key columns of one tuple vector to the
-// rows carrying those key values; the evaluator probes it instead of
-// scanning the whole extent whenever a body literal has at least one column
-// bound by the enclosing join prefix. An IndexCache memoizes indexes per
-// (predicate, arity, bound-position set) so they are built at most once per
-// fixpoint round and shared across rules.
+// A HashIndex maps a fixed set of key columns of one ColumnArena (the
+// column-major storage behind one arity of a Relation) to the row indices
+// carrying those key values — no tuple copies; probes hand out TupleRef row
+// views. The evaluator probes it instead of scanning the whole extent
+// whenever a body literal has at least one column bound by the enclosing
+// join prefix.
+//
+// An IndexCache memoizes two kinds of derived access structures per
+// predicate so they are built at most once per fixpoint round and shared
+// across rules:
+//   * hash indexes keyed by (predicate, arity, bound-position set), and
+//   * column-permuted sorted copies (joins::SortedColumns) keyed by
+//     (predicate, arity, column order) — the triejoin inputs, previously
+//     rebuilt on every LeapfrogJoin call.
+// Both invalidate on the arena's version counter, which advances on every
+// mutation (growth between fixpoint rounds, but also erase+reinsert cycles
+// a size check would miss).
 
 #ifndef REL_DATALOG_INDEX_H_
 #define REL_DATALOG_INDEX_H_
 
-#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "base/flat_index.h"
 #include "data/relation.h"
+#include "joins/leapfrog.h"
 
 namespace rel {
 namespace datalog {
 
-/// A hash index over one tuple vector for a fixed set of key positions.
+/// A hash index over one column arena for a fixed set of key positions.
 class HashIndex {
  public:
   HashIndex() = default;
 
-  /// Builds over `rows` keyed on `key_positions`. `rows` is not owned; it
-  /// must outlive the index and keep its first built_size() elements stable
-  /// while the index is in use (the cache rebuilds on growth).
-  void Build(const std::vector<Tuple>* rows, std::vector<size_t> key_positions);
+  /// Builds over `arena` keyed on `key_positions`. `arena` is not owned; it
+  /// must outlive the index and keep its rows stable while the index is in
+  /// use (the cache rebuilds whenever the arena's version moves).
+  void Build(const ColumnArena* arena, std::vector<size_t> key_positions);
+  /// Resets to the unbuilt state (used when the indexed arity vanishes).
+  void Clear();
 
-  bool built() const { return rows_ != nullptr; }
-  size_t built_size() const { return built_size_; }
+  bool built() const { return arena_ != nullptr; }
+  const ColumnArena* arena() const { return arena_; }
+  uint64_t built_id() const { return built_id_; }
+  uint64_t built_version() const { return built_version_; }
   const std::vector<size_t>& key_positions() const { return keys_; }
 
-  /// Invokes fn(row) for every row whose key columns equal `key`; `key` is
-  /// ordered like the key_positions passed to Build.
-  ///
-  /// Storage is a flat (hash, row) array sorted by hash — binary search plus
-  /// a contiguous run beats a node-based multimap on probe-heavy workloads.
+  /// Invokes fn(TupleRef) for every row whose key columns equal `key`; `key`
+  /// is ordered like the key_positions passed to Build. Storage is a shared
+  /// FlatHashIndex (base/flat_index.h); key columns are verified here.
   template <typename Fn>
   void Probe(const std::vector<Value>& key, Fn&& fn) const {
-    size_t h = KeyHash(key);
-    auto lo = std::lower_bound(
-        entries_.begin(), entries_.end(), h,
-        [](const Entry& e, size_t hash) { return e.hash < hash; });
-    for (; lo != entries_.end() && lo->hash == h; ++lo) {
-      const Tuple& row = (*rows_)[lo->row];
-      bool match = true;
-      for (size_t k = 0; k < keys_.size() && match; ++k) {
-        match = row[keys_[k]] == key[k];
+    if (!arena_) return;
+    entries_.Probe(KeyHash(key), [&](uint32_t row) {
+      for (size_t k = 0; k < keys_.size(); ++k) {
+        if (arena_->At(row, keys_[k]) != key[k]) return;
       }
-      if (match) fn(row);
-    }
+      fn(arena_->Row(row));
+    });
   }
 
  private:
-  struct Entry {
-    size_t hash;
-    uint32_t row;
-  };
-
   size_t KeyHash(const std::vector<Value>& key) const;
-  size_t RowHash(const Tuple& row) const;
+  size_t RowKeyHash(size_t row) const;
 
-  const std::vector<Tuple>* rows_ = nullptr;
-  size_t built_size_ = 0;
+  const ColumnArena* arena_ = nullptr;
+  uint64_t built_id_ = 0;
+  uint64_t built_version_ = 0;
   std::vector<size_t> keys_;
-  std::vector<Entry> entries_;
+  FlatHashIndex entries_;
 };
 
-/// Cache of hash indexes keyed by (predicate, arity, bound-position set).
-/// Indexes are built lazily on first probe and rebuilt when the indexed
-/// extent has grown. Relations only grow during fixpoint evaluation, and the
-/// evaluator only merges deltas between rounds, so a size comparison is a
-/// sufficient invalidation test.
+/// Cache of derived access structures, rebuilt lazily when the backing
+/// arena's version has moved (relations only change between fixpoint
+/// rounds, so entries live for at least a whole round).
 class IndexCache {
  public:
   /// Returns the (built) index over `rel`'s tuples of `arity` keyed on
@@ -86,9 +89,27 @@ class IndexCache {
                        size_t arity, const std::vector<size_t>& key_positions,
                        uint64_t* build_counter);
 
+  /// Returns `rel`'s tuples of `arity` with columns permuted into
+  /// `col_order` (output column k = stored column col_order[k]) and rows
+  /// sorted lexicographically — the Leapfrog Triejoin input format.
+  /// Built/rebuilt on demand like Get; increments *build_counter on builds.
+  const joins::SortedColumns& GetSorted(const std::string& pred,
+                                        const Relation& rel, size_t arity,
+                                        const std::vector<size_t>& col_order,
+                                        uint64_t* build_counter);
+
  private:
   using Key = std::tuple<std::string, size_t, std::vector<size_t>>;
+
+  struct SortedEntry {
+    uint64_t built_id = 0;
+    uint64_t built_version = 0;
+    bool built = false;
+    joins::SortedColumns data;
+  };
+
   std::map<Key, HashIndex> cache_;
+  std::map<Key, SortedEntry> sorted_cache_;
 };
 
 }  // namespace datalog

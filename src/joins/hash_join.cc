@@ -1,7 +1,6 @@
 #include "joins/hash_join.h"
 
-#include <unordered_map>
-
+#include "base/flat_index.h"
 #include "base/hash.h"
 
 namespace rel {
@@ -15,14 +14,6 @@ size_t KeyHash(const Tuple& t, const std::vector<size_t>& keys) {
   return h;
 }
 
-bool KeysEqual(const Tuple& a, const std::vector<size_t>& ka, const Tuple& b,
-               const std::vector<size_t>& kb) {
-  for (size_t i = 0; i < ka.size(); ++i) {
-    if (a[ka[i]] != b[kb[i]]) return false;
-  }
-  return true;
-}
-
 }  // namespace
 
 std::vector<Tuple> HashJoin(const std::vector<Tuple>& left,
@@ -34,49 +25,62 @@ std::vector<Tuple> HashJoin(const std::vector<Tuple>& left,
 
   // Build on the right side, probe with the left (output order is
   // left-major, which callers rely on for determinism after sorting).
-  std::unordered_multimap<size_t, size_t> index;
-  index.reserve(right.size());
-  for (size_t i = 0; i < right.size(); ++i) {
-    index.emplace(KeyHash(right[i], right_keys), i);
-  }
-  std::vector<bool> is_key(right.empty() ? 0 : right[0].arity(), false);
+  FlatHashIndex index;
+  index.Build(right.size(),
+              [&](size_t i) { return KeyHash(right[i], right_keys); });
+  std::vector<bool> is_key(right[0].arity(), false);
   for (size_t k : right_keys) is_key[k] = true;
 
   for (const Tuple& l : left) {
-    auto [lo, hi] = index.equal_range(KeyHash(l, left_keys));
-    for (auto it = lo; it != hi; ++it) {
-      const Tuple& r = right[it->second];
-      if (!KeysEqual(l, left_keys, r, right_keys)) continue;
+    index.Probe(KeyHash(l, left_keys), [&](uint32_t ri) {
+      const Tuple& r = right[ri];
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        if (l[left_keys[i]] != r[right_keys[i]]) return;
+      }
       Tuple joined = l;
       for (size_t i = 0; i < r.arity(); ++i) {
         if (!is_key[i]) joined.Append(r[i]);
       }
       out.push_back(std::move(joined));
-    }
+    });
   }
   return out;
 }
 
 size_t CountTrianglesBinaryJoin(const std::vector<Tuple>& edges) {
-  // paths = E(x,y) ⋈ E(y,z): tuples (x, y, z) — materialized!
-  std::vector<Tuple> paths = HashJoin(edges, {1}, edges, {0});
-  // triangles: paths(x,y,z) ⋈ E(z,x).
-  std::unordered_multimap<size_t, size_t> index;
-  index.reserve(edges.size());
-  for (size_t i = 0; i < edges.size(); ++i) {
-    size_t h = HashCombine(HashCombine(0x77aa, edges[i][0].Hash()),
-                           edges[i][1].Hash());
-    index.emplace(h, i);
+  // paths = E(x,y) ⋈ E(y,z): stored column-major as three flat value
+  // vectors — the quadratic intermediate is still materialized (that is the
+  // point of this baseline) but with no per-path tuple allocation.
+  FlatHashIndex by_src;
+  by_src.Build(edges.size(), [&](size_t i) {
+    return HashCombine(0x9d2c, edges[i][0].Hash());
+  });
+  std::vector<Value> px, py, pz;
+  for (const Tuple& e : edges) {
+    size_t h = HashCombine(0x9d2c, e[1].Hash());
+    by_src.Probe(h, [&](uint32_t ri) {
+      const Tuple& r = edges[ri];
+      if (r[0] != e[1]) return;
+      px.push_back(e[0]);
+      py.push_back(e[1]);
+      pz.push_back(r[1]);
+    });
   }
+
+  // triangles: paths(x,y,z) ⋈ E(z,x), probing an index over whole edges.
+  FlatHashIndex by_edge;
+  by_edge.Build(edges.size(), [&](size_t i) {
+    return HashCombine(HashCombine(0x77aa, edges[i][0].Hash()),
+                       edges[i][1].Hash());
+  });
   size_t count = 0;
-  for (const Tuple& p : paths) {
+  for (size_t p = 0; p < px.size(); ++p) {
     size_t h =
-        HashCombine(HashCombine(0x77aa, p[2].Hash()), p[0].Hash());
-    auto [lo, hi] = index.equal_range(h);
-    for (auto it = lo; it != hi; ++it) {
-      const Tuple& e = edges[it->second];
-      if (e[0] == p[2] && e[1] == p[0]) ++count;
-    }
+        HashCombine(HashCombine(0x77aa, pz[p].Hash()), px[p].Hash());
+    by_edge.Probe(h, [&](uint32_t ei) {
+      const Tuple& e = edges[ei];
+      if (e[0] == pz[p] && e[1] == px[p]) ++count;
+    });
   }
   return count;
 }

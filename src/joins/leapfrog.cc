@@ -1,6 +1,7 @@
 #include "joins/leapfrog.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "base/error.h"
 
@@ -9,17 +10,18 @@ namespace joins {
 
 namespace {
 
-/// A trie view over a sorted tuple vector. At depth d the iterator walks the
-/// distinct values of column d within the row range selected by the values
-/// chosen at depths 0..d-1.
+/// A trie view over column-major sorted rows. At depth d the iterator walks
+/// the distinct values of column d within the row range selected by the
+/// values chosen at depths 0..d-1. Scans touch only the single column at the
+/// current depth — the payoff of the columnar layout.
 class TrieIterator {
  public:
-  explicit TrieIterator(const std::vector<Tuple>& rows) : rows_(rows) {}
+  explicit TrieIterator(const SortedColumns& data) : data_(data) {}
 
   /// Descends into the children of the current position (or the root).
   void Open() {
     size_t begin = 0;
-    size_t end = rows_.size();
+    size_t end = data_.rows;
     if (!levels_.empty()) {
       begin = levels_.back().cur_begin;
       end = levels_.back().cur_end;
@@ -36,7 +38,7 @@ class TrieIterator {
   }
 
   const Value& Key() const {
-    return rows_[levels_.back().cur_begin][Depth()];
+    return data_.cols[Depth()][levels_.back().cur_begin];
   }
 
   /// Advances to the next distinct value at this depth.
@@ -49,12 +51,12 @@ class TrieIterator {
   /// Positions at the first value >= `v` at this depth.
   void SeekGE(const Value& v) {
     Level& l = levels_.back();
-    size_t d = Depth();
+    const std::vector<Value>& col = data_.cols[Depth()];
     size_t lo = l.cur_begin;
     size_t hi = l.end;
     while (lo < hi) {
       size_t mid = lo + (hi - lo) / 2;
-      if (rows_[mid][d].Compare(v) < 0) {
+      if (col[mid].Compare(v) < 0) {
         lo = mid + 1;
       } else {
         hi = mid;
@@ -75,13 +77,13 @@ class TrieIterator {
   /// Computes the run of rows sharing the value at `start` (column Depth()).
   void SetRunAt(size_t start) {
     Level& l = levels_.back();
-    size_t d = Depth();
-    const Value& v = rows_[start][d];
+    const std::vector<Value>& col = data_.cols[Depth()];
+    const Value& v = col[start];
     size_t lo = start + 1;
     size_t hi = l.end;
     while (lo < hi) {
       size_t mid = lo + (hi - lo) / 2;
-      if (rows_[mid][d].Compare(v) <= 0) {
+      if (col[mid].Compare(v) <= 0) {
         lo = mid + 1;
       } else {
         hi = mid;
@@ -91,7 +93,7 @@ class TrieIterator {
     l.cur_end = lo;
   }
 
-  const std::vector<Tuple>& rows_;
+  const SortedColumns& data_;
   std::vector<Level> levels_;
 };
 
@@ -147,6 +149,56 @@ class LeapfrogLevel {
 
 }  // namespace
 
+namespace {
+
+/// Shared permute-sort-gather core: `at(row, col)` reads the source, `order`
+/// (empty = identity) permutes columns, rows come out sorted in the permuted
+/// column order — the triejoin input invariant, maintained in one place.
+template <typename AtFn>
+SortedColumns BuildSortedColumns(size_t num_rows, size_t arity,
+                                 const std::vector<size_t>& order,
+                                 AtFn&& at) {
+  SortedColumns out;
+  const size_t out_arity = order.empty() ? arity : order.size();
+  out.cols.resize(out_arity);
+  out.rows = num_rows;
+
+  auto col_of = [&](size_t k) { return order.empty() ? k : order[k]; };
+  std::vector<uint32_t> perm(num_rows);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < out_arity; ++k) {
+      int c = at(a, col_of(k)).Compare(at(b, col_of(k)));
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  for (size_t k = 0; k < out_arity; ++k) {
+    std::vector<Value>& col = out.cols[k];
+    col.reserve(num_rows);
+    for (uint32_t r : perm) col.push_back(at(r, col_of(k)));
+  }
+  return out;
+}
+
+}  // namespace
+
+SortedColumns ToSortedColumns(const std::vector<Tuple>& rows,
+                              const std::vector<size_t>& order) {
+  const size_t arity = rows.empty() ? 0 : rows[0].arity();
+  return BuildSortedColumns(
+      rows.size(), arity, order,
+      [&rows](size_t r, size_t c) -> const Value& { return rows[r][c]; });
+}
+
+SortedColumns ToSortedColumns(const ColumnArena& arena,
+                              const std::vector<size_t>& order) {
+  return BuildSortedColumns(arena.size(), arena.arity(), order,
+                            [&arena](size_t r, size_t c) -> const Value& {
+                              return arena.At(r, c);
+                            });
+}
+
 size_t LeapfrogJoin(
     int num_vars, const std::vector<AtomSpec>& atoms,
     const std::function<void(const std::vector<Value>&)>& emit) {
@@ -159,7 +211,7 @@ size_t LeapfrogJoin(
   std::vector<TrieIterator> iterators;
   iterators.reserve(atoms.size());
   for (const AtomSpec& atom : atoms) {
-    iterators.emplace_back(*atom.rows);
+    iterators.emplace_back(*atom.rel);
   }
 
   // Which iterators participate at each variable, and each atom's depth.
@@ -201,15 +253,9 @@ size_t LeapfrogJoinCount(int num_vars, const std::vector<AtomSpec>& atoms) {
 
 size_t CountTrianglesLeapfrog(const std::vector<Tuple>& edges) {
   // Variables x=0, y=1, z=2. Atoms: E(x,y) -> edges as-is; E(y,z) -> edges;
-  // E(z,x) -> needs (x,z) order, i.e. the column-swapped copy, sorted.
-  std::vector<Tuple> sorted_edges = edges;
-  std::sort(sorted_edges.begin(), sorted_edges.end());
-  std::vector<Tuple> swapped;
-  swapped.reserve(edges.size());
-  for (const Tuple& e : edges) {
-    swapped.push_back(Tuple({e[1], e[0]}));
-  }
-  std::sort(swapped.begin(), swapped.end());
+  // E(z,x) -> needs (x,z) order, i.e. the column-swapped copy.
+  SortedColumns sorted_edges = ToSortedColumns(edges);
+  SortedColumns swapped = ToSortedColumns(edges, {1, 0});
 
   std::vector<AtomSpec> atoms = {
       {&sorted_edges, {0, 1}},  // E(x,y)

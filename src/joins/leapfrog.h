@@ -2,10 +2,12 @@
 // algorithm the paper cites as the enabler of GNF's many-join modeling style
 // (Sections 2 and 7).
 //
-// Relations are presented as sorted tuple vectors; each atom maps its
+// Relations are presented column-major as SortedColumns — one flat value
+// vector per column, rows sorted lexicographically. Each atom maps its
 // columns to global variables, and the global variable order must be
 // consistent with every atom's column order (the classical triejoin
-// precondition — callers materialize column-permuted copies where needed).
+// precondition — callers build column-permuted SortedColumns where needed;
+// the Datalog evaluator caches them in its IndexCache).
 
 #ifndef REL_JOINS_LEAPFROG_H_
 #define REL_JOINS_LEAPFROG_H_
@@ -14,15 +16,36 @@
 #include <functional>
 #include <vector>
 
+#include "data/relation.h"
 #include "data/tuple.h"
 
 namespace rel {
 namespace joins {
 
+/// A column-major, lexicographically sorted tuple set: cols[c][r] is
+/// position c of row r, and rows 0..rows-1 ascend in tuple order.
+struct SortedColumns {
+  std::vector<std::vector<Value>> cols;
+  size_t rows = 0;
+
+  size_t arity() const { return cols.size(); }
+};
+
+/// Builds SortedColumns from row-major tuples (all of one arity). When
+/// `order` is non-empty it permutes the columns: output column k holds input
+/// column order[k]. Rows are sorted in the permuted order.
+SortedColumns ToSortedColumns(const std::vector<Tuple>& rows,
+                              const std::vector<size_t>& order = {});
+
+/// Same, reading straight from a relation's column arena (no intermediate
+/// tuples). Used by the Datalog IndexCache to materialize triejoin inputs.
+SortedColumns ToSortedColumns(const ColumnArena& arena,
+                              const std::vector<size_t>& order = {});
+
 /// One atom of the conjunctive query.
 struct AtomSpec {
-  /// Rows sorted lexicographically; all of one arity.
-  const std::vector<Tuple>* rows = nullptr;
+  /// Column-major sorted rows; all of one arity.
+  const SortedColumns* rel = nullptr;
   /// Global variable id of each column; must be strictly increasing.
   std::vector<int> vars;
 };
@@ -35,8 +58,9 @@ size_t LeapfrogJoin(int num_vars, const std::vector<AtomSpec>& atoms,
 /// Counts results without materializing them.
 size_t LeapfrogJoinCount(int num_vars, const std::vector<AtomSpec>& atoms);
 
-/// Counts ordered triangles E(x,y), E(y,z), E(z,x) with LFTJ. `edges` must
-/// be sorted; a column-swapped copy is built internally for the E(z,x) atom.
+/// Counts ordered triangles E(x,y), E(y,z), E(z,x) with LFTJ. Column-major
+/// copies (one of them column-swapped for the E(z,x) atom) are built
+/// internally.
 size_t CountTrianglesLeapfrog(const std::vector<Tuple>& edges);
 
 }  // namespace joins

@@ -1,0 +1,270 @@
+// Tests for the column-major relation storage: arena growth, row-index
+// dedup across erase/swap rewrites, iteration stability while inserting,
+// TupleRef view validity, and version-based index invalidation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/relation.h"
+#include "datalog/index.h"
+
+namespace rel {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+TEST(ColumnArena, GrowthAcrossRounds) {
+  // Simulates fixpoint behavior: many insert waves into one arity, far past
+  // several hash-table rehashes and column reallocations.
+  Relation r;
+  constexpr int kRounds = 10;
+  constexpr int kPerRound = 300;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kPerRound; ++i) {
+      EXPECT_TRUE(r.Insert(Tuple({I(round), I(i)})));
+      EXPECT_FALSE(r.Insert(Tuple({I(round), I(i)})));  // immediate dup
+    }
+  }
+  EXPECT_EQ(r.size(), static_cast<size_t>(kRounds * kPerRound));
+  // Every tuple from every round is still findable after all the growth.
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kPerRound; ++i) {
+      EXPECT_TRUE(r.Contains(Tuple({I(round), I(i)})));
+    }
+  }
+  EXPECT_FALSE(r.Contains(Tuple({I(kRounds), I(0)})));
+  const ColumnArena* arena = r.ArenaOfArity(2);
+  ASSERT_NE(arena, nullptr);
+  EXPECT_EQ(arena->size(), r.size());
+  EXPECT_EQ(arena->Column(0).size(), r.size());
+}
+
+TEST(ColumnArena, DedupAfterColumnRewrite) {
+  // Erase swaps the last row into the erased slot (a column rewrite); the
+  // row-index hash table must stay consistent through it.
+  Relation r;
+  for (int i = 0; i < 100; ++i) r.Insert(Tuple({I(i), I(i * 2)}));
+  // Erase from the middle so the swap path (row != last) is exercised.
+  for (int i = 10; i < 60; ++i) {
+    EXPECT_TRUE(r.Erase(Tuple({I(i), I(i * 2)})));
+  }
+  EXPECT_EQ(r.size(), 50u);
+  // Survivors still dedup — including the rows that were physically moved.
+  for (int i = 60; i < 100; ++i) {
+    EXPECT_TRUE(r.Contains(Tuple({I(i), I(i * 2)})));
+    EXPECT_FALSE(r.Insert(Tuple({I(i), I(i * 2)})));
+  }
+  // Erased tuples are re-insertable exactly once.
+  for (int i = 10; i < 60; ++i) {
+    EXPECT_FALSE(r.Contains(Tuple({I(i), I(i * 2)})));
+    EXPECT_TRUE(r.Insert(Tuple({I(i), I(i * 2)})));
+    EXPECT_FALSE(r.Insert(Tuple({I(i), I(i * 2)})));
+  }
+  EXPECT_EQ(r.size(), 100u);
+}
+
+TEST(ColumnArena, VersionAdvancesOnEveryMutation) {
+  Relation r;
+  r.Insert(Tuple({I(1), I(2)}));
+  const ColumnArena* arena = r.ArenaOfArity(2);
+  ASSERT_NE(arena, nullptr);
+  uint64_t v1 = arena->version();
+  r.Insert(Tuple({I(3), I(4)}));
+  uint64_t v2 = arena->version();
+  EXPECT_GT(v2, v1);
+  r.Erase(Tuple({I(3), I(4)}));
+  r.Insert(Tuple({I(5), I(6)}));
+  // Same size as at v2, but the content changed — version must differ.
+  EXPECT_EQ(arena->size(), 2u);
+  EXPECT_GT(arena->version(), v2);
+  // A duplicate insert is not a mutation.
+  uint64_t v3 = arena->version();
+  r.Insert(Tuple({I(5), I(6)}));
+  EXPECT_EQ(arena->version(), v3);
+}
+
+TEST(Relation, ForEachOfArityStableWhileInserting) {
+  // Regression test for the emit-during-iteration pattern: inserting into
+  // the relation being iterated must neither crash nor visit the new rows
+  // in the same pass (the row count is snapshotted at entry).
+  Relation r;
+  constexpr int kInitial = 500;  // enough to force column reallocation
+  for (int i = 0; i < kInitial; ++i) r.Insert(Tuple({I(i)}));
+  int visited = 0;
+  r.ForEachOfArity(1, [&](const TupleRef& t) {
+    // Insert a fresh tuple derived from the visited one.
+    r.Insert(Tuple({I(t[0].AsInt() + kInitial)}));
+    ++visited;
+  });
+  EXPECT_EQ(visited, kInitial);
+  EXPECT_EQ(r.size(), static_cast<size_t>(2 * kInitial));
+}
+
+TEST(Relation, ForEachStableWhileInsertingNewArity) {
+  Relation r;
+  for (int i = 0; i < 50; ++i) r.Insert(Tuple({I(i), I(i)}));
+  int visited_pairs = 0;
+  r.ForEach([&](const TupleRef& t) {
+    if (t.arity() == 2) {
+      // Derive into a different arity mid-iteration.
+      r.Insert(Tuple({I(t[0].AsInt()), I(0), I(0)}));
+      ++visited_pairs;
+    }
+  });
+  EXPECT_EQ(visited_pairs, 50);
+  EXPECT_EQ(r.CountOfArity(2), 50u);
+  EXPECT_EQ(r.CountOfArity(3), 50u);
+}
+
+TEST(Relation, ScanPrefixStableWhenCallbackInsertsAndSorts) {
+  // Regression: a ScanPrefix callback that inserts rows sorting before the
+  // matched run AND forces a sorted view (re-sorting it in place) must not
+  // shift the run under the scan — rows were visited twice before the scan
+  // snapshotted its run.
+  Relation r;
+  for (int i = 0; i < 8; ++i) r.Insert(Tuple({I(1), I(i)}));
+  int visited = 0;
+  r.ScanPrefix(Tuple({I(1)}), [&](const TupleRef& row) {
+    EXPECT_EQ(row[0], I(1));
+    ++visited;
+    r.Insert(Tuple({I(0), I(100 + visited)}));  // sorts before the run
+    (void)r.TuplesOfArity(2);                   // forces the re-sort
+    return true;
+  });
+  EXPECT_EQ(visited, 8);
+  EXPECT_EQ(r.size(), 16u);
+}
+
+TEST(Relation, TupleRefStaysValidAcrossInserts) {
+  Relation r;
+  r.Insert(Tuple({I(7), I(8), I(9)}));
+  const ColumnArena* arena = r.ArenaOfArity(3);
+  ASSERT_NE(arena, nullptr);
+  TupleRef ref = arena->Row(0);
+  // Push the columns through several reallocations.
+  for (int i = 0; i < 2000; ++i) r.Insert(Tuple({I(i), I(i), I(i)}));
+  EXPECT_EQ(ref[0], I(7));
+  EXPECT_EQ(ref[1], I(8));
+  EXPECT_EQ(ref[2], I(9));
+  EXPECT_EQ(ref.ToTuple(), Tuple({I(7), I(8), I(9)}));
+}
+
+TEST(Relation, MixedArityRoundTrip) {
+  // A mixed-arity predicate (the paper's Prefix/Perm shape) written into
+  // columnar storage and read back through every access path.
+  std::vector<Tuple> tuples = {
+      Tuple{},
+      Tuple({I(1)}),
+      Tuple({I(1), I(2)}),
+      Tuple({I(1), I(2), I(3)}),
+      Tuple({I(2), I(1)}),
+  };
+  Relation r = Relation::FromTuples(tuples);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.Arities(), (std::vector<size_t>{0, 1, 2, 3}));
+  for (const Tuple& t : tuples) EXPECT_TRUE(r.Contains(t));
+
+  // Sorted round-trip is deterministic and ordered by (arity, lex).
+  std::vector<Tuple> sorted = r.SortedTuples();
+  ASSERT_EQ(sorted.size(), 5u);
+  EXPECT_EQ(sorted[0], Tuple{});
+  EXPECT_EQ(sorted[1], Tuple({I(1)}));
+  EXPECT_EQ(sorted[2], Tuple({I(1), I(2)}));
+  EXPECT_EQ(sorted[3], Tuple({I(2), I(1)}));
+  EXPECT_EQ(sorted[4], Tuple({I(1), I(2), I(3)}));
+
+  // Prefix scan crosses arity blocks; suffixes strip the prefix.
+  Relation suffixes = r.Suffixes(Tuple({I(1)}));
+  EXPECT_EQ(suffixes.size(), 3u);  // <>, (2), (2,3)
+  EXPECT_TRUE(suffixes.Contains(Tuple{}));
+  EXPECT_TRUE(suffixes.Contains(Tuple({I(2)})));
+  EXPECT_TRUE(suffixes.Contains(Tuple({I(2), I(3)})));
+
+  // Round-trip through copy + set algebra preserves equality and hash.
+  Relation copy = r.Union(Relation());
+  EXPECT_EQ(copy, r);
+  EXPECT_EQ(copy.Hash(), r.Hash());
+}
+
+TEST(IndexCache, RebuildsOnVersionNotSize) {
+  // Indexes store row indices into the arena; an erase+insert cycle that
+  // returns to the same size must still invalidate them.
+  Relation r;
+  r.Insert(Tuple({I(1), I(10)}));
+  r.Insert(Tuple({I(2), I(20)}));
+
+  datalog::IndexCache cache;
+  uint64_t builds = 0;
+  const datalog::HashIndex& index = cache.Get("p", r, 2, {0}, &builds);
+  EXPECT_EQ(builds, 1u);
+  int hits = 0;
+  index.Probe({I(2)}, [&](const TupleRef& row) {
+    EXPECT_EQ(row[1], I(20));
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+
+  r.Erase(Tuple({I(2), I(20)}));
+  r.Insert(Tuple({I(2), I(99)}));  // same size, different content
+
+  const datalog::HashIndex& again = cache.Get("p", r, 2, {0}, &builds);
+  EXPECT_EQ(builds, 2u);
+  hits = 0;
+  again.Probe({I(2)}, [&](const TupleRef& row) {
+    EXPECT_EQ(row[1], I(99));
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(IndexCache, RebuildsWhenArityArenaIsRecreated) {
+  // Erasing the last row of an arity destroys its arena; a new arena may be
+  // allocated at the same address with a version that could collide. The
+  // cache keys on the process-unique arena id, so it must rebuild.
+  Relation r;
+  r.Insert(Tuple({I(1), I(10)}));
+  datalog::IndexCache cache;
+  uint64_t builds = 0;
+  cache.Get("p", r, 2, {0}, &builds);
+  EXPECT_EQ(builds, 1u);
+  r.Erase(Tuple({I(1), I(10)}));   // arity-2 arena destroyed
+  r.Insert(Tuple({I(1), I(77)}));  // fresh arena, possibly same address
+  const datalog::HashIndex& index = cache.Get("p", r, 2, {0}, &builds);
+  EXPECT_EQ(builds, 2u);
+  int hits = 0;
+  index.Probe({I(1)}, [&](const TupleRef& row) {
+    EXPECT_EQ(row[1], I(77));
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(IndexCache, SortedColumnsCachedPerVersion) {
+  Relation r;
+  r.Insert(Tuple({I(3), I(1)}));
+  r.Insert(Tuple({I(1), I(2)}));
+
+  datalog::IndexCache cache;
+  uint64_t builds = 0;
+  const joins::SortedColumns& swapped = cache.GetSorted("p", r, 2, {1, 0},
+                                                        &builds);
+  EXPECT_EQ(builds, 1u);
+  ASSERT_EQ(swapped.rows, 2u);
+  // Permuted column 0 is stored column 1, sorted: (1,3), (2,1).
+  EXPECT_EQ(swapped.cols[0], (std::vector<Value>{I(1), I(2)}));
+  EXPECT_EQ(swapped.cols[1], (std::vector<Value>{I(3), I(1)}));
+
+  // Unchanged relation: cache hit, no rebuild.
+  cache.GetSorted("p", r, 2, {1, 0}, &builds);
+  EXPECT_EQ(builds, 1u);
+
+  r.Insert(Tuple({I(0), I(0)}));
+  const joins::SortedColumns& rebuilt = cache.GetSorted("p", r, 2, {1, 0},
+                                                        &builds);
+  EXPECT_EQ(builds, 2u);
+  EXPECT_EQ(rebuilt.rows, 3u);
+}
+
+}  // namespace
+}  // namespace rel

@@ -59,7 +59,7 @@ TEST(Relation, PrefixScanAndSuffixes) {
   EXPECT_TRUE(suffixes.Contains(Tuple({I(20), I(99)})));
 
   int count = 0;
-  r.ScanPrefix(Tuple({I(1)}), [&count](const Tuple&) {
+  r.ScanPrefix(Tuple({I(1)}), [&count](const TupleRef&) {
     ++count;
     return true;
   });
@@ -70,7 +70,7 @@ TEST(Relation, ScanPrefixEarlyStop) {
   Relation r = Relation::FromTuples(
       {Tuple({I(1), I(1)}), Tuple({I(1), I(2)}), Tuple({I(1), I(3)})});
   int count = 0;
-  r.ScanPrefix(Tuple({I(1)}), [&count](const Tuple&) {
+  r.ScanPrefix(Tuple({I(1)}), [&count](const TupleRef&) {
     ++count;
     return count < 2;
   });

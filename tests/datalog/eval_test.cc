@@ -311,7 +311,7 @@ TEST(Planner, ConstantsInAtomsProbeAsBoundColumns) {
   Relation tc = EvalAllStrategies(
       "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).", "tc", &edges);
   size_t expected = 0;
-  tc.ForEach([&](const Tuple& t) { expected += t[0] == I(0); });
+  tc.ForEach([&](const TupleRef& t) { expected += t[0] == I(0); });
   EXPECT_EQ(from0.size(), expected);
 }
 

@@ -45,17 +45,16 @@ TEST(Leapfrog, TwoWayJoinMatchesHashJoin) {
   std::vector<Tuple> r = benchutil::RandomGraph(40, 120, 7);
   std::vector<Tuple> s = benchutil::RandomGraph(40, 120, 8);
   // R(x,y) ⋈ S(y,z).
-  std::vector<Tuple> r_sorted = r, s_sorted = s;
-  std::sort(r_sorted.begin(), r_sorted.end());
-  std::sort(s_sorted.begin(), s_sorted.end());
+  SortedColumns r_sorted = ToSortedColumns(r);
+  SortedColumns s_sorted = ToSortedColumns(s);
   std::vector<AtomSpec> atoms = {{&r_sorted, {0, 1}}, {&s_sorted, {1, 2}}};
   size_t lftj = LeapfrogJoinCount(3, atoms);
   EXPECT_EQ(lftj, HashJoin(r, {1}, s, {0}).size());
 }
 
 TEST(Leapfrog, EmitsBindings) {
-  std::vector<Tuple> e = {Tuple({I(1), I(2)}), Tuple({I(2), I(3)})};
-  std::sort(e.begin(), e.end());
+  SortedColumns e =
+      ToSortedColumns({Tuple({I(1), I(2)}), Tuple({I(2), I(3)})});
   std::vector<AtomSpec> atoms = {{&e, {0, 1}}, {&e, {1, 2}}};
   std::vector<std::vector<Value>> results;
   LeapfrogJoin(3, atoms,
@@ -82,7 +81,7 @@ TEST(Leapfrog, TriangleCountsAgreeOnSkewedGraphs) {
 }
 
 TEST(Leapfrog, EmptyRelation) {
-  std::vector<Tuple> empty;
+  SortedColumns empty = ToSortedColumns({}, {0, 1});
   std::vector<AtomSpec> atoms = {{&empty, {0, 1}}};
   EXPECT_EQ(LeapfrogJoinCount(2, atoms), 0u);
   EXPECT_EQ(CountTrianglesLeapfrog({}), 0u);
@@ -92,11 +91,23 @@ TEST(Leapfrog, DuplicateKeyRuns) {
   // Multiple rows with the same leading value exercise the run detection.
   std::vector<Tuple> r = {Tuple({I(1), I(1)}), Tuple({I(1), I(2)}),
                           Tuple({I(1), I(3)}), Tuple({I(2), I(3)})};
-  std::vector<AtomSpec> atoms = {{&r, {0, 1}}, {&r, {1, 2}}};
+  SortedColumns r_sorted = ToSortedColumns(r);
+  std::vector<AtomSpec> atoms = {{&r_sorted, {0, 1}}, {&r_sorted, {1, 2}}};
   // Join R(x,y), R(y,z): y in {1,2,3} ∩ heads {1,2}.
   // (1,1,{1,2,3}), (1,2,3), (2,3,-)... count pairs.
   size_t expected = HashJoin(r, {1}, r, {0}).size();
   EXPECT_EQ(LeapfrogJoinCount(3, atoms), expected);
+}
+
+TEST(Leapfrog, ToSortedColumnsPermutesAndSorts) {
+  std::vector<Tuple> rows = {Tuple({I(3), I(1)}), Tuple({I(1), I(2)}),
+                             Tuple({I(2), I(0)})};
+  SortedColumns swapped = ToSortedColumns(rows, {1, 0});
+  ASSERT_EQ(swapped.arity(), 2u);
+  ASSERT_EQ(swapped.rows, 3u);
+  // Sorted by (col1, col0) of the input: (0,2), (1,3), (2,1).
+  EXPECT_EQ(swapped.cols[0], (std::vector<Value>{I(0), I(1), I(2)}));
+  EXPECT_EQ(swapped.cols[1], (std::vector<Value>{I(2), I(3), I(1)}));
 }
 
 }  // namespace

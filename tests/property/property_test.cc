@@ -214,9 +214,8 @@ TEST_P(JoinProperty, HashEqualsLeapfrog) {
   uint64_t seed = GetParam();
   std::vector<Tuple> r = benchutil::RandomGraph(20, 60, seed);
   std::vector<Tuple> s = benchutil::RandomGraph(20, 60, seed * 31 + 7);
-  std::vector<Tuple> r_sorted = r, s_sorted = s;
-  std::sort(r_sorted.begin(), r_sorted.end());
-  std::sort(s_sorted.begin(), s_sorted.end());
+  joins::SortedColumns r_sorted = joins::ToSortedColumns(r);
+  joins::SortedColumns s_sorted = joins::ToSortedColumns(s);
   std::vector<joins::AtomSpec> atoms = {{&r_sorted, {0, 1}},
                                         {&s_sorted, {1, 2}}};
   EXPECT_EQ(joins::LeapfrogJoinCount(3, atoms),
