@@ -1,0 +1,110 @@
+// Parallel-evaluator scaling series: the indexed semi-naive evaluator at
+// 1/2/4/8 worker threads over the transitive-closure workloads of bench_tc,
+// at sizes where rounds are wide enough to chunk (n >= 128).
+//
+// Reading the results: the threads:1 series must match bench_tc's
+// BM_TC_DatalogSemiNaive (same code path, zero pool overhead); speedup is
+// threads:1 wall time over threads:N at fixed (n, random). The random
+// series parallelizes well (few rounds, wide deltas); the chain series is
+// the adversarial case (n rounds of ~n-row deltas, so the per-round barrier
+// cost is the whole story). Counters: tasks/steals/merges expose the pool;
+// derived must be identical across thread counts — the determinism
+// invariant, checked by tests/datalog/parallel_eval_test.cc.
+//
+// A second series scales the unit DAG: k independent closure components,
+// one unit each, evaluated concurrently even when every per-round delta is
+// too small to chunk.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "benchutil/generators.h"
+#include "datalog/eval.h"
+
+namespace rel {
+namespace {
+
+void BM_TC_Par(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  bool chain = state.range(1) == 0;
+  int threads = static_cast<int>(state.range(2));
+  std::vector<Tuple> edges = chain
+                                 ? benchutil::ChainGraph(n)
+                                 : benchutil::RandomGraph(n, 3 * n, /*seed=*/42);
+  for (auto _ : state) {
+    datalog::Program program = datalog::ParseDatalog(
+        "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).");
+    for (const Tuple& e : edges) program.AddFact("edge", e);
+    datalog::EvalOptions options;
+    options.strategy = datalog::Strategy::kSemiNaive;
+    options.num_threads = threads;
+    datalog::EvalStats stats;
+    Relation tc = datalog::EvaluatePredicate(program, "tc", options, &stats);
+    benchmark::DoNotOptimize(tc.size());
+    state.counters["derived"] = static_cast<double>(stats.tuples_derived);
+    state.counters["tasks"] = static_cast<double>(stats.par_tasks);
+    state.counters["steals"] = static_cast<double>(stats.par_steals);
+    state.counters["merges"] = static_cast<double>(stats.par_merges);
+  }
+}
+BENCHMARK(BM_TC_Par)
+    ->ArgNames({"n", "random", "threads"})
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      for (int64_t shape : {0, 1}) {
+        for (int64_t n : {128, 256, 512}) {
+          for (int64_t threads : {1, 2, 4, 8}) {
+            b->Args({n, shape, threads});
+          }
+        }
+      }
+    })
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TC_ParComponents(benchmark::State& state) {
+  // k disjoint random-graph closures: k independent units on the DAG.
+  int n = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  int threads = static_cast<int>(state.range(2));
+  std::vector<std::vector<Tuple>> components;
+  std::string rules;
+  for (int c = 0; c < k; ++c) {
+    components.push_back(
+        benchutil::RandomGraph(n, 3 * n, /*seed=*/100 + c));
+    std::string e = "e" + std::to_string(c);
+    std::string tc = "tc" + std::to_string(c);
+    rules += tc + "(X,Y) :- " + e + "(X,Y). " + tc + "(X,Z) :- " + e +
+             "(X,Y), " + tc + "(Y,Z).\n";
+  }
+  for (auto _ : state) {
+    datalog::Program program = datalog::ParseDatalog(rules);
+    for (int c = 0; c < k; ++c) {
+      std::string e = "e" + std::to_string(c);
+      for (const Tuple& t : components[c]) program.AddFact(e, t);
+    }
+    datalog::EvalOptions options;
+    options.num_threads = threads;
+    datalog::EvalStats stats;
+    std::map<std::string, Relation> all =
+        datalog::Evaluate(program, options, &stats);
+    benchmark::DoNotOptimize(all.size());
+    state.counters["units"] = static_cast<double>(stats.units);
+    state.counters["tasks"] = static_cast<double>(stats.par_tasks);
+  }
+}
+BENCHMARK(BM_TC_ParComponents)
+    ->ArgNames({"n", "components", "threads"})
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      for (int64_t threads : {1, 2, 4, 8}) {
+        b->Args({96, 4, threads});
+      }
+    })
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rel
+
+BENCHMARK_MAIN();

@@ -73,15 +73,19 @@ BENCHMARK(BM_TC_RelStdlibTC)
     ->Apply(ApplyRelGraphArgs)
     ->Unit(benchmark::kMillisecond);
 
-void RunDatalogTC(benchmark::State& state, datalog::Strategy strategy) {
+void RunDatalogTC(benchmark::State& state, datalog::Strategy strategy,
+                  int num_threads = 1) {
   std::vector<Tuple> edges = GraphFor(state);
   for (auto _ : state) {
     datalog::Program program = datalog::ParseDatalog(
         "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z).");
     for (const Tuple& e : edges) program.AddFact("edge", e);
+    datalog::EvalOptions options;
+    options.strategy = strategy;
+    options.num_threads = num_threads;
     datalog::EvalStats stats;
     Relation tc =
-        datalog::EvaluatePredicate(program, "tc", strategy, &stats);
+        datalog::EvaluatePredicate(program, "tc", options, &stats);
     benchmark::DoNotOptimize(tc.size());
     state.counters["derived"] = static_cast<double>(stats.tuples_derived);
     state.counters["probes"] = static_cast<double>(stats.index_probes);
@@ -109,6 +113,16 @@ void BM_TC_DatalogNaive(benchmark::State& state) {
   RunDatalogTC(state, datalog::Strategy::kNaive);
 }
 BENCHMARK(BM_TC_DatalogNaive)
+    ->Apply(ApplyGraphArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TC_DatalogSemiNaivePar4(benchmark::State& state) {
+  // The indexed evaluator on a 4-worker pool (chunked delta drivers,
+  // per-thread staging). The full thread-scaling matrix lives in
+  // bench_par; this series keeps one parallel point in the tc trajectory.
+  RunDatalogTC(state, datalog::Strategy::kSemiNaive, /*num_threads=*/4);
+}
+BENCHMARK(BM_TC_DatalogSemiNaivePar4)
     ->Apply(ApplyGraphArgs)
     ->Unit(benchmark::kMillisecond);
 

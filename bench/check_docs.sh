@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Docs reference check: the architecture docs must not point at files that
+# no longer exist. Scans ARCHITECTURE.md, every src/*/README.md and
+# bench/README.md for repo-relative paths (src/..., bench/..., tests/...,
+# examples/..., .github/...) and fails if any referenced path is missing —
+# the CI step that keeps docs honest across refactors.
+#
+# Conventions the docs follow so the check stays simple:
+#   * reference real single files or directories (no `index.{h,cc}` brace
+#     shorthand, no globs);
+#   * trailing punctuation after a path is fine (stripped here).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUIRED=(ARCHITECTURE.md src/data/README.md src/datalog/README.md
+          bench/README.md)
+DOCS=(ARCHITECTURE.md bench/README.md)
+while IFS= read -r f; do DOCS+=("$f"); done \
+  < <(find src -maxdepth 2 -name README.md | sort)
+
+status=0
+for doc in "${REQUIRED[@]}"; do
+  if [[ ! -f "$doc" ]]; then
+    echo "FAIL: required doc is missing: $doc"
+    status=1
+  fi
+done
+
+for doc in "${DOCS[@]}"; do
+  [[ -f "$doc" ]] || continue
+  # Lookbehind: don't treat the tail of an absolute path (/tmp/bench/...)
+  # as a repo-relative reference.
+  refs=$(grep -oP '(?<![A-Za-z0-9_/-])(src|bench|tests|examples|\.github)/[A-Za-z0-9_./-]+' \
+           "$doc" | sort -u || true)
+  while IFS= read -r ref; do
+    [[ -z "$ref" ]] && continue
+    # Strip punctuation that belongs to the prose, not the path.
+    while [[ "$ref" == *. || "$ref" == *, ]]; do ref="${ref%?}"; done
+    if [[ ! -e "$ref" ]]; then
+      echo "FAIL: $doc references missing path: $ref"
+      status=1
+    fi
+  done <<< "$refs"
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "docs-check OK: all referenced paths exist"
+fi
+exit $status

@@ -37,7 +37,7 @@
 
 set -euo pipefail
 
-BENCHES=(bench_tc bench_apsp bench_wcoj bench_aggregation bench_gnf
+BENCHES=(bench_tc bench_par bench_apsp bench_wcoj bench_aggregation bench_gnf
          bench_matmul bench_pagerank bench_transactions)
 
 COMPARE_BASELINE=""

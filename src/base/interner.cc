@@ -4,30 +4,52 @@
 
 namespace rel {
 
+Interner::Interner() = default;
+
+Interner::~Interner() {
+  for (auto& chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
+}
+
 Interner& Interner::Global() {
   static Interner* interner = new Interner();
   return *interner;
 }
 
 Symbol Interner::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
-  if (it != index_.end()) {
-    return it->second;
+  if (it != index_.end()) return it->second;
+
+  size_t sym = published_.load(std::memory_order_relaxed);
+  InternalCheck(sym < kMaxChunks * kChunkSize, "interner capacity exhausted");
+  size_t chunk = sym >> kChunkBits;
+  std::string* storage = chunks_[chunk].load(std::memory_order_relaxed);
+  if (storage == nullptr) {
+    storage = new std::string[kChunkSize];
+    chunks_[chunk].store(storage, std::memory_order_release);
   }
-  Symbol sym = static_cast<Symbol>(strings_.size());
-  strings_.emplace_back(s);
-  index_.emplace(strings_.back(), sym);
-  return sym;
+  std::string& slot = storage[sym & (kChunkSize - 1)];
+  slot.assign(s.data(), s.size());
+  // Publish after the string is fully constructed: a reader that passes the
+  // acquire bound below sees the completed element.
+  published_.store(sym + 1, std::memory_order_release);
+  index_.emplace(std::string_view(slot), static_cast<Symbol>(sym));
+  return static_cast<Symbol>(sym);
 }
 
 const std::string& Interner::Lookup(Symbol sym) const {
-  InternalCheck(sym < strings_.size(), "symbol out of range");
-  return strings_[sym];
+  InternalCheck(sym < published_.load(std::memory_order_acquire),
+                "symbol out of range");
+  return At(sym);
 }
 
 int Interner::Compare(Symbol a, Symbol b) const {
   if (a == b) return 0;
-  return Lookup(a).compare(Lookup(b)) < 0 ? -1 : 1;
+  size_t bound = published_.load(std::memory_order_acquire);
+  InternalCheck(a < bound && b < bound, "symbol out of range");
+  return At(a).compare(At(b)) < 0 ? -1 : 1;
 }
 
 }  // namespace rel

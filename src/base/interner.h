@@ -8,8 +8,11 @@
 #ifndef REL_BASE_INTERNER_H_
 #define REL_BASE_INTERNER_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,29 +21,55 @@ namespace rel {
 
 using Symbol = uint32_t;
 
-/// A process-wide string pool. Thread-compatible (no internal locking); the
-/// engine is single-threaded by design, mirroring one Rel transaction.
+/// A process-wide string pool. Internally synchronized so Values can be
+/// created, compared and hashed from evaluator worker threads (the parallel
+/// Datalog rounds and the engine's parallel constraint checks) — and the
+/// read side is **lock-free**: symbols live in a two-level chunk table with
+/// a preallocated spine, a new symbol's string is fully constructed before
+/// the published count advances (release/acquire), and strings are never
+/// moved or erased afterwards. Only Intern takes the mutex, and interning
+/// is parse-time rare while Compare/Lookup sit on sort/probe hot paths.
+/// Returned string references stay valid forever.
 class Interner {
  public:
+  Interner();
+  ~Interner();
+
   /// Returns the singleton used by all Values.
   static Interner& Global();
 
   /// Interns `s`, returning its stable symbol id.
   Symbol Intern(std::string_view s);
 
-  /// Returns the string for a previously interned symbol.
+  /// Returns the string for a previously interned symbol. Lock-free.
   const std::string& Lookup(Symbol sym) const;
 
-  /// Three-way comparison of two symbols by string content.
+  /// Three-way comparison of two symbols by string content. Lock-free.
   int Compare(Symbol a, Symbol b) const;
 
   /// Number of distinct strings interned so far.
-  size_t size() const { return strings_.size(); }
+  size_t size() const { return published_.load(std::memory_order_acquire); }
 
  private:
-  // deque: growing never moves existing strings, so the string_view keys in
-  // index_ stay valid.
-  std::deque<std::string> strings_;
+  // 16384 chunks x 4096 strings = 67M distinct symbols (128KB spine,
+  // chunks allocated on demand); the spine is a fixed array of atomic
+  // chunk pointers so readers never chase a relocatable structure (the
+  // failure mode of deque/vector storage). Exhausting the bound throws
+  // kInternal from Intern — raise kMaxChunks if a workload ever has more
+  // distinct strings than that (Symbol itself allows 4.29G).
+  static constexpr size_t kChunkBits = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = 16384;
+
+  const std::string& At(Symbol sym) const {
+    return chunks_[sym >> kChunkBits].load(std::memory_order_acquire)
+        [sym & (kChunkSize - 1)];
+  }
+
+  std::mutex mu_;  // serializes Intern only
+  std::array<std::atomic<std::string*>, kMaxChunks> chunks_{};
+  std::atomic<size_t> published_{0};
+  // Keys are views into chunk storage (stable); guarded by mu_.
   std::unordered_map<std::string_view, Symbol> index_;
 };
 

@@ -1,0 +1,263 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "base/error.h"
+
+namespace rel {
+
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its index
+// there. A worker thread belongs to exactly one pool for its lifetime;
+// non-worker threads keep the nullptr default and map to the helper slot.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+uint64_t ThreadPool::Stats::TotalTasks() const {
+  uint64_t sum = 0;
+  for (uint64_t t : tasks) sum += t;
+  return sum;
+}
+
+uint64_t ThreadPool::Stats::TotalSteals() const {
+  uint64_t sum = 0;
+  for (uint64_t s : steals) sum += s;
+  return sum;
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  queues_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerState>());
+  }
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: a worker between its queued_ check and its
+    // cv wait must observe the notify.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::CurrentSlot() const {
+  if (tls_pool == this) return tls_worker_index;
+  return num_threads();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks.resize(num_slots(), 0);
+  s.steals.resize(num_slots(), 0);
+  for (int i = 0; i < num_threads(); ++i) {
+    std::lock_guard<std::mutex> lock(queues_[i]->mu);
+    s.tasks[i] = queues_[i]->executed;
+    s.steals[i] = queues_[i]->steals;
+  }
+  std::lock_guard<std::mutex> lock(helper_mu_);
+  s.tasks[num_threads()] = helper_executed_;
+  s.steals[num_threads()] = helper_steals_;
+  return s;
+}
+
+void ThreadPool::Submit(TaskPtr task) {
+  size_t index;
+  if (tls_pool == this) {
+    index = static_cast<size_t>(tls_worker_index);
+  } else {
+    index = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+            queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[index]->mu);
+    queues_[index]->deque.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Empty critical section, like the destructor's: a worker between its
+    // queued_ predicate check and its cv wait must not miss this notify
+    // (a lost wakeup costs the full 1ms park per round barrier).
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_one();
+}
+
+ThreadPool::TaskPtr ThreadPool::TryClaim(int slot, bool* stolen) {
+  const int n = num_threads();
+  // Own deque first, LIFO (workers only; the helper has no deque).
+  if (slot < n) {
+    WorkerState& own = *queues_[slot];
+    std::lock_guard<std::mutex> lock(own.mu);
+    while (!own.deque.empty()) {
+      TaskPtr task = std::move(own.deque.back());
+      own.deque.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
+        *stolen = false;
+        return task;
+      }
+    }
+  }
+  // Steal sweep, FIFO, starting after our own slot for spread.
+  for (int k = 0; k < n; ++k) {
+    int victim = (slot + 1 + k) % n;
+    if (victim == slot) continue;
+    WorkerState& q = *queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    while (!q.deque.empty()) {
+      TaskPtr task = std::move(q.deque.front());
+      q.deque.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
+        *stolen = true;
+        return task;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::Execute(const TaskPtr& task, int slot, bool stolen) {
+  try {
+    task->fn();
+  } catch (...) {
+    TaskGroup* g = task->group;
+    std::lock_guard<std::mutex> lock(g->error_mu_);
+    if (!g->error_) g->error_ = std::current_exception();
+  }
+  if (slot < num_threads()) {
+    WorkerState& q = *queues_[slot];
+    std::lock_guard<std::mutex> lock(q.mu);
+    ++q.executed;
+    if (stolen) ++q.steals;
+  } else {
+    std::lock_guard<std::mutex> lock(helper_mu_);
+    // The helper slot's single-writer guarantee (per-thread staging relies
+    // on it) holds only if one outside thread ever executes tasks; turn a
+    // violation into an immediate failure instead of a silent data race.
+    if (helper_id_ == std::thread::id()) {
+      helper_id_ = std::this_thread::get_id();
+    } else {
+      InternalCheck(helper_id_ == std::this_thread::get_id(),
+                    "more than one non-worker thread is executing tasks of "
+                    "this pool (helper slot is single-writer)");
+    }
+    ++helper_executed_;
+    if (stolen) ++helper_steals_;
+  }
+  // Decrement-and-notify under wait_mu_, nothing group-related after: the
+  // acq_rel decrement publishes fn's effects (staging writes) to whoever
+  // observes pending_ reach zero, and Wait() re-acquires wait_mu_ before
+  // returning, so the group outlives this epilogue.
+  TaskGroup* g = task->group;
+  {
+    std::lock_guard<std::mutex> lock(g->wait_mu_);
+    g->pending_.fetch_sub(1, std::memory_order_acq_rel);
+    g->wait_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  for (;;) {
+    bool stolen = false;
+    TaskPtr task = TryClaim(index, &stolen);
+    if (task) {
+      Execute(task, index, stolen);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return queued_.load(std::memory_order_acquire) > 0 ||
+             stop_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+void ThreadPool::TaskGroup::Run(std::function<void()> fn) {
+  auto task = std::make_shared<TaskItem>();
+  task->fn = std::move(fn);
+  task->group = this;
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(q_mu_);
+    unclaimed_.push_back(task);
+  }
+  pool_->Submit(std::move(task));
+}
+
+ThreadPool::TaskPtr ThreadPool::TaskGroup::ClaimOwn() {
+  std::lock_guard<std::mutex> lock(q_mu_);
+  while (!unclaimed_.empty()) {
+    TaskPtr task = std::move(unclaimed_.front());
+    unclaimed_.pop_front();
+    if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
+      return task;
+    }
+    // Already taken by a worker; its deque copy (or ours) is a zombie the
+    // popper discards on sight.
+  }
+  return nullptr;
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  const int slot = pool_->CurrentSlot();
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    // This group's work first: a round barrier should never be extended by
+    // an unrelated long task while its own chunks sit queued.
+    if (TaskPtr task = ClaimOwn()) {
+      pool_->Execute(task, slot, /*stolen=*/false);
+      continue;
+    }
+    bool stolen = false;
+    if (TaskPtr task = pool_->TryClaim(slot, &stolen)) {
+      pool_->Execute(task, slot, stolen);
+      continue;
+    }
+    // Nothing claimable: our remaining tasks are running on other threads.
+    // Park until the count drops (bounded, so newly stealable foreign work
+    // is picked up promptly too).
+    std::unique_lock<std::mutex> lock(wait_mu_);
+    wait_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Settle the final completer: it decremented under wait_mu_, so once we
+  // re-acquire the lock its Execute epilogue has fully released the group.
+  { std::lock_guard<std::mutex> lock(wait_mu_); }
+  {
+    std::lock_guard<std::mutex> lock(q_mu_);
+    unclaimed_.clear();  // drop zombie references from finished rounds
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace rel

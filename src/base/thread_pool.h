@@ -1,0 +1,182 @@
+// A small work-stealing task pool — the concurrency substrate of the
+// parallel Datalog evaluator (src/datalog/eval.cc) and the engine's
+// parallel integrity-constraint checking (src/core/engine.cc).
+//
+// Design:
+//
+//   * Each worker owns a deque of tasks. Submitting from a worker pushes to
+//     that worker's own deque; submitting from an outside thread distributes
+//     round-robin. Workers pop their own deque LIFO (cache-warm) and steal
+//     FIFO from the others when empty.
+//
+//   * Fork-join is expressed with TaskGroup. TaskGroup::Wait() does not
+//     block the calling thread: it *helps* — first draining the group's own
+//     unclaimed tasks (each task is reachable both from a worker deque and
+//     from its group's queue; an atomic claim flag arbitrates), then
+//     stealing arbitrary pool work, and only parking (condition variable,
+//     bounded timeout) when nothing is claimable — until every task of the
+//     group has completed. A task may therefore itself create a TaskGroup
+//     and Wait on it (nested fork-join) without deadlock: waiting threads
+//     always make progress executing somebody's tasks.
+//
+//   * Every thread that can execute tasks has a stable *slot* index usable
+//     for per-thread staging buffers: workers get 0..num_threads-1 and any
+//     non-worker thread (the caller helping inside Wait) gets num_threads.
+//     At most one non-worker thread may execute tasks of a given pool (the
+//     single Evaluate()/CheckConstraints() caller in practice).
+//
+//   * The first exception thrown by a task of a group is captured and
+//     rethrown from that group's Wait(); later exceptions of the same group
+//     are dropped. Counters (per-slot executed tasks and steals) feed the
+//     evaluator's EvalStats.
+//
+// The pool is intentionally modest: lock-per-deque, no lock-free tricks.
+// Tasks in this codebase are coarse (thousands of probe/emit operations), so
+// queue overhead is noise; what matters is that waiting threads help and
+// that per-thread slots make single-writer staging possible.
+
+#ifndef REL_BASE_THREAD_POOL_H_
+#define REL_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rel {
+
+class ThreadPool {
+ public:
+  class TaskGroup;
+
+ private:
+  /// One schedulable task. Claiming is atomic because the same item is
+  /// reachable both from a worker deque (Submit) and from its group's
+  /// unclaimed queue (TaskGroup::Wait); whichever side wins the exchange
+  /// runs it, the other drops its reference on sight.
+  struct TaskItem {
+    std::function<void()> fn;
+    TaskGroup* group;
+    std::atomic<bool> claimed{false};
+  };
+  using TaskPtr = std::shared_ptr<TaskItem>;
+
+ public:
+  /// Spawns `num_threads` workers (>= 1; use HardwareThreads() to size).
+  explicit ThreadPool(int num_threads);
+  /// Joins all workers; pending tasks are completed first. Every TaskGroup
+  /// must be destroyed (or at least Wait()ed) before its pool.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Sized from queues_, not workers_: the queue array is complete before
+  // the first worker thread starts, while workers_ is still growing then.
+  int num_threads() const { return static_cast<int>(queues_.size()); }
+  /// Number of distinct slot indices CurrentSlot() can return: one per
+  /// worker plus one for the (single) outside thread that helps in Wait().
+  int num_slots() const { return num_threads() + 1; }
+  /// The calling thread's slot: its worker index, or num_threads() when the
+  /// caller is not one of this pool's workers.
+  int CurrentSlot() const;
+
+  /// Per-slot counters, aggregated under the queue locks (stable snapshot
+  /// only once all groups have been waited on).
+  struct Stats {
+    std::vector<uint64_t> tasks;   // tasks executed, by slot
+    std::vector<uint64_t> steals;  // tasks taken from another worker's deque
+    uint64_t TotalTasks() const;
+    uint64_t TotalSteals() const;
+  };
+  Stats stats() const;
+
+  /// The machine's hardware thread count (>= 1).
+  static int HardwareThreads();
+
+  /// A fork-join scope: Run() submits, Wait() helps until all submitted
+  /// tasks completed, rethrowing the first captured task exception.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+    /// Drains remaining tasks; a still-pending task exception is swallowed
+    /// here (call Wait() explicitly to observe it).
+    ~TaskGroup() {
+      try {
+        Wait();
+      } catch (...) {
+      }
+    }
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    void Run(std::function<void()> fn);
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+
+    /// Pops the next not-yet-claimed task of this group, or null.
+    TaskPtr ClaimOwn();
+
+    ThreadPool* pool_;
+    std::atomic<size_t> pending_{0};
+    // The group's own view of its unclaimed tasks — what Wait() drains
+    // before stealing foreign work (so a round barrier is never extended
+    // by an unrelated long task while its own chunks sit queued).
+    std::mutex q_mu_;
+    std::deque<TaskPtr> unclaimed_;
+    // Parking for Wait(): the final completion notifies under wait_mu_,
+    // and Wait re-acquires wait_mu_ before returning, so the group cannot
+    // be destroyed while a completer is still inside Execute's epilogue.
+    std::mutex wait_mu_;
+    std::condition_variable wait_cv_;
+    std::mutex error_mu_;
+    std::exception_ptr error_;
+  };
+
+ private:
+  void Submit(TaskPtr task);
+  void WorkerLoop(int index);
+  /// Runs `task` on the calling thread (claim already won) and settles its
+  /// group bookkeeping, capturing the first exception.
+  void Execute(const TaskPtr& task, int slot, bool stolen);
+  /// Claims the next runnable task: own deque LIFO first (workers), then a
+  /// FIFO steal sweep over all deques. Returns nullptr when empty.
+  TaskPtr TryClaim(int slot, bool* stolen);
+
+  struct WorkerState {
+    mutable std::mutex mu;
+    std::deque<TaskPtr> deque;
+    uint64_t executed = 0;
+    uint64_t steals = 0;
+  };
+
+  std::vector<std::unique_ptr<WorkerState>> queues_;
+  std::vector<std::thread> workers_;
+  // Helper-slot counters (the outside thread has no WorkerState), plus the
+  // identity of the one non-worker thread allowed to execute tasks — a
+  // second one would silently share the helper staging slot, so Execute
+  // checks and fails fast instead.
+  mutable std::mutex helper_mu_;
+  std::thread::id helper_id_;
+  uint64_t helper_executed_ = 0;
+  uint64_t helper_steals_ = 0;
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> queued_{0};
+  std::atomic<uint64_t> next_queue_{0};
+};
+
+}  // namespace rel
+
+#endif  // REL_BASE_THREAD_POOL_H_

@@ -1,11 +1,36 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <exception>
+
 #include "base/error.h"
+#include "base/thread_pool.h"
 #include "core/parser.h"
 
 namespace rel {
 
 namespace {
+
+/// The synthetic rule whose solutions are the violating bindings of
+/// `ic name(params) requires F`: the parameter bindings for which F fails
+/// (with no parameters the constraint is simply the truth of F).
+std::shared_ptr<Def> ViolationRule(const Def& ic) {
+  auto rule = std::make_shared<Def>();
+  rule->name = "$violations_" + ic.name;
+  rule->params = ic.params;
+  auto neg = MakeExpr(ExprKind::kNot, ic.line, 0);
+  neg->children = {ic.body};
+  rule->body = neg;
+  rule->square_head = false;
+  return rule;
+}
+
+/// Formats a non-empty violation set for the ConstraintViolation message.
+std::string ViolationDetail(const Relation& violations) {
+  return violations.size() <= 10
+             ? violations.ToString()
+             : std::to_string(violations.size()) + " violating bindings";
+}
 
 std::vector<std::shared_ptr<Def>> ParseToDefs(const std::string& source) {
   Program program = ParseProgram(source);
@@ -112,31 +137,90 @@ TxnResult Engine::Run(const std::string& source, bool apply) {
 }
 
 void Engine::CheckConstraintsWith(Interp* interp) {
-  // The solver caches compiled rules by Def address; keep every synthetic
-  // violation rule alive until the interp is done with them, or a freed
-  // address could be reused by the next rule and hit a stale cache entry.
-  std::vector<std::shared_ptr<Def>> keep_alive;
-  for (const auto& ic : interp->ics()) {
-    // The violations of `ic name(params) requires F` are the parameter
-    // bindings for which F fails; with no parameters the constraint is
-    // simply the truth of F.
-    auto violation_rule = std::make_shared<Def>();
-    violation_rule->name = "$violations_" + ic->name;
-    violation_rule->params = ic->params;
-    auto neg = MakeExpr(ExprKind::kNot, ic->line, 0);
-    neg->children = {ic->body};
-    violation_rule->body = neg;
-    violation_rule->square_head = false;
-    keep_alive.push_back(violation_rule);
+  const std::vector<std::shared_ptr<Def>>& ics = interp->ics();
+  if (ics.empty()) return;
 
-    Relation violations =
-        interp->solver().EvalRule(*violation_rule, {}, nullptr);
-    if (!violations.empty()) {
-      std::string detail = violations.size() <= 10
-                               ? violations.ToString()
-                               : std::to_string(violations.size()) +
-                                     " violating bindings";
-      throw ConstraintViolation(ic->name, "violated by " + detail);
+  int num_threads = options_.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                              : options_.num_threads;
+  num_threads = std::min<int>(num_threads, static_cast<int>(ics.size()));
+
+  if (num_threads <= 1) {
+    // The solver caches compiled rules by Def address; keep every synthetic
+    // violation rule alive until the interp is done with them, or a freed
+    // address could be reused by the next rule and hit a stale cache entry.
+    std::vector<std::shared_ptr<Def>> keep_alive;
+    for (const auto& ic : ics) {
+      keep_alive.push_back(ViolationRule(*ic));
+      Relation violations =
+          interp->solver().EvalRule(*keep_alive.back(), {}, nullptr);
+      if (!violations.empty()) {
+        throw ConstraintViolation(ic->name,
+                                  "violated by " + ViolationDetail(violations));
+      }
+    }
+    return;
+  }
+
+  // Parallel: constraints are independent reads of the same database, so
+  // each one gets its own task and its own Interp (the solver's memo tables
+  // are single-threaded). Two preparations make the shared reads pure:
+  // the Interner is internally synchronized, and the base relations' lazy
+  // sorted views are forced here, before the first task runs — at the
+  // arena level, which caches the views without materializing the
+  // relation-wide tuple copy Relation::SortedTuples() would build.
+  for (const std::string& name : interp->db().Names()) {
+    const Relation& rel = interp->db().Get(name);
+    for (size_t arity : rel.Arities()) {
+      rel.ArenaOfArity(arity)->SortedTuples();
+    }
+  }
+
+  struct Outcome {
+    bool violated = false;
+    std::string detail;
+    std::exception_ptr error;
+  };
+  std::vector<Outcome> outcomes(ics.size());
+  {
+    ThreadPool pool(num_threads);
+    ThreadPool::TaskGroup group(&pool);
+    // One task per worker over a strided constraint subset, not one per
+    // constraint: each Interp construction re-runs analysis over the whole
+    // def set, so build num_threads of them, not ics.size().
+    for (int worker = 0; worker < num_threads; ++worker) {
+      group.Run([this, interp, worker, num_threads, &outcomes] {
+        InterpOptions sequential = options_;
+        sequential.num_threads = 1;
+        Interp local(&interp->db(), interp->defs(), sequential);
+        // Same Def-address-reuse hazard as the sequential path: the solver
+        // caches compiled rules by address, so every synthetic rule this
+        // Interp saw must stay alive as long as the Interp does.
+        std::vector<std::shared_ptr<Def>> keep_alive;
+        for (size_t i = static_cast<size_t>(worker); i < interp->ics().size();
+             i += static_cast<size_t>(num_threads)) {
+          try {
+            keep_alive.push_back(ViolationRule(*interp->ics()[i]));
+            Relation violations =
+                local.solver().EvalRule(*keep_alive.back(), {}, nullptr);
+            if (!violations.empty()) {
+              outcomes[i].violated = true;
+              outcomes[i].detail = ViolationDetail(violations);
+            }
+          } catch (...) {
+            outcomes[i].error = std::current_exception();
+          }
+        }
+      });
+    }
+    group.Wait();
+  }
+  // Deterministic report: the first failure in declaration order, exactly
+  // what the sequential path would have thrown.
+  for (size_t i = 0; i < ics.size(); ++i) {
+    if (outcomes[i].error) std::rethrow_exception(outcomes[i].error);
+    if (outcomes[i].violated) {
+      throw ConstraintViolation(ics[i]->name,
+                                "violated by " + outcomes[i].detail);
     }
   }
 }

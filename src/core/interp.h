@@ -38,6 +38,12 @@ struct InterpOptions {
   /// Cap on distinct relation instances (guards against runaway
   /// specialization chains like f[(A,1)] inside f[{A}]).
   int max_instances = 1000000;
+  /// Worker threads for engine-level parallel work. The solver itself is
+  /// single-threaded (one Interp mirrors one Rel transaction), but the
+  /// Engine checks independent integrity constraints concurrently when this
+  /// is > 1, each on its own Interp over the shared read-only database.
+  /// 0 means one worker per hardware thread.
+  int num_threads = 1;
 };
 
 /// One evaluation context: a database plus a set of rules. Create one per
@@ -50,6 +56,9 @@ class Interp {
 
   const Database& db() const { return *db_; }
   const InterpOptions& options() const { return options_; }
+  /// The full rule set this context was built from (used by the Engine to
+  /// spin up sibling Interps for parallel constraint checking).
+  const std::vector<std::shared_ptr<Def>>& defs() const { return all_defs_; }
 
   // --- definition lookup ---
 

@@ -93,6 +93,16 @@ class ColumnArena {
     for (size_t r = 0; r < n; ++r) fn(Row(r));
   }
 
+  /// Like ForEachRow restricted to rows [begin, min(end, size())). Row
+  /// indices are stable under append, so disjoint ranges partition the
+  /// arena exactly — the parallel evaluator splits driver scans this way,
+  /// one range per task, while the arena itself stays read-only.
+  template <typename Fn>
+  void ForEachRowRange(size_t begin, size_t end, Fn&& fn) const {
+    const size_t n = std::min(end, num_rows_);
+    for (size_t r = begin; r < n; ++r) fn(Row(r));
+  }
+
  private:
   static constexpr uint32_t kEmptySlot = 0xffffffffu;
   static constexpr uint32_t kTombstone = 0xfffffffeu;
@@ -216,6 +226,18 @@ class Relation {
     auto it = blocks_.find(arity);
     if (it == blocks_.end()) return;
     it->second.ForEachRow(fn);
+  }
+
+  /// ForEachOfArity over the row-index range [begin, end) of that arity's
+  /// arena — the chunked-driver access path of the parallel evaluator.
+  /// Purely read-only: does not force any lazy view, so concurrent calls
+  /// on a frozen relation are safe.
+  template <typename Fn>
+  void ForEachOfArityRange(size_t arity, size_t begin, size_t end,
+                           Fn&& fn) const {
+    auto it = blocks_.find(arity);
+    if (it == blocks_.end()) return;
+    it->second.ForEachRowRange(begin, end, fn);
   }
 
   /// Tuples of arity >= prefix.arity() that start with `prefix`, i.e. the

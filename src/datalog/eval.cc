@@ -1,15 +1,20 @@
 #include "datalog/eval.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
 
 #include "base/error.h"
 #include "base/hash.h"
+#include "base/thread_pool.h"
 #include "datalog/index.h"
 #include "joins/leapfrog.h"
 
@@ -135,24 +140,37 @@ int MaxVar(const Rule& rule) {
   return max_var;
 }
 
-/// The evaluator state: predicate extents plus per-iteration deltas.
+/// The canonical predicate extents. In parallel evaluation the map
+/// structure is frozen before any task runs (every head predicate gets its
+/// entry up front), so concurrent units may read foreign extents and write
+/// their own without synchronization — relation entries never move and each
+/// is written by exactly one unit, only at its round barriers.
 struct State {
   std::map<std::string, Relation> full;
-  std::map<std::string, Relation> delta;
 
   const Relation& Full(const std::string& pred) const {
     static const Relation* empty = new Relation();
     auto it = full.find(pred);
     return it == full.end() ? *empty : it->second;
   }
-
-  const std::vector<Tuple>& DeltaRows(const std::string& pred,
-                                      size_t arity) const {
-    static const std::vector<Tuple>* empty = new std::vector<Tuple>();
-    auto it = delta.find(pred);
-    return it == delta.end() ? *empty : it->second.TuplesOfArity(arity);
-  }
 };
+
+/// Per-unit delta extents for one semi-naive round. Unit-local: concurrent
+/// units never share a DeltaMap.
+using DeltaMap = std::map<std::string, Relation>;
+
+const Relation* FindDelta(const DeltaMap& delta, const std::string& pred) {
+  auto it = delta.find(pred);
+  return it == delta.end() ? nullptr : &it->second;
+}
+
+/// Materialized delta rows for the scan-strategy ablation paths.
+const std::vector<Tuple>& DeltaRows(const DeltaMap& delta,
+                                    const std::string& pred, size_t arity) {
+  static const std::vector<Tuple>* empty = new std::vector<Tuple>();
+  const Relation* rel = FindDelta(delta, pred);
+  return rel == nullptr ? *empty : rel->TuplesOfArity(arity);
+}
 
 /// Builds the head tuple and inserts it into `out` (scan-path variant).
 void EmitHead(const Rule& rule, const Bindings& bindings, Relation* out,
@@ -207,8 +225,8 @@ void EmitHeadColumnar(const Rule& rule, const Bindings& bindings,
 
 /// Evaluates one rule by nested-loop scans; `delta_index`, when >= 0, forces
 /// that positive-atom occurrence to range over the delta relation.
-void EvalRuleScan(const Rule& rule, const State& state, int delta_index,
-                  Relation* out, EvalStats* stats) {
+void EvalRuleScan(const Rule& rule, const State& state, const DeltaMap& delta,
+                  int delta_index, Relation* out, EvalStats* stats) {
   Bindings bindings(static_cast<size_t>(MaxVar(rule) + 1));
 
   std::function<void(size_t)> step = [&](size_t li) {
@@ -226,7 +244,7 @@ void EvalRuleScan(const Rule& rule, const State& state, int delta_index,
         bool use_delta = static_cast<int>(li) == delta_index;
         const std::vector<Tuple>* rows =
             use_delta
-                ? &state.DeltaRows(lit.atom.pred, lit.atom.terms.size())
+                ? &DeltaRows(delta, lit.atom.pred, lit.atom.terms.size())
                 : &state.Full(lit.atom.pred)
                        .TuplesOfArity(lit.atom.terms.size());
         if (stats) {
@@ -584,9 +602,17 @@ void ExecLeapfrog(const Rule& rule, const RulePlan& plan, const State& state,
 
 /// Executes a compiled plan: scans drive, probes follow, filters prune.
 /// `out` receives only tuples not already in `dedup_against`.
+///
+/// `delta_rel` is the delta extent the kScanDelta step ranges over (null
+/// when the plan has none). [drv_begin, drv_end) restricts the *first* plan
+/// step's scan to that row range — the parallel evaluator's chunked-driver
+/// partitioning; callers only pass a proper sub-range when step 0 is a
+/// kScanDelta/kScanFull. Everything this function touches is read-only
+/// except `out` and `stats`, both task-local under parallel evaluation.
 void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
-              IndexCache* cache, Relation* out, EvalStats* stats,
-              const Relation* dedup_against) {
+              const Relation* delta_rel, IndexCache* cache, Relation* out,
+              EvalStats* stats, const Relation* dedup_against,
+              size_t drv_begin, size_t drv_end) {
   if (plan.leapfrog) {
     ExecLeapfrog(rule, plan, state, cache, out, stats, dedup_against);
     return;
@@ -648,17 +674,21 @@ void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
     switch (ps.kind) {
       case PlanStep::Kind::kScanDelta: {
         if (stats) ++stats->delta_scans;
-        auto it = state.delta.find(lit.atom.pred);
-        if (it != state.delta.end()) {
+        if (delta_rel != nullptr) {
           // Insertion order; skips the per-round sort TuplesOfArity forces.
-          it->second.ForEachOfArity(lit.atom.terms.size(), match_row);
+          // kScanDelta is always step 0, so the driver range applies.
+          delta_rel->ForEachOfArityRange(lit.atom.terms.size(), drv_begin,
+                                         drv_end, match_row);
         }
         return;
       }
       case PlanStep::Kind::kScanFull: {
         if (stats) ++stats->driver_scans;
+        const size_t begin = si == 0 ? drv_begin : 0;
+        const size_t end = si == 0 ? drv_end : static_cast<size_t>(-1);
         state.Full(lit.atom.pred)
-            .ForEachOfArity(lit.atom.terms.size(), match_row);
+            .ForEachOfArityRange(lit.atom.terms.size(), begin, end,
+                                 match_row);
         return;
       }
       case PlanStep::Kind::kProbe: {
@@ -718,12 +748,365 @@ void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
   step(step, 0);
 }
 
+// --- units: the recursion components scheduled on the dependency DAG --------
+
+/// One node of the evaluation DAG: a strongly-connected component of the
+/// head-predicate dependency graph (a maximal set of mutually recursive
+/// predicates) with all its rules. Each unit runs its own semi-naive
+/// fixpoint loop; units joined by no dependency path are independent and
+/// may evaluate concurrently. This refines the numeric strata: a stratum
+/// whose predicates merely sit at the same negation depth splits into the
+/// components that actually recurse together.
+struct Unit {
+  std::vector<const Rule*> rules;
+  std::set<std::string> heads;
+  std::vector<int> succs;  // units that depend on this unit
+  int num_deps = 0;        // distinct predecessor units
+};
+
+/// Groups head predicates into units (Tarjan SCC, iterative) and wires the
+/// dependency edges. Deterministic: DFS roots and adjacency follow program
+/// order, and units are numbered by the first rule whose head belongs to
+/// them. The condensation of a digraph is acyclic, so the result is a DAG;
+/// Stratify() has already rejected components containing a negation.
+std::vector<Unit> BuildUnits(const Program& program) {
+  // Head predicates in first-appearance order, and their dependency
+  // adjacency (body references to other head predicates, positive or
+  // negative; EDB-only predicates are constants, not graph nodes).
+  std::vector<std::string> preds;
+  std::map<std::string, int> id_of;
+  for (const Rule& rule : program.rules()) {
+    if (id_of.emplace(rule.head.pred, preds.size()).second) {
+      preds.push_back(rule.head.pred);
+    }
+  }
+  const int n = static_cast<int>(preds.size());
+  std::vector<std::vector<int>> adj(n);
+  for (const Rule& rule : program.rules()) {
+    int h = id_of.at(rule.head.pred);
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kPositive &&
+          lit.kind != Literal::Kind::kNegative) {
+        continue;
+      }
+      auto it = id_of.find(lit.atom.pred);
+      if (it != id_of.end()) adj[h].push_back(it->second);
+    }
+  }
+
+  // Iterative Tarjan.
+  std::vector<int> index(n, -1), lowlink(n, 0), comp(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+  int num_comps = 0;
+  struct Frame {
+    int v;
+    size_t child;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < adj[f.v].size()) {
+        int w = adj[f.v][f.child++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[f.v] == index[f.v]) {
+        for (;;) {
+          int w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = num_comps;
+          if (w == f.v) break;
+        }
+        ++num_comps;
+      }
+      int v = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().v] =
+            std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+    }
+  }
+
+  // Units in order of first rule appearance.
+  std::vector<Unit> units;
+  std::map<int, int> unit_of_comp;
+  for (const Rule& rule : program.rules()) {
+    int c = comp[id_of.at(rule.head.pred)];
+    auto [it, inserted] = unit_of_comp.emplace(c, units.size());
+    if (inserted) units.emplace_back();
+    Unit& unit = units[it->second];
+    unit.rules.push_back(&rule);
+    unit.heads.insert(rule.head.pred);
+  }
+
+  // Cross-unit dependency edges.
+  std::vector<std::set<int>> deps_of(units.size());
+  for (int v = 0; v < n; ++v) {
+    int u = unit_of_comp.at(comp[v]);
+    for (int w : adj[v]) {
+      int uw = unit_of_comp.at(comp[w]);
+      if (uw != u) deps_of[u].insert(uw);
+    }
+  }
+  for (size_t u = 0; u < units.size(); ++u) {
+    units[u].num_deps = static_cast<int>(deps_of[u].size());
+    for (int v : deps_of[u]) units[v].succs.push_back(static_cast<int>(u));
+  }
+  return units;
+}
+
+/// Kahn topological order, smallest unit index first — the deterministic
+/// sequential schedule (and the tie-break the parallel scheduler's launches
+/// approximate).
+std::vector<int> TopoOrder(const std::vector<Unit>& units) {
+  std::vector<int> remaining(units.size());
+  std::set<int> ready;
+  for (size_t u = 0; u < units.size(); ++u) {
+    remaining[u] = units[u].num_deps;
+    if (remaining[u] == 0) ready.insert(static_cast<int>(u));
+  }
+  std::vector<int> order;
+  order.reserve(units.size());
+  while (!ready.empty()) {
+    int u = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(u);
+    for (int v : units[u].succs) {
+      if (--remaining[v] == 0) ready.insert(v);
+    }
+  }
+  InternalCheck(order.size() == units.size(), "unit graph is not a DAG");
+  return order;
+}
+
+/// Adds `from`'s counters into `into` (the per-unit/per-slot stats merge;
+/// top-level fields strata/units/threads are set once by Evaluate).
+void AccumulateCounters(EvalStats* into, const EvalStats& from) {
+  into->iterations += from.iterations;
+  into->tuples_derived += from.tuples_derived;
+  into->index_builds += from.index_builds;
+  into->sorted_builds += from.sorted_builds;
+  into->index_probes += from.index_probes;
+  into->full_scans += from.full_scans;
+  into->driver_scans += from.driver_scans;
+  into->delta_scans += from.delta_scans;
+  into->leapfrog_joins += from.leapfrog_joins;
+  into->par_tasks += from.par_tasks;
+  into->par_steals += from.par_steals;
+  into->par_merges += from.par_merges;
+}
+
+/// Driver scans shorter than this run as one task; longer ones split into
+/// row-range chunks of at least this many rows. Chosen so a chunk amortizes
+/// task dispatch (~µs) against a few thousand probe/emit operations.
+constexpr size_t kMinChunkRows = 64;
+
+/// Runs one unit's fixpoint loop to completion. Sequential when `pool` is
+/// null; otherwise each (rule, delta-occurrence) plan becomes a task per
+/// round (large drivers split into row-range chunks), tasks emit into
+/// per-thread staging relations deduplicated against the frozen extents,
+/// and the staging buffers merge into the canonical state at the round
+/// barrier — the single-writer discipline that keeps every concurrent read
+/// lock-free. Counter totals land in `out_stats` under `stats_mu`.
+void EvalUnit(const Unit& unit, bool indexed, bool semi_naive, State* state,
+              IndexCache* cache, ThreadPool* pool, EvalStats* out_stats,
+              std::mutex* stats_mu) {
+  EvalStats local;
+  std::map<std::pair<const Rule*, int>, RulePlan> plans;
+  // Plans are built at first use (cardinality estimates read the state at
+  // that moment) and reused for the rest of the unit — the same timing in
+  // sequential and parallel mode, so both produce identical plans.
+  auto plan_for = [&](const Rule* rule, int delta_index) -> const RulePlan& {
+    auto key = std::make_pair(rule, delta_index);
+    auto it = plans.find(key);
+    if (it == plans.end()) {
+      it = plans.emplace(key, BuildPlan(*rule, delta_index, *state)).first;
+    }
+    return it->second;
+  };
+
+  DeltaMap delta;
+  using Pair = std::pair<const Rule*, int>;
+
+  // Evaluates the round's (rule, delta-occurrence) pairs into `added`.
+  auto run_round = [&](const std::vector<Pair>& pairs, DeltaMap* added) {
+    if (!indexed) {
+      for (const auto& [rule, di] : pairs) {
+        const Relation& full = state->full.at(rule->head.pred);
+        Relation derived;
+        EvalRuleScan(*rule, *state, delta, di, &derived, &local);
+        derived.ForEach([&](const TupleRef& t) {
+          if (!full.Contains(t)) (*added)[rule->head.pred].Insert(t);
+        });
+      }
+      return;
+    }
+
+    // Task list: one entry per (rule, delta) pair, or several when the
+    // driver scan is large enough to chunk.
+    struct Task {
+      const Rule* rule;
+      const RulePlan* plan;
+      const Relation* delta_rel;
+      size_t begin, end;
+    };
+    std::vector<Task> tasks;
+    for (const auto& [rule, di] : pairs) {
+      const RulePlan& plan = plan_for(rule, di);
+      const Relation* delta_rel =
+          di >= 0 ? FindDelta(delta, rule->body[di].atom.pred) : nullptr;
+      size_t rows = static_cast<size_t>(-1);  // "not chunkable"
+      if (pool != nullptr && !plan.leapfrog && !plan.steps.empty()) {
+        const PlanStep& s0 = plan.steps[0];
+        const Literal& lit = rule->body[s0.lit_index];
+        if (s0.kind == PlanStep::Kind::kScanDelta) {
+          rows = delta_rel == nullptr
+                     ? 0
+                     : delta_rel->CountOfArity(lit.atom.terms.size());
+        } else if (s0.kind == PlanStep::Kind::kScanFull) {
+          rows = state->Full(lit.atom.pred)
+                     .CountOfArity(lit.atom.terms.size());
+        }
+      }
+      if (pool == nullptr || rows == static_cast<size_t>(-1) ||
+          rows < 2 * kMinChunkRows) {
+        tasks.push_back({rule, &plan, delta_rel, 0, static_cast<size_t>(-1)});
+        continue;
+      }
+      size_t chunks =
+          std::min(static_cast<size_t>(pool->num_slots()) * 2,
+                   (rows + kMinChunkRows - 1) / kMinChunkRows);
+      size_t per = (rows + chunks - 1) / chunks;
+      for (size_t b = 0; b < rows; b += per) {
+        tasks.push_back({rule, &plan, delta_rel, b, std::min(b + per, rows)});
+      }
+    }
+
+    if (pool == nullptr) {
+      for (const Task& t : tasks) {
+        ExecPlan(*t.rule, *t.plan, *state, t.delta_rel, cache,
+                 &(*added)[t.rule->head.pred], &local,
+                 &state->full.at(t.rule->head.pred), t.begin, t.end);
+      }
+      return;
+    }
+
+    // Per-thread staging: each slot is written by at most one thread at a
+    // time (a thread runs one task at a time and every task addresses its
+    // own slot), so no emit ever takes a lock.
+    struct SlotStage {
+      std::map<std::string, Relation> rels;
+      EvalStats stats;
+    };
+    std::vector<SlotStage> staging(pool->num_slots());
+    auto exec_task = [&](const Task& t) {
+      SlotStage& stage = staging[pool->CurrentSlot()];
+      ExecPlan(*t.rule, *t.plan, *state, t.delta_rel, cache,
+               &stage.rels[t.rule->head.pred], &stage.stats,
+               &state->full.at(t.rule->head.pred), t.begin, t.end);
+    };
+    if (tasks.size() == 1) {
+      // A single task gains nothing from dispatch; run it right here.
+      exec_task(tasks[0]);
+    } else {
+      ThreadPool::TaskGroup group(pool);
+      for (const Task& t : tasks) {
+        group.Run([&exec_task, t] { exec_task(t); });
+      }
+      group.Wait();
+    }
+    // Round barrier: merge the staging buffers (slot order, deterministic).
+    // Emit-site dedup already dropped tuples present in the full extents;
+    // InsertAll collapses duplicates derived by different tasks.
+    for (SlotStage& stage : staging) {
+      for (auto& [pred, rel] : stage.rels) {
+        if (rel.empty()) continue;
+        (*added)[pred].InsertAll(rel);
+        ++local.par_merges;
+      }
+      AccumulateCounters(&local, stage.stats);
+    }
+  };
+
+  // Initial round: evaluate every rule of the unit fully.
+  std::vector<Pair> init_pairs;
+  init_pairs.reserve(unit.rules.size());
+  for (const Rule* rule : unit.rules) init_pairs.emplace_back(rule, -1);
+  DeltaMap added;
+  run_round(init_pairs, &added);
+  for (auto& [pred, rel] : added) state->full.at(pred).InsertAll(rel);
+  delta = std::move(added);
+  ++local.iterations;
+
+  // Iterate to fixpoint within the unit.
+  for (;;) {
+    bool any_delta = false;
+    for (const auto& [pred, rel] : delta) {
+      (void)pred;
+      if (!rel.empty()) any_delta = true;
+    }
+    if (!any_delta) break;
+    ++local.iterations;
+    std::vector<Pair> pairs;
+    for (const Rule* rule : unit.rules) {
+      if (semi_naive) {
+        // One pass per recursive-atom occurrence, with that occurrence
+        // restricted to the delta.
+        for (size_t li = 0; li < rule->body.size(); ++li) {
+          const Literal& lit = rule->body[li];
+          if (lit.kind != Literal::Kind::kPositive) continue;
+          if (unit.heads.count(lit.atom.pred) == 0) continue;
+          pairs.emplace_back(rule, static_cast<int>(li));
+        }
+      } else {
+        pairs.emplace_back(rule, -1);
+      }
+    }
+    DeltaMap next_added;
+    run_round(pairs, &next_added);
+    for (auto& [pred, rel] : next_added) state->full.at(pred).InsertAll(rel);
+    delta = std::move(next_added);
+  }
+
+  std::lock_guard<std::mutex> lock(*stats_mu);
+  AccumulateCounters(out_stats, local);
+}
+
 }  // namespace
 
+std::string EvalStats::ToString() const {
+  std::ostringstream os;
+  os << "strata=" << strata << " units=" << units << " threads=" << threads
+     << " iterations=" << iterations << " tuples_derived=" << tuples_derived
+     << " index_builds=" << index_builds << " sorted_builds=" << sorted_builds
+     << " index_probes=" << index_probes << " full_scans=" << full_scans
+     << " driver_scans=" << driver_scans << " delta_scans=" << delta_scans
+     << " leapfrog_joins=" << leapfrog_joins << " par_tasks=" << par_tasks
+     << " par_steals=" << par_steals << " par_merges=" << par_merges;
+  return os.str();
+}
+
 std::map<std::string, Relation> Evaluate(const Program& program,
-                                         Strategy strategy, EvalStats* stats) {
-  EvalStats local;
-  EvalStats* s = stats ? stats : &local;
+                                         const EvalOptions& options,
+                                         EvalStats* stats) {
+  EvalStats scratch;
+  EvalStats* s = stats ? stats : &scratch;
   std::map<std::string, int> stratum = Stratify(program);
   int max_stratum = 0;
   for (const auto& [pred, st] : stratum) {
@@ -731,87 +1114,104 @@ std::map<std::string, Relation> Evaluate(const Program& program,
     max_stratum = std::max(max_stratum, st);
   }
   s->strata = max_stratum + 1;
-  bool indexed = strategy == Strategy::kSemiNaive;
-  bool semi_naive = strategy != Strategy::kNaive;
+  const bool indexed = options.strategy == Strategy::kSemiNaive;
+  const bool semi_naive = options.strategy != Strategy::kNaive;
+  int num_threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                             : options.num_threads;
+  // The scan ablation strategies are sequential by definition.
+  const bool parallel = indexed && num_threads > 1;
 
   State state;
   state.full = program.facts();
+  // Freeze the extent map's structure before anything runs: every head
+  // predicate gets its entry now, so concurrent units never mutate the map
+  // itself — only the relation each owns exclusively.
+  for (const Rule& rule : program.rules()) state.full[rule.head.pred];
   IndexCache index_cache;
 
-  for (int st = 0; st <= max_stratum; ++st) {
-    std::vector<const Rule*> rules;
-    for (const Rule& rule : program.rules()) {
-      if (stratum[rule.head.pred] == st) rules.push_back(&rule);
-    }
-    if (rules.empty()) continue;
+  std::vector<Unit> units = BuildUnits(program);
+  s->units = static_cast<int>(units.size());
+  s->threads = parallel ? num_threads : 1;
+  std::mutex stats_mu;
 
-    // Join plans are computed once per stratum (cardinality estimates are
-    // taken at first use) and keyed by (rule, delta occurrence).
-    //
-    // The indexed path streams fresh tuples straight into the per-round
-    // `added` set, deduplicating against the full extent at the emit site —
-    // no intermediate relation, no copy-and-sort. The scan path keeps the
-    // derive-then-diff shape (ForEach + Contains) as the ablation baseline.
-    std::map<std::pair<const Rule*, int>, RulePlan> plans;
-    auto eval_rule = [&](const Rule* rule, int delta_index,
-                         std::map<std::string, Relation>* added) {
-      Relation& full = state.full[rule->head.pred];
-      if (indexed) {
-        auto key = std::make_pair(rule, delta_index);
-        auto it = plans.find(key);
-        if (it == plans.end()) {
-          it = plans.emplace(key, BuildPlan(*rule, delta_index, state)).first;
-        }
-        ExecPlan(*rule, it->second, state, &index_cache,
-                 &(*added)[rule->head.pred], s, &full);
-        return;
-      }
-      Relation derived;
-      EvalRuleScan(*rule, state, delta_index, &derived, s);
-      derived.ForEach([&](const TupleRef& t) {
-        if (!full.Contains(t)) (*added)[rule->head.pred].Insert(t);
-      });
-    };
-
-    // Initial round: evaluate every rule fully.
-    std::map<std::string, Relation> added;
-    for (const Rule* rule : rules) {
-      eval_rule(rule, /*delta_index=*/-1, &added);
+  if (!parallel) {
+    for (int u : TopoOrder(units)) {
+      EvalUnit(units[u], indexed, semi_naive, &state, &index_cache,
+               /*pool=*/nullptr, s, &stats_mu);
     }
-    for (auto& [pred, rel] : added) state.full[pred].InsertAll(rel);
-    state.delta = std::move(added);
-    ++s->iterations;
-
-    // Iterate to fixpoint within the stratum.
-    for (;;) {
-      bool any_delta = false;
-      for (const auto& [pred, rel] : state.delta) {
-        (void)pred;
-        if (!rel.empty()) any_delta = true;
-      }
-      if (!any_delta) break;
-      ++s->iterations;
-      std::map<std::string, Relation> next_added;
-      for (const Rule* rule : rules) {
-        if (semi_naive) {
-          // One pass per recursive-atom occurrence, with that occurrence
-          // restricted to the delta.
-          for (size_t li = 0; li < rule->body.size(); ++li) {
-            const Literal& lit = rule->body[li];
-            if (lit.kind != Literal::Kind::kPositive) continue;
-            if (stratum[lit.atom.pred] != st) continue;
-            eval_rule(rule, static_cast<int>(li), &next_added);
-          }
-        } else {
-          eval_rule(rule, /*delta_index=*/-1, &next_added);
-        }
-      }
-      for (auto& [pred, rel] : next_added) state.full[pred].InsertAll(rel);
-      state.delta = std::move(next_added);
-    }
-    state.delta.clear();
+    return state.full;
   }
+
+  // Topologically schedule the unit DAG on the pool: a unit launches as
+  // soon as its last dependency completes; independent units (and their
+  // inner chunk tasks) interleave freely across the workers.
+  ThreadPool pool(num_threads);
+  std::vector<std::atomic<int>> remaining(units.size());
+  for (size_t u = 0; u < units.size(); ++u) {
+    remaining[u].store(units[u].num_deps, std::memory_order_relaxed);
+  }
+  std::atomic<bool> failed{false};
+  ThreadPool::TaskGroup group(&pool);
+  std::function<void(int)> launch = [&](int u) {
+    group.Run([&, u] {
+      try {
+        if (!failed.load(std::memory_order_acquire)) {
+          EvalUnit(units[u], indexed, semi_naive, &state, &index_cache, &pool,
+                   s, &stats_mu);
+        }
+      } catch (...) {
+        // Successors are never launched; Wait() rethrows this.
+        failed.store(true, std::memory_order_release);
+        throw;
+      }
+      for (int v : units[u].succs) {
+        if (remaining[v].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          launch(v);
+        }
+      }
+    });
+  };
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (units[u].num_deps == 0) launch(static_cast<int>(u));
+  }
+  group.Wait();
+
+  ThreadPool::Stats pool_stats = pool.stats();
+  s->par_tasks += pool_stats.TotalTasks();
+  s->par_steals += pool_stats.TotalSteals();
   return state.full;
+}
+
+namespace {
+
+/// num_threads for the Strategy-only entry points: REL_EVAL_THREADS when
+/// set (1..64; this is how CI runs the whole test suite under TSan with a
+/// parallel evaluator), else 1.
+int DefaultNumThreads() {
+  static const int n = [] {
+    const char* env = std::getenv("REL_EVAL_THREADS");
+    if (env == nullptr) return 1;
+    int v = std::atoi(env);
+    return std::min(64, std::max(1, v));
+  }();
+  return n;
+}
+
+}  // namespace
+
+std::map<std::string, Relation> Evaluate(const Program& program,
+                                         Strategy strategy, EvalStats* stats) {
+  EvalOptions options;
+  options.strategy = strategy;
+  options.num_threads = DefaultNumThreads();
+  return Evaluate(program, options, stats);
+}
+
+Relation EvaluatePredicate(const Program& program, const std::string& pred,
+                           const EvalOptions& options, EvalStats* stats) {
+  std::map<std::string, Relation> all = Evaluate(program, options, stats);
+  auto it = all.find(pred);
+  return it == all.end() ? Relation() : std::move(it->second);
 }
 
 Relation EvaluatePredicate(const Program& program, const std::string& pred,

@@ -24,8 +24,25 @@
 //     materialized where an atom's column order disagrees with the global
 //     variable order, so the triejoin precondition always holds.
 //
+//   * Parallel evaluation. With EvalOptions::num_threads > 1 the indexed
+//     strategy runs on a work-stealing ThreadPool (src/base/thread_pool.h).
+//     Rules are grouped into *units* — the strongly-connected recursion
+//     components of the predicate dependency graph, one fixpoint loop each —
+//     and units with no dependency path between them evaluate concurrently
+//     (the stratum DAG). Within a unit's round, every (rule, delta-atom)
+//     plan is a task, and large driver scans split into row-range chunks.
+//     Tasks emit through the span-based scratch path into per-thread
+//     staging relations; at the round barrier the staging buffers are
+//     deduplicated and merged into the canonical extents. Relations and
+//     hash indexes therefore stay single-writer — reads during a round are
+//     lock-free and the computed extents equal the sequential ones exactly
+//     (every sorted view renders byte-identically; only the *unspecified*
+//     insertion order seen by unsorted iteration like ForEach may vary
+//     with scheduling).
+//
 // The nested-loop scan evaluator is retained behind Strategy::kNaive and
-// Strategy::kSemiNaiveScan as an ablation baseline for benchmarks.
+// Strategy::kSemiNaiveScan as an ablation baseline for benchmarks; both
+// always run sequentially.
 //
 // Intended semantic differences, both consequences of the scan strategies
 // evaluating body literals in syntactic order:
@@ -63,10 +80,29 @@ namespace datalog {
 /// semi-naive nested-loop evaluator.
 enum class Strategy { kNaive, kSemiNaive, kSemiNaiveScan };
 
-/// Evaluation statistics (exposed for benchmarks and tests).
+/// Evaluation options.
+struct EvalOptions {
+  Strategy strategy = Strategy::kSemiNaive;
+  /// Worker threads for the indexed strategy. 1 (the default) evaluates on
+  /// the calling thread with zero pool overhead; 0 means one worker per
+  /// hardware thread. The scan ablation strategies ignore this and always
+  /// run sequentially. The computed extents are identical for every value
+  /// (unsorted iteration order, unspecified by contract, is the one thing
+  /// that may differ).
+  int num_threads = 1;
+};
+
+/// Evaluation statistics (exposed for benchmarks and tests). Under parallel
+/// evaluation every counter is aggregated across threads at barriers — a
+/// single coherent total, never a per-thread interleaving. tuples_derived,
+/// index_builds, sorted_builds, index_probes and leapfrog_joins are
+/// identical across num_threads values; driver_scans/delta_scans count one
+/// scan per *chunk task*, so they scale with the chunking factor.
 struct EvalStats {
-  int strata = 0;
-  int iterations = 0;           // total fixpoint iterations across strata
+  int strata = 0;               // numeric strata (negation depth + 1)
+  int units = 0;                // recursion components scheduled on the DAG
+  int threads = 1;              // workers the evaluation actually used
+  int iterations = 0;           // total fixpoint iterations across units
   uint64_t tuples_derived = 0;  // insertions attempted (incl. duplicates)
   uint64_t index_builds = 0;    // hash indexes (re)built by the cache
   uint64_t sorted_builds = 0;   // column-permuted sorted copies (re)built
@@ -77,16 +113,32 @@ struct EvalStats {
   uint64_t driver_scans = 0;    // unavoidable scans of all-free leading atoms
   uint64_t delta_scans = 0;     // scans of the semi-naive delta occurrence
   uint64_t leapfrog_joins = 0;  // rules routed through LeapfrogJoin
+  uint64_t par_tasks = 0;       // pool tasks executed (0 when sequential)
+  uint64_t par_steals = 0;      // tasks taken from another worker's queue
+  uint64_t par_merges = 0;      // staging relations merged at round barriers
+
+  /// One stable line per field, deterministic order — safe to print and
+  /// diff regardless of how many threads produced the numbers.
+  std::string ToString() const;
 };
 
 /// Evaluates `program` to a fixpoint and returns all predicate extents.
 /// Throws kSafety if a rule is not range-restricted and kType if the
 /// program cannot be stratified.
 std::map<std::string, Relation> Evaluate(const Program& program,
+                                         const EvalOptions& options,
+                                         EvalStats* stats = nullptr);
+
+/// Strategy-only overload. num_threads comes from the REL_EVAL_THREADS
+/// environment variable when set (how CI runs the whole suite under TSan
+/// with a parallel evaluator), else 1.
+std::map<std::string, Relation> Evaluate(const Program& program,
                                          Strategy strategy,
                                          EvalStats* stats = nullptr);
 
 /// Convenience: evaluates and returns one predicate's extent.
+Relation EvaluatePredicate(const Program& program, const std::string& pred,
+                           const EvalOptions& options, EvalStats* stats = nullptr);
 Relation EvaluatePredicate(const Program& program, const std::string& pred,
                            Strategy strategy = Strategy::kSemiNaive,
                            EvalStats* stats = nullptr);

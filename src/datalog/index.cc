@@ -43,7 +43,13 @@ const HashIndex& IndexCache::Get(const std::string& pred, const Relation& rel,
                                  size_t arity,
                                  const std::vector<size_t>& key_positions,
                                  uint64_t* build_counter) {
-  HashIndex& index = cache_[Key(pred, arity, key_positions)];
+  IndexEntry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry = &cache_[Key(pred, arity, key_positions)];
+  }
+  std::lock_guard<std::mutex> latch(entry->latch);
+  HashIndex& index = entry->index;
   const ColumnArena* arena = rel.ArenaOfArity(arity);
   if (arena == nullptr) {
     // No rows of this arity: probes are no-ops on an unbuilt index.
@@ -61,10 +67,21 @@ const HashIndex& IndexCache::Get(const std::string& pred, const Relation& rel,
 const joins::SortedColumns& IndexCache::GetSorted(
     const std::string& pred, const Relation& rel, size_t arity,
     const std::vector<size_t>& col_order, uint64_t* build_counter) {
-  SortedEntry& entry = sorted_cache_[Key(pred, arity, col_order)];
+  SortedEntry* entry_ptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry_ptr = &sorted_cache_[Key(pred, arity, col_order)];
+  }
+  std::lock_guard<std::mutex> latch(entry_ptr->latch);
+  SortedEntry& entry = *entry_ptr;
   const ColumnArena* arena = rel.ArenaOfArity(arity);
   if (arena == nullptr) {
-    if (entry.built && entry.data.rows != 0) entry = SortedEntry{};
+    if (entry.built && entry.data.rows != 0) {
+      entry.built = false;
+      entry.built_id = 0;
+      entry.built_version = 0;
+      entry.data = joins::SortedColumns{};
+    }
     entry.built = true;
     entry.data.cols.resize(col_order.size());
     return entry.data;

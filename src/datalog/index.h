@@ -17,12 +17,23 @@
 // Both invalidate on the arena's version counter, which advances on every
 // mutation (growth between fixpoint rounds, but also erase+reinsert cycles
 // a size check would miss).
+//
+// Thread safety: the cache may be shared by concurrent evaluation tasks.
+// Entry lookup/creation happens under the cache mutex; each entry then
+// carries its own build-once latch, so concurrent requesters of the same
+// (pred, arity, bound-set) index serialize on that entry — one builds, the
+// rest wait and reuse — while builds of *different* indexes proceed in
+// parallel. Probing the returned reference is lock-free; this is sound
+// because relations only mutate at evaluation round barriers (the
+// single-writer discipline in src/datalog/eval.cc), so an index can never
+// be rebuilt while probes of it are in flight.
 
 #ifndef REL_DATALOG_INDEX_H_
 #define REL_DATALOG_INDEX_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -79,12 +90,14 @@ class HashIndex {
 
 /// Cache of derived access structures, rebuilt lazily when the backing
 /// arena's version has moved (relations only change between fixpoint
-/// rounds, so entries live for at least a whole round).
+/// rounds, so entries live for at least a whole round). Safe to share
+/// across evaluation tasks; see the threading notes at the top of the file.
 class IndexCache {
  public:
   /// Returns the (built) index over `rel`'s tuples of `arity` keyed on
   /// `key_positions`, building or rebuilding it first when needed.
-  /// Increments *build_counter on every (re)build when non-null.
+  /// Increments *build_counter on every (re)build when non-null (the
+  /// counter is incremented under the entry latch).
   const HashIndex& Get(const std::string& pred, const Relation& rel,
                        size_t arity, const std::vector<size_t>& key_positions,
                        uint64_t* build_counter);
@@ -101,14 +114,23 @@ class IndexCache {
  private:
   using Key = std::tuple<std::string, size_t, std::vector<size_t>>;
 
+  /// Map nodes are stable, so entry addresses survive later insertions and
+  /// the per-entry latch can be held after the map mutex is released.
+  struct IndexEntry {
+    std::mutex latch;
+    HashIndex index;
+  };
+
   struct SortedEntry {
+    std::mutex latch;
     uint64_t built_id = 0;
     uint64_t built_version = 0;
     bool built = false;
     joins::SortedColumns data;
   };
 
-  std::map<Key, HashIndex> cache_;
+  std::mutex mu_;  // guards the two maps' structure only
+  std::map<Key, IndexEntry> cache_;
   std::map<Key, SortedEntry> sorted_cache_;
 };
 

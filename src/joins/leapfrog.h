@@ -8,6 +8,13 @@
 // consistent with every atom's column order (the classical triejoin
 // precondition — callers build column-permuted SortedColumns where needed;
 // the Datalog evaluator caches them in its IndexCache).
+//
+// Thread safety: LeapfrogJoin allocates all iterator state (TrieIterator
+// levels, leapfrog frames, the binding vector) per call, so concurrent
+// joins over the same SortedColumns are safe as long as the inputs are not
+// mutated — the parallel evaluator runs each leapfrog-routed rule as one
+// task against cache-frozen inputs. ToSortedColumns reads an arena through
+// At() only (no lazy views), so building inputs is likewise pure.
 
 #ifndef REL_JOINS_LEAPFROG_H_
 #define REL_JOINS_LEAPFROG_H_

@@ -1,0 +1,114 @@
+// Tests for the work-stealing task pool: completion, nested fork-join,
+// slot stability, counter accounting, and exception propagation.
+
+#include "base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace rel {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  ThreadPool::TaskGroup group(&pool);
+  constexpr int kTasks = 5000;
+  for (int i = 0; i < kTasks; ++i) {
+    group.Run([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), kTasks);
+  EXPECT_EQ(pool.stats().TotalTasks(), static_cast<uint64_t>(kTasks));
+}
+
+TEST(ThreadPool, NestedGroupsDoNotDeadlock) {
+  // Every task forks its own children and waits — the fork-join shape the
+  // evaluator uses (unit task -> per-round chunk tasks). With more waiting
+  // tasks than workers this deadlocks unless Wait() helps.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Run([&pool, &leaves] {
+      ThreadPool::TaskGroup inner(&pool);
+      for (int j = 0; j < 16; ++j) {
+        inner.Run(
+            [&leaves] { leaves.fetch_add(1, std::memory_order_relaxed); });
+      }
+      inner.Wait();
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(leaves.load(), 8 * 16);
+}
+
+TEST(ThreadPool, SlotsAreStableAndInRange) {
+  ThreadPool pool(3);
+  // The submitting (non-worker) thread maps to the extra helper slot.
+  EXPECT_EQ(pool.CurrentSlot(), 3);
+  EXPECT_EQ(pool.num_slots(), 4);
+
+  std::mutex mu;
+  std::set<int> seen;
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Run([&] {
+      int slot = pool.CurrentSlot();
+      // Within a task the slot must be consistent across calls.
+      EXPECT_EQ(slot, pool.CurrentSlot());
+      EXPECT_GE(slot, 0);
+      EXPECT_LT(slot, pool.num_slots());
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(slot);
+    });
+  }
+  group.Wait();
+  EXPECT_FALSE(seen.empty());
+}
+
+TEST(ThreadPool, FirstTaskExceptionRethrownFromWait) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    group.Run([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // All tasks still completed (the group drains fully before rethrowing).
+  EXPECT_EQ(ran.load(), 10);
+  // The group is reusable after the error was consumed.
+  group.Run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletesForkJoin) {
+  // Degenerate pool: everything must run via help or the lone worker.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&] {
+      ThreadPool::TaskGroup inner(&pool);
+      inner.Run([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+      inner.Wait();
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace rel
