@@ -37,8 +37,9 @@
 
 set -euo pipefail
 
-BENCHES=(bench_tc bench_par bench_apsp bench_wcoj bench_aggregation bench_gnf
-         bench_matmul bench_pagerank bench_transactions)
+BENCHES=(bench_tc bench_par bench_lowering bench_apsp bench_wcoj
+         bench_aggregation bench_gnf bench_matmul bench_pagerank
+         bench_transactions)
 
 COMPARE_BASELINE=""
 COMPARE_THRESHOLD="${REL_BENCH_TOLERANCE:-25}"

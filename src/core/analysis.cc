@@ -199,6 +199,17 @@ int ProgramAnalysis::ComponentOf(const std::string& name) const {
   return it == component_.end() ? -1 : it->second;
 }
 
+std::vector<std::string> ProgramAnalysis::ComponentMembers(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  auto it = component_.find(name);
+  if (it == component_.end()) return out;
+  for (const auto& [member, comp] : component_) {
+    if (comp == it->second) out.push_back(member);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
 std::set<std::string> ProgramAnalysis::References(
     const std::string& name) const {
   std::set<std::string> out;

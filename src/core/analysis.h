@@ -37,6 +37,11 @@ class ProgramAnalysis {
   /// Component id of `name` (-1 if the name has no rules).
   int ComponentOf(const std::string& name) const;
 
+  /// All names in `name`'s component, sorted (a singleton for non-recursive
+  /// names with rules; empty if the name has no rules). Used by the
+  /// Datalog-lowering pass and by fixpoint diagnostics.
+  std::vector<std::string> ComponentMembers(const std::string& name) const;
+
   /// Names that `name`'s rules reference (for documentation/tests).
   std::set<std::string> References(const std::string& name) const;
 

@@ -86,12 +86,14 @@ TxnResult Engine::Run(const std::string& source, bool apply) {
   if (interp.HasDefs("output")) {
     result.output = interp.EvalInstance("output", 0, {});
   }
+  lowering_stats_ = interp.lowering_stats();
   if (!apply) return result;
 
   // Compute the updates against the pre-state...
   Relation inserts, deletes;
   if (interp.HasDefs("insert")) inserts = interp.EvalInstance("insert", 0, {});
   if (interp.HasDefs("delete")) deletes = interp.EvalInstance("delete", 0, {});
+  lowering_stats_ = interp.lowering_stats();
 
   if (inserts.empty() && deletes.empty()) {
     // Still check constraints: the transaction's ic rules apply to the

@@ -71,6 +71,12 @@ class Engine {
   /// Evaluation limits (iteration caps etc.).
   InterpOptions& options() { return options_; }
 
+  /// Recursion-lowering counters from the most recent Query/Eval/Exec
+  /// (the transaction's main Interp; sibling constraint-checking Interps
+  /// are not aggregated). Useful for tests and benchmarks asserting which
+  /// evaluation path a recursive component took.
+  const LoweringStats& last_lowering_stats() const { return lowering_stats_; }
+
   /// Number of installed persistent rules (stdlib + Define'd).
   size_t installed_rules() const { return persistent_.size(); }
 
@@ -81,6 +87,7 @@ class Engine {
   Database db_;
   std::vector<std::shared_ptr<Def>> persistent_;
   InterpOptions options_;
+  LoweringStats lowering_stats_;
 };
 
 /// The Rel source text of the standard library (aggregates, relational

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/error.h"
+#include "core/lowering.h"
+#include "datalog/eval.h"
 
 namespace rel {
 
@@ -197,6 +199,18 @@ const Relation& Interp::EvalInstanceImpl(const InstanceKey& key) {
     return inst.value;
   }
 
+  // Fast path: monotone recursive components that fit the classical Datalog
+  // fragment evaluate on the planned, indexed semi-naive engine
+  // (src/core/lowering.h) — same least fixpoint, set-at-a-time. On success
+  // every member of the component (including this instance) is already
+  // finished; on failure fall through to the saturation loop unchanged.
+  if (options_.lower_recursion && key.sig == 0 && key.so_args.empty() &&
+      analysis_.IsRecursive(key.name) &&
+      !analysis_.UsesReplacement(key.name) && TryLowerComponent(key.name)) {
+    InternalCheck(inst.done, "lowered component missing its own instance");
+    return inst.value;
+  }
+
   inst.in_progress = true;
   inst.provisional = false;
   inst.stack_pos = static_cast<int>(stack_.size());
@@ -211,10 +225,24 @@ const Relation& Interp::EvalInstanceImpl(const InstanceKey& key) {
   try {
     for (int iter = 0;; ++iter) {
       if (iter > options_.max_iterations) {
-        throw RelError(ErrorKind::kNonConvergent,
-                       "fixpoint for '" + key.name + "' did not converge in " +
-                           std::to_string(options_.max_iterations) +
-                           " iterations");
+        // Hitting the cap must surface as a diagnostic error naming the
+        // offending component — never as a silently partial extent (the
+        // partial value in inst.value is discarded by the next evaluation).
+        std::string component;
+        for (const std::string& member :
+             analysis_.ComponentMembers(key.name)) {
+          if (!component.empty()) component += ", ";
+          component += member;
+        }
+        if (component.empty()) component = key.name;
+        throw RelError(
+            ErrorKind::kNonConvergent,
+            "fixpoint for '" + key.name + "' (recursive component {" +
+                component + "}, " +
+                (replacement ? "replacement" : "accumulate") +
+                " mode) did not converge within max_iterations = " +
+                std::to_string(options_.max_iterations) +
+                "; the partial extent is discarded");
       }
       uint64_t tick = change_tick_;
       Relation derived = base;
@@ -256,6 +284,78 @@ const Relation& Interp::EvalInstanceImpl(const InstanceKey& key) {
   // Signal enclosing fixpoints only when the settled value actually moved.
   if (!(inst.value == previous)) ++change_tick_;
   return inst.value;
+}
+
+bool Interp::TryLowerComponent(const std::string& name) {
+  int comp = analysis_.ComponentOf(name);
+  if (comp < 0 || lowering_failed_components_.count(comp)) return false;
+  auto reject = [&](const std::string& reason) {
+    lowering_failed_components_.insert(comp);
+    ++lowering_stats_.components_rejected;
+    lowering_stats_.rejection_notes.push_back(name + ": " + reason);
+    return false;
+  };
+
+  std::string why;
+  std::optional<LoweredComponent> lowered =
+      LowerComponent(name, analysis_, all_defs_, &why);
+  if (!lowered) return reject(why);
+
+  // EDB: materialized extents of every out-of-component dependency (each
+  // evaluated through the normal instance machinery, so a qualifying
+  // dependency component lowers first), then the members' own base facts.
+  try {
+    for (const std::string& ext : lowered->externals) {
+      lowered->program.AddFacts(ext, EvalInstance(ext, 0, {}));
+    }
+  } catch (const RelError& err) {
+    // An unsafe external (e.g. a stdlib arithmetic wrapper) has no finite
+    // standalone extent; the solver's use-site inlining may still evaluate
+    // the component, so fall back instead of failing.
+    if (err.kind() != ErrorKind::kSafety) throw;
+    return reject(std::string("unsafe external: ") + err.what());
+  }
+  for (const std::string& member : lowered->members) {
+    if (db_->Has(member)) {
+      lowered->program.AddFacts(member, db_->Get(member));
+    }
+  }
+
+  datalog::EvalOptions eval_options;
+  eval_options.strategy = datalog::Strategy::kSemiNaive;
+  eval_options.num_threads = options_.num_threads;
+  // Value-generating recursion (x = y + 1 inside the SCC) can diverge even
+  // in the Datalog fragment; the interpreter's iteration cap must survive
+  // the lowering. A capped component rejects below and re-runs (and re-caps,
+  // with the authoritative diagnostic) on the tuple-at-a-time path.
+  // InterpOptions treats any cap as strict (0 still allows one iteration),
+  // while 0 means unbounded to the Datalog engine — clamp to at least 1 so
+  // a zero cap can never turn into an infinite lowered fixpoint.
+  eval_options.max_iterations = std::max(options_.max_iterations, 1);
+  std::map<std::string, Relation> extents;
+  try {
+    extents = datalog::Evaluate(lowered->program, eval_options);
+  } catch (const RelError& err) {
+    // E.g. a rule that is not range-restricted under any literal order; the
+    // tuple-at-a-time solver stays the authority on whether that errors.
+    return reject(err.what());
+  }
+
+  for (const std::string& member : lowered->members) {
+    Instance& inst = instances_[InstanceKey{member, 0, {}}];
+    // No member can be mid-saturation here: reaching a member's fixpoint at
+    // all means an earlier lowering attempt for this component failed, and
+    // failed components never retry.
+    InternalCheck(!inst.in_progress, "lowering into an in-progress instance");
+    auto it = extents.find(member);
+    inst.value = it == extents.end() ? Relation() : std::move(it->second);
+    inst.done = true;
+    inst.provisional = false;
+    lowering_stats_.lowered_tuples += inst.value.size();
+    lowering_stats_.lowered_names.push_back(member);
+  }
+  ++lowering_stats_.components_lowered;
+  return true;
 }
 
 const Relation& Interp::MaterializeSO(const SOValue& value) {

@@ -41,9 +41,25 @@ struct InterpOptions {
   /// Worker threads for engine-level parallel work. The solver itself is
   /// single-threaded (one Interp mirrors one Rel transaction), but the
   /// Engine checks independent integrity constraints concurrently when this
-  /// is > 1, each on its own Interp over the shared read-only database.
-  /// 0 means one worker per hardware thread.
+  /// is > 1, and lowered recursive components (see below) inherit it as
+  /// datalog::EvalOptions::num_threads. 0 means one worker per hardware
+  /// thread.
   int num_threads = 1;
+  /// Evaluate qualifying monotone recursive components with the planned,
+  /// indexed Datalog evaluator (src/core/lowering.h) instead of the
+  /// tuple-at-a-time saturation loop. Semantics-preserving; disable to force
+  /// the classic fixpoint (ablation benchmarks, differential tests).
+  bool lower_recursion = true;
+};
+
+/// Counters for the recursion-lowering pass, exposed per Interp (and copied
+/// to Engine::last_lowering_stats() after each transaction).
+struct LoweringStats {
+  int components_lowered = 0;   // SCCs evaluated by the Datalog engine
+  int components_rejected = 0;  // monotone SCCs outside the Datalog fragment
+  uint64_t lowered_tuples = 0;  // tuples spliced back into instances
+  std::vector<std::string> lowered_names;    // members, evaluation order
+  std::vector<std::string> rejection_notes;  // "name: reason" per rejection
 };
 
 /// One evaluation context: a database plus a set of rules. Create one per
@@ -119,6 +135,9 @@ class Interp {
 
   Solver& solver() { return solver_; }
 
+  /// What the recursion-lowering pass did so far in this context.
+  const LoweringStats& lowering_stats() const { return lowering_stats_; }
+
  private:
   struct InstanceKey {
     std::string name;
@@ -140,6 +159,14 @@ class Interp {
 
   const Relation& EvalInstanceImpl(const InstanceKey& key);
 
+  /// Attempts to evaluate the whole recursive component of `name` with the
+  /// Datalog engine, splicing every member's extent into `instances_` as a
+  /// finished instance. Returns false (and remembers the component as
+  /// failed) when the component is outside the Datalog fragment or the
+  /// evaluation cannot proceed — the caller then falls back to the
+  /// tuple-at-a-time fixpoint.
+  bool TryLowerComponent(const std::string& name);
+
   const Database* db_;
   std::vector<std::shared_ptr<Def>> all_defs_;
   // name -> sig -> rules
@@ -152,6 +179,8 @@ class Interp {
 
   std::map<InstanceKey, Instance> instances_;
   std::vector<Instance*> stack_;
+  LoweringStats lowering_stats_;
+  std::set<int> lowering_failed_components_;
   uint64_t change_tick_ = 0;
   uint64_t partial_reads_ = 0;
   int fresh_counter_ = 0;

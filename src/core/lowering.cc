@@ -1,0 +1,392 @@
+#include "core/lowering.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/builtins.h"
+
+namespace rel {
+
+namespace {
+
+using datalog::ArithOp;
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Term;
+
+/// Leading relation-variable parameter count (mirrors
+/// Solver::CountSOParams without pulling in the solver).
+size_t CountSOParams(const Def& def) {
+  size_t n = 0;
+  while (n < def.params.size() &&
+         def.params[n].kind == Binding::Kind::kRelVar) {
+    ++n;
+  }
+  return n;
+}
+
+/// Canonical builtin name: the parser emits `rel_primitive_eq` etc.; the
+/// registry also accepts the bare names, so compare against those.
+std::string CanonicalBuiltin(const std::string& name) {
+  constexpr char kPrefix[] = "rel_primitive_";
+  if (name.rfind(kPrefix, 0) == 0) return name.substr(sizeof(kPrefix) - 1);
+  return name;
+}
+
+std::optional<CmpOp> CmpOpOf(const std::string& canonical) {
+  if (canonical == "eq") return CmpOp::kEq;
+  if (canonical == "neq") return CmpOp::kNeq;
+  if (canonical == "lt") return CmpOp::kLt;
+  if (canonical == "lt_eq") return CmpOp::kLe;
+  if (canonical == "gt") return CmpOp::kGt;
+  if (canonical == "gt_eq") return CmpOp::kGe;
+  return std::nullopt;
+}
+
+std::optional<ArithOp> ArithOpOf(const std::string& canonical) {
+  if (canonical == "add") return ArithOp::kAdd;
+  if (canonical == "subtract") return ArithOp::kSub;
+  if (canonical == "multiply") return ArithOp::kMul;
+  if (canonical == "divide") return ArithOp::kDiv;
+  if (canonical == "modulo") return ArithOp::kMod;
+  if (canonical == "minimum") return ArithOp::kMin;
+  if (canonical == "maximum") return ArithOp::kMax;
+  return std::nullopt;
+}
+
+/// Unwraps chained partial applications: T[a][b](c) has base T and
+/// arguments a, b, c (the solver's FlattenApplication, re-stated here on
+/// the uncompiled AST).
+void Flatten(const ExprPtr& expr, ExprPtr* base, std::vector<Arg>* args) {
+  if (expr->kind == ExprKind::kApplication) {
+    if (expr->target->kind == ExprKind::kApplication && !expr->target->full) {
+      Flatten(expr->target, base, args);
+      for (const Arg& a : expr->args) args->push_back(a);
+      return;
+    }
+    *base = expr->target;
+    *args = expr->args;
+    return;
+  }
+  *base = expr;
+  args->clear();
+}
+
+/// Per-component translation context, shared by all of its rules.
+struct ComponentContext {
+  std::set<std::string> members;
+  const std::map<std::string, std::vector<const Def*>>* defs_by_name;
+  const std::map<std::string, size_t>* max_sig;
+  std::set<std::string>* externals;
+};
+
+/// Translates one `def` into one Datalog rule. Fails (returns nullopt with
+/// *why set) on any construct outside the classical fragment.
+class RuleLowerer {
+ public:
+  RuleLowerer(const ComponentContext& ctx, std::string* why)
+      : ctx_(ctx), why_(why) {
+    scopes_.emplace_back();
+  }
+
+  std::optional<datalog::Rule> Lower(const Def& def) {
+    if (def.square_head) return Fail("[]-headed rule (expression body)");
+    if (CountSOParams(def) > 0) return Fail("relation-variable parameters");
+    rule_.head.pred = def.name;
+    for (const Binding& b : def.params) {
+      switch (b.kind) {
+        case Binding::Kind::kVar: {
+          if (scopes_.back().count(b.name)) {
+            return Fail("repeated head variable");
+          }
+          int id = Declare(b.name);
+          rule_.head.terms.push_back(Term::Var(id));
+          if (b.domain && !LowerDomain(b.domain, id)) return std::nullopt;
+          break;
+        }
+        case Binding::Kind::kLiteral:
+          rule_.head.terms.push_back(Term::Const(b.literal));
+          break;
+        default:
+          return Fail("non-variable head binding");
+      }
+    }
+    if (!LowerFormula(def.body, /*positive=*/true)) return std::nullopt;
+    return std::move(rule_);
+  }
+
+ private:
+  std::optional<datalog::Rule> Fail(const std::string& reason) {
+    if (why_ && why_->empty()) *why_ = reason;
+    return std::nullopt;
+  }
+  bool FailBool(const std::string& reason) {
+    if (why_ && why_->empty()) *why_ = reason;
+    return false;
+  }
+
+  int Declare(const std::string& name) {
+    int id = next_var_++;
+    scopes_.back()[name] = id;
+    return id;
+  }
+
+  const int* Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  /// `x in Expr` binding domains: supported when the domain is a plain
+  /// relation name, which becomes a positive membership atom.
+  bool LowerDomain(const ExprPtr& domain, int var) {
+    if (domain->kind != ExprKind::kIdent || Lookup(domain->name)) {
+      return FailBool("unsupported binding domain");
+    }
+    return EmitRelationAtom(domain->name, {Term::Var(var)},
+                            /*positive=*/true);
+  }
+
+  /// Classifies `name` as member / external and appends the atom. External
+  /// names must be first-order (no second-order definitions): their extents
+  /// are materialized as EDB facts by the caller.
+  bool EmitRelationAtom(const std::string& name, std::vector<Term> terms,
+                        bool positive) {
+    if (!ctx_.members.count(name)) {
+      auto sig = ctx_.max_sig->find(name);
+      if (sig != ctx_.max_sig->end() && sig->second > 0) {
+        return FailBool("external relation '" + name +
+                        "' has second-order definitions");
+      }
+      ctx_.externals->insert(name);
+    } else if (!positive) {
+      // Cannot happen for monotone components, but keep the guard local.
+      return FailBool("negated member reference");
+    }
+    Atom atom;
+    atom.pred = name;
+    atom.terms = std::move(terms);
+    rule_.body.push_back(positive ? Literal::Positive(std::move(atom))
+                                  : Literal::Negative(std::move(atom)));
+    return true;
+  }
+
+  /// A first-order term: a literal, an in-scope variable, a wildcard
+  /// (fresh variable), or an arithmetic application reduced to a fresh
+  /// variable through an assignment literal. `allow_aux` is false inside
+  /// negated atoms: the assignment would be emitted positively, outside the
+  /// negation, so a failing arithmetic (e.g. "a" + 1) would falsify the
+  /// whole body where Rel makes the negation vacuously true.
+  std::optional<Term> TermOf(const ExprPtr& e, bool allow_aux = true) {
+    if (!e) return Term::Var(next_var_++);  // wildcard argument slot
+    switch (e->kind) {
+      case ExprKind::kLiteral:
+        return Term::Const(e->literal);
+      case ExprKind::kRelNameLit:
+        return Term::Const(Value::Entity("rel", e->name));
+      case ExprKind::kWildcard:
+        return Term::Var(next_var_++);
+      case ExprKind::kIdent: {
+        const int* id = Lookup(e->name);
+        if (!id) {
+          if (why_ && why_->empty()) {
+            *why_ = "relation-valued argument '" + e->name + "'";
+          }
+          return std::nullopt;
+        }
+        return Term::Var(*id);
+      }
+      case ExprKind::kApplication: {
+        if (!allow_aux) {
+          if (why_ && why_->empty()) {
+            *why_ = "computed argument in a negated atom";
+          }
+          return std::nullopt;
+        }
+        // Arithmetic subexpression: reduce to a fresh variable.
+        ExprPtr base;
+        std::vector<Arg> args;
+        Flatten(e, &base, &args);
+        if (base->kind != ExprKind::kIdent || Lookup(base->name) ||
+            ctx_.defs_by_name->count(base->name) || !FindBuiltin(base->name)) {
+          if (why_ && why_->empty()) *why_ = "unsupported argument expression";
+          return std::nullopt;
+        }
+        std::optional<ArithOp> op = ArithOpOf(CanonicalBuiltin(base->name));
+        if (!op || args.size() != 2) {
+          if (why_ && why_->empty()) {
+            *why_ = "unsupported builtin '" + base->name + "'";
+          }
+          return std::nullopt;
+        }
+        std::optional<Term> a = TermOf(args[0].expr);
+        if (!a) return std::nullopt;
+        std::optional<Term> b = TermOf(args[1].expr);
+        if (!b) return std::nullopt;
+        int target = next_var_++;
+        rule_.body.push_back(Literal::Assign(target, *op, *a, *b));
+        return Term::Var(target);
+      }
+      default:
+        if (why_ && why_->empty()) *why_ = "unsupported argument expression";
+        return std::nullopt;
+    }
+  }
+
+  /// A full application used as a formula: relation atom, comparison, or
+  /// ternary arithmetic builtin.
+  bool LowerApplication(const ExprPtr& expr, bool positive) {
+    ExprPtr base;
+    std::vector<Arg> args;
+    Flatten(expr, &base, &args);
+    if (base->kind != ExprKind::kIdent) {
+      return FailBool("application of a computed relation");
+    }
+    const std::string& name = base->name;
+    if (Lookup(name)) return FailBool("application of a local variable");
+
+    const bool is_defined = ctx_.defs_by_name->count(name) > 0;
+    const Builtin* builtin = is_defined ? nullptr : FindBuiltin(name);
+    if (builtin) {
+      // Negated builtins are rejected: inverting a comparison flips
+      // kUnordered outcomes (e.g. `not (x < "a")` holds in Rel but `x >= "a"`
+      // does not), so the fragment keeps only positive filters.
+      if (!positive) return FailBool("negated builtin application");
+      std::string canonical = CanonicalBuiltin(name);
+      if (std::optional<CmpOp> cmp = CmpOpOf(canonical)) {
+        if (args.size() != 2) return FailBool("comparison arity");
+        std::optional<Term> a = TermOf(args[0].expr);
+        if (!a) return false;
+        std::optional<Term> b = TermOf(args[1].expr);
+        if (!b) return false;
+        rule_.body.push_back(Literal::Compare(*cmp, *a, *b));
+        return true;
+      }
+      if (std::optional<ArithOp> op = ArithOpOf(canonical)) {
+        // add(a, b, c): compute into a fresh variable, then equate with the
+        // result term — numeric-tolerant, matching the builtin's semantics.
+        if (args.size() != 3) return FailBool("arithmetic builtin arity");
+        std::optional<Term> a = TermOf(args[0].expr);
+        if (!a) return false;
+        std::optional<Term> b = TermOf(args[1].expr);
+        if (!b) return false;
+        std::optional<Term> c = TermOf(args[2].expr);
+        if (!c) return false;
+        int target = next_var_++;
+        rule_.body.push_back(Literal::Assign(target, *op, *a, *b));
+        rule_.body.push_back(
+            Literal::Compare(CmpOp::kEq, Term::Var(target), *c));
+        return true;
+      }
+      return FailBool("unsupported builtin '" + name + "'");
+    }
+
+    // Named relation (member, defined external, or base).
+    std::vector<Term> terms;
+    terms.reserve(args.size());
+    for (const Arg& arg : args) {
+      if (arg.annotation == Annotation::kSecondOrder) {
+        return FailBool("second-order argument");
+      }
+      std::optional<Term> t = TermOf(arg.expr, /*allow_aux=*/positive);
+      if (!t) return false;
+      terms.push_back(*t);
+    }
+    return EmitRelationAtom(name, std::move(terms), positive);
+  }
+
+  bool LowerFormula(const ExprPtr& expr, bool positive) {
+    switch (expr->kind) {
+      case ExprKind::kAnd:
+      case ExprKind::kWhere:
+        if (!positive) return FailBool("negated conjunction");
+        return LowerFormula(expr->children[0], true) &&
+               LowerFormula(expr->children[1], true);
+      case ExprKind::kNot:
+        return LowerFormula(expr->children[0], !positive);
+      case ExprKind::kExists: {
+        if (!positive) return FailBool("negated quantifier");
+        scopes_.emplace_back();
+        for (const Binding& b : expr->bindings) {
+          if (b.kind != Binding::Kind::kVar) {
+            scopes_.pop_back();
+            return FailBool("non-variable quantifier binding");
+          }
+          int id = Declare(b.name);
+          if (b.domain && !LowerDomain(b.domain, id)) {
+            scopes_.pop_back();
+            return false;
+          }
+        }
+        bool ok = LowerFormula(expr->body, true);
+        scopes_.pop_back();
+        return ok;
+      }
+      case ExprKind::kTrueLit:
+        return positive ? true : FailBool("negated true");
+      case ExprKind::kApplication:
+        if (!expr->full) return FailBool("partial application as formula");
+        return LowerApplication(expr, positive);
+      default:
+        return FailBool(std::string("unsupported construct (") +
+                        ExprKindName(expr->kind) + ")");
+    }
+  }
+
+  const ComponentContext& ctx_;
+  std::string* why_;
+  std::vector<std::map<std::string, int>> scopes_;
+  int next_var_ = 0;
+  datalog::Rule rule_;
+};
+
+}  // namespace
+
+std::optional<LoweredComponent> LowerComponent(
+    const std::string& name, const ProgramAnalysis& analysis,
+    const std::vector<std::shared_ptr<Def>>& defs, std::string* why) {
+  if (why) why->clear();
+  std::vector<std::string> members = analysis.ComponentMembers(name);
+  if (members.empty()) {
+    if (why) *why = "no rules";
+    return std::nullopt;
+  }
+
+  std::map<std::string, std::vector<const Def*>> by_name;
+  std::map<std::string, size_t> max_sig;
+  for (const auto& def : defs) {
+    if (def->is_ic) continue;
+    by_name[def->name].push_back(def.get());
+    size_t& sig = max_sig[def->name];
+    sig = std::max(sig, CountSOParams(*def));
+  }
+
+  ComponentContext ctx;
+  ctx.members.insert(members.begin(), members.end());
+  ctx.defs_by_name = &by_name;
+  ctx.max_sig = &max_sig;
+  std::set<std::string> externals;
+  ctx.externals = &externals;
+
+  LoweredComponent out;
+  for (const std::string& member : members) {
+    if (max_sig[member] > 0) {
+      if (why) *why = "member '" + member + "' has second-order definitions";
+      return std::nullopt;
+    }
+    for (const Def* def : by_name[member]) {
+      RuleLowerer lowerer(ctx, why);
+      std::optional<datalog::Rule> rule = lowerer.Lower(*def);
+      if (!rule) return std::nullopt;
+      out.program.AddRule(std::move(*rule));
+    }
+  }
+  out.members = std::move(members);
+  out.externals.assign(externals.begin(), externals.end());
+  return out;
+}
+
+}  // namespace rel

@@ -1,0 +1,70 @@
+// Lowering Rel recursion onto the classical Datalog evaluator — the inverse
+// of datalog/to_rel.h, and the "meet in the middle" step the ROADMAP's
+// "Rel-engine recursion via the Datalog planner" item asked for.
+//
+// A recursive component found by core/analysis qualifies for lowering when
+// its fixpoint is expressible as classical stratified Datalog:
+//
+//   * accumulate mode only — no replacement semantics (no non-monotone
+//     self-reference: negation, aggregation or second-order use inside the
+//     SCC; ProgramAnalysis::UsesReplacement already decides this);
+//   * every rule of every member is first-order (`def name(params): body`
+//     with no relation-variable parameters and no []-head producing
+//     expression outputs) over variable/literal parameters;
+//   * every body is a conjunction (possibly under `exists`) of
+//       - full applications of named relations over variables, literals and
+//         wildcards (the member predicates themselves, or SCC-external
+//         names whose extents are materialized as EDB facts),
+//       - negated full applications of SCC-external names,
+//       - comparisons (=, !=, <, <=, >, >=) and arithmetic equalities
+//         (v = a + b, minimum/maximum and the ternary builtin forms), and
+//       - `true` / `e where f` conjunctions.
+//
+// Everything else — disjunction, tuple variables, string builtins, `range`,
+// partial applications, relation-valued arguments — rejects the component,
+// and the interpreter falls back to its tuple-at-a-time fixpoint unchanged.
+// Rejection is always safe: lowering only changes how the extent is
+// computed, never what it is.
+
+#ifndef REL_CORE_LOWERING_H_
+#define REL_CORE_LOWERING_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/ast.h"
+#include "datalog/program.h"
+
+namespace rel {
+
+/// The Datalog translation of one recursive Rel component. `program` holds
+/// the SCC's rules only; the caller supplies facts (the member predicates'
+/// base tuples plus the materialized extents of `externals`) before calling
+/// datalog::Evaluate.
+struct LoweredComponent {
+  datalog::Program program;
+  /// The SCC's predicates (IDB), sorted.
+  std::vector<std::string> members;
+  /// SCC-external names referenced by the rules, whose extents must be
+  /// provided as EDB facts. Sorted; disjoint from `members`.
+  std::vector<std::string> externals;
+};
+
+/// Attempts to translate the recursive component containing `name` into a
+/// Datalog program. `defs` is the full rule set the component lives in
+/// (integrity constraints are ignored). Returns nullopt when the component
+/// does not qualify; `why`, when non-null, receives a one-line reason for
+/// diagnostics and tests. The caller is responsible for checking that the
+/// component is recursive and monotone (ProgramAnalysis::IsRecursive /
+/// !UsesReplacement) — this function validates expressibility only.
+std::optional<LoweredComponent> LowerComponent(
+    const std::string& name, const ProgramAnalysis& analysis,
+    const std::vector<std::shared_ptr<Def>>& defs, std::string* why);
+
+}  // namespace rel
+
+#endif  // REL_CORE_LOWERING_H_

@@ -86,21 +86,34 @@ class ColumnArena {
   /// Invokes fn(TupleRef) for every row present at entry. The row count is
   /// snapshotted, and appends never move existing rows, so inserting into
   /// this arena from `fn` is safe (new rows are not visited this pass).
-  /// Erasing from `fn` is NOT safe.
+  ///
+  /// Erasing from `fn` is tolerated but lossy *as long as this arena stays
+  /// alive*: Erase swaps the last row into the hole, so the swapped row may
+  /// be skipped (if the hole was already visited) or seen under its new
+  /// index, and the loop re-clamps to the shrunken row count instead of
+  /// handing out stale row indices past the end. Beware the owner, though:
+  /// Relation destroys an arena the moment it empties, so erasing the last
+  /// remaining row of this arena through a Relation wrapper frees the
+  /// object mid-loop — see Relation::ForEach for that hard exception.
+  /// Exactly-once visitation holds only when `fn` does not erase — pinned
+  /// by tests/data/columnar_test.cc.
   template <typename Fn>
   void ForEachRow(Fn&& fn) const {
     const size_t n = num_rows_;
-    for (size_t r = 0; r < n; ++r) fn(Row(r));
+    for (size_t r = 0; r < n && r < num_rows_; ++r) fn(Row(r));
   }
 
   /// Like ForEachRow restricted to rows [begin, min(end, size())). Row
   /// indices are stable under append, so disjoint ranges partition the
   /// arena exactly — the parallel evaluator splits driver scans this way,
-  /// one range per task, while the arena itself stays read-only.
+  /// one range per task, while the arena itself stays read-only. The same
+  /// erase re-clamp as ForEachRow applies (a shrinking arena truncates the
+  /// range rather than yielding dangling rows), with the same owner caveat:
+  /// an erase that empties the arena destroys it mid-loop.
   template <typename Fn>
   void ForEachRowRange(size_t begin, size_t end, Fn&& fn) const {
     const size_t n = std::min(end, num_rows_);
-    for (size_t r = begin; r < n; ++r) fn(Row(r));
+    for (size_t r = begin; r < n && r < num_rows_; ++r) fn(Row(r));
   }
 
  private:
@@ -210,7 +223,12 @@ class Relation {
   /// Inserting into this relation from `fn` is safe: rows appended to an
   /// already-visited or in-progress arity are not visited this pass (the
   /// per-arity row count is snapshotted), though a brand-new arity created
-  /// mid-iteration may be. Erasing from `fn` is not supported.
+  /// mid-iteration may be. Erasing from `fn` follows the ColumnArena
+  /// contract (memory-safe, lossy visitation) with one hard exception:
+  /// erasing the LAST tuple of the arity being iterated destroys that
+  /// arity's arena (the blocks_ map holds only non-empty arenas — AsBool
+  /// and operator== rely on that) and is therefore unsupported while any
+  /// iteration over it is in flight. Pinned by tests/data/columnar_test.cc.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const auto& [arity, arena] : blocks_) {
@@ -231,7 +249,11 @@ class Relation {
   /// ForEachOfArity over the row-index range [begin, end) of that arity's
   /// arena — the chunked-driver access path of the parallel evaluator.
   /// Purely read-only: does not force any lazy view, so concurrent calls
-  /// on a frozen relation are safe.
+  /// on a frozen relation are safe. If `fn` erases (single-threaded use
+  /// only), the swap-last erase renumbers the moved row and the range
+  /// truncates to the shrunken arena; see ColumnArena::ForEachRow for the
+  /// exact guarantee and ForEach above for the hard exception — erasing
+  /// the last remaining tuple of the iterated arity destroys its arena.
   template <typename Fn>
   void ForEachOfArityRange(size_t arity, size_t begin, size_t end,
                            Fn&& fn) const {

@@ -924,10 +924,25 @@ constexpr size_t kMinChunkRows = 64;
 /// and the staging buffers merge into the canonical state at the round
 /// barrier — the single-writer discipline that keeps every concurrent read
 /// lock-free. Counter totals land in `out_stats` under `stats_mu`.
-void EvalUnit(const Unit& unit, bool indexed, bool semi_naive, State* state,
-              IndexCache* cache, ThreadPool* pool, EvalStats* out_stats,
-              std::mutex* stats_mu) {
+void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
+              int max_iterations, State* state, IndexCache* cache,
+              ThreadPool* pool, EvalStats* out_stats, std::mutex* stats_mu) {
   EvalStats local;
+  // Fires when max_iterations > 0 and this unit's fixpoint exceeds it — the
+  // guard against value-generating recursion that never converges.
+  auto check_cap = [&] {
+    if (max_iterations <= 0 || local.iterations <= max_iterations) return;
+    std::string heads;
+    for (const std::string& pred : unit.heads) {
+      if (!heads.empty()) heads += ", ";
+      heads += pred;
+    }
+    throw RelError(ErrorKind::kNonConvergent,
+                   "datalog fixpoint for unit {" + heads +
+                       "} did not converge within max_iterations = " +
+                       std::to_string(max_iterations) +
+                       " rounds; the partial extent is discarded");
+  };
   std::map<std::pair<const Rule*, int>, RulePlan> plans;
   // Plans are built at first use (cardinality estimates read the state at
   // that moment) and reused for the rest of the unit — the same timing in
@@ -1053,6 +1068,7 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive, State* state,
   for (auto& [pred, rel] : added) state->full.at(pred).InsertAll(rel);
   delta = std::move(added);
   ++local.iterations;
+  check_cap();
 
   // Iterate to fixpoint within the unit.
   for (;;) {
@@ -1063,6 +1079,7 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive, State* state,
     }
     if (!any_delta) break;
     ++local.iterations;
+    check_cap();
     std::vector<Pair> pairs;
     for (const Rule* rule : unit.rules) {
       if (semi_naive) {
@@ -1136,8 +1153,8 @@ std::map<std::string, Relation> Evaluate(const Program& program,
 
   if (!parallel) {
     for (int u : TopoOrder(units)) {
-      EvalUnit(units[u], indexed, semi_naive, &state, &index_cache,
-               /*pool=*/nullptr, s, &stats_mu);
+      EvalUnit(units[u], indexed, semi_naive, options.max_iterations, &state,
+               &index_cache, /*pool=*/nullptr, s, &stats_mu);
     }
     return state.full;
   }
@@ -1156,8 +1173,8 @@ std::map<std::string, Relation> Evaluate(const Program& program,
     group.Run([&, u] {
       try {
         if (!failed.load(std::memory_order_acquire)) {
-          EvalUnit(units[u], indexed, semi_naive, &state, &index_cache, &pool,
-                   s, &stats_mu);
+          EvalUnit(units[u], indexed, semi_naive, options.max_iterations,
+                   &state, &index_cache, &pool, s, &stats_mu);
         }
       } catch (...) {
         // Successors are never launched; Wait() rethrows this.

@@ -90,6 +90,14 @@ struct EvalOptions {
   /// (unsorted iteration order, unspecified by contract, is the one thing
   /// that may differ).
   int num_threads = 1;
+  /// Cap on fixpoint rounds per recursion unit; 0 means unbounded. Pure
+  /// Datalog over a finite EDB always terminates, but arithmetic
+  /// assignments can generate fresh values forever (n(X) :- n(Y), X = Y+1),
+  /// so callers embedding this evaluator — notably the Rel engine's
+  /// recursion lowering, which inherits InterpOptions::max_iterations here —
+  /// need the same guard the Rel interpreter has. Exceeding the cap throws
+  /// kNonConvergent naming the unit's head predicates.
+  int max_iterations = 0;
 };
 
 /// Evaluation statistics (exposed for benchmarks and tests). Under parallel

@@ -45,6 +45,10 @@ void Program::AddFact(const std::string& pred, Tuple t) {
   facts_[pred].Insert(std::move(t));
 }
 
+void Program::AddFacts(const std::string& pred, const Relation& rel) {
+  facts_[pred].InsertAll(rel);
+}
+
 void Program::AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
 
 std::vector<std::string> Program::Predicates() const {

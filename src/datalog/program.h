@@ -81,6 +81,11 @@ struct Rule {
 class Program {
  public:
   void AddFact(const std::string& pred, Tuple t);
+  /// Bulk EDB load: merges a whole relation into `pred`'s facts without
+  /// materializing per-tuple copies (columnar InsertAll). This is how the
+  /// Rel engine's lowering pass (src/core/lowering.h) feeds base relations
+  /// and materialized external extents into a program.
+  void AddFacts(const std::string& pred, const Relation& rel);
   void AddRule(Rule rule);
 
   const std::map<std::string, Relation>& facts() const { return facts_; }

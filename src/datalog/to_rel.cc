@@ -10,21 +10,40 @@ namespace datalog {
 
 namespace {
 
-std::string VarName(int id) { return "v" + std::to_string(id); }
-
-std::string TermToRel(const Term& term) {
-  if (term.is_var()) return VarName(term.var);
-  return term.constant.ToString();  // Rel literal syntax
+/// Renders a Value as a parseable Rel literal. Unlike Value::ToString,
+/// string contents are escaped with the lexer's escape set (\n \t \\ \"),
+/// and `rel` entities render as :Name relation-name literals when the id is
+/// identifier-shaped.
+std::string ValueToRel(const Value& v) {
+  if (v.is_string()) {
+    std::string out = "\"";
+    for (char c : v.AsString()) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out.push_back(c);
+      }
+    }
+    out += "\"";
+    return out;
+  }
+  if (v.is_entity() && v.EntityConcept() == "rel") {
+    const std::string& id = v.EntityId();
+    bool ident = !id.empty() && !(id[0] >= '0' && id[0] <= '9');
+    for (char c : id) {
+      ident &= (c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9'));
+    }
+    if (ident) return ":" + id;
+  }
+  return v.ToString();  // ints, floats: already Rel literal syntax
 }
 
-std::string AtomToRel(const Atom& atom) {
-  std::string out = atom.pred + "(";
-  for (size_t i = 0; i < atom.terms.size(); ++i) {
-    if (i) out += ", ";
-    out += TermToRel(atom.terms[i]);
-  }
-  out += ")";
-  return out;
+std::string TermToRel(const Term& term, const std::string& var_prefix) {
+  if (term.is_var()) return var_prefix + std::to_string(term.var);
+  return ValueToRel(term.constant);
 }
 
 const char* CmpToRel(CmpOp op) {
@@ -53,25 +72,36 @@ const char* ArithToRel(ArithOp op) {
   return nullptr;
 }
 
-std::string LiteralToRel(const Literal& lit) {
+std::string AtomToRel(const Atom& atom, const std::string& var_prefix) {
+  std::string out = atom.pred + "(";
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i) out += ", ";
+    out += TermToRel(atom.terms[i], var_prefix);
+  }
+  out += ")";
+  return out;
+}
+
+std::string LiteralToRel(const Literal& lit, const std::string& var_prefix) {
   switch (lit.kind) {
     case Literal::Kind::kPositive:
-      return AtomToRel(lit.atom);
+      return AtomToRel(lit.atom, var_prefix);
     case Literal::Kind::kNegative:
-      return "not " + AtomToRel(lit.atom);
+      return "not " + AtomToRel(lit.atom, var_prefix);
     case Literal::Kind::kCompare:
-      return TermToRel(lit.lhs) + " " + CmpToRel(lit.cmp_op) + " " +
-             TermToRel(lit.rhs);
+      return TermToRel(lit.lhs, var_prefix) + " " + CmpToRel(lit.cmp_op) +
+             " " + TermToRel(lit.rhs, var_prefix);
     case Literal::Kind::kAssign: {
       const char* op = ArithToRel(lit.arith_op);
       if (op) {
-        return VarName(lit.target) + " = " + TermToRel(lit.lhs) + " " + op +
-               " " + TermToRel(lit.rhs);
+        return var_prefix + std::to_string(lit.target) + " = " +
+               TermToRel(lit.lhs, var_prefix) + " " + op + " " +
+               TermToRel(lit.rhs, var_prefix);
       }
-      const char* fn =
-          lit.arith_op == ArithOp::kMin ? "minimum" : "maximum";
-      return VarName(lit.target) + " = " + std::string(fn) + "[" +
-             TermToRel(lit.lhs) + ", " + TermToRel(lit.rhs) + "]";
+      const char* fn = lit.arith_op == ArithOp::kMin ? "minimum" : "maximum";
+      return var_prefix + std::to_string(lit.target) + " = " +
+             std::string(fn) + "[" + TermToRel(lit.lhs, var_prefix) + ", " +
+             TermToRel(lit.rhs, var_prefix) + "]";
     }
   }
   return "";
@@ -81,42 +111,100 @@ void CollectVars(const Term& t, std::set<int>* vars) {
   if (t.is_var()) vars->insert(t.var);
 }
 
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+/// A variable prefix that cannot capture a relation name referenced by the
+/// rule: in Rel an unscoped identifier denotes a relation, so a predicate
+/// named `v2` would silently shadow the variable rendering.
+std::string VarPrefixFor(const Rule& rule) {
+  std::set<std::string> preds = {rule.head.pred};
+  for (const Literal& lit : rule.body) {
+    if (lit.kind == Literal::Kind::kPositive ||
+        lit.kind == Literal::Kind::kNegative) {
+      preds.insert(lit.atom.pred);
+    }
+  }
+  std::string prefix = "v";
+  for (;;) {
+    bool collides = false;
+    for (const std::string& pred : preds) {
+      if (pred.size() > prefix.size() && pred.compare(0, prefix.size(), prefix) == 0 &&
+          AllDigits(pred.substr(prefix.size()))) {
+        collides = true;
+        break;
+      }
+    }
+    if (!collides) return prefix;
+    prefix += "v";
+  }
+}
+
 }  // namespace
 
 std::string RuleToRel(const Rule& rule) {
-  std::set<int> head_vars;
-  for (const Term& t : rule.head.terms) CollectVars(t, &head_vars);
+  const std::string prefix = VarPrefixFor(rule);
+
   std::set<int> body_vars;
+  int max_var = -1;
   for (const Literal& lit : rule.body) {
     for (const Term& t : lit.atom.terms) CollectVars(t, &body_vars);
     CollectVars(lit.lhs, &body_vars);
     CollectVars(lit.rhs, &body_vars);
     if (lit.target >= 0) body_vars.insert(lit.target);
   }
-  std::set<int> existential;
-  for (int v : body_vars) {
-    if (!head_vars.count(v)) existential.insert(v);
+  for (const Term& t : rule.head.terms) {
+    if (t.is_var()) max_var = std::max(max_var, t.var);
   }
+  if (!body_vars.empty()) max_var = std::max(max_var, *body_vars.rbegin());
 
+  // Head rendering. A repeated head variable cannot repeat as a Rel binder
+  // (the second binding would shadow the first, leaving it unbound), so
+  // later occurrences become fresh aliases equated to the original in the
+  // body: p(X, X) :- q(X)  =>  def p(v0, v1) : q(v0) and v1 = v0.
+  std::set<int> head_vars;
+  std::vector<std::pair<int, int>> aliases;  // (alias, original)
   std::string head = rule.head.pred + "(";
   for (size_t i = 0; i < rule.head.terms.size(); ++i) {
     if (i) head += ", ";
-    head += TermToRel(rule.head.terms[i]);
+    const Term& t = rule.head.terms[i];
+    if (t.is_var() && !head_vars.insert(t.var).second) {
+      int alias = ++max_var;
+      head_vars.insert(alias);
+      aliases.emplace_back(alias, t.var);
+      head += prefix + std::to_string(alias);
+      continue;
+    }
+    head += TermToRel(t, prefix);
   }
   head += ")";
 
   std::string body;
   for (size_t i = 0; i < rule.body.size(); ++i) {
     if (i) body += " and ";
-    body += LiteralToRel(rule.body[i]);
+    body += LiteralToRel(rule.body[i], prefix);
+  }
+  for (const auto& [alias, original] : aliases) {
+    if (!body.empty()) body += " and ";
+    body += prefix + std::to_string(alias) + " = " + prefix +
+            std::to_string(original);
   }
   if (body.empty()) body = "true";
 
+  std::set<int> existential;
+  for (int v : body_vars) {
+    if (!head_vars.count(v)) existential.insert(v);
+  }
   if (!existential.empty()) {
     std::string binders;
     for (int v : existential) {
       if (!binders.empty()) binders += ", ";
-      binders += VarName(v);
+      binders += prefix + std::to_string(v);
     }
     body = "exists((" + binders + ") | " + body + ")";
   }
@@ -131,7 +219,12 @@ std::string ProgramToRel(const Program& program) {
     for (const Tuple& t : facts.SortedTuples()) {
       if (!first) out += " ; ";
       first = false;
-      out += t.ToString();
+      out += "(";
+      for (size_t i = 0; i < t.arity(); ++i) {
+        if (i) out += ", ";
+        out += ValueToRel(t[i]);
+      }
+      out += ")";
     }
     out += "}\n";
   }

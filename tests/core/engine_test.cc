@@ -121,24 +121,38 @@ TEST(Engine, UnknownRelationIsEmptyNotError) {
 TEST(Engine, NonConvergentReplacementFixpointIsCapped) {
   Engine engine;
   engine.options().max_iterations = 50;
-  // flip oscillates: {()} <-> {} under replacement semantics.
+  // flip oscillates: {()} <-> {} under replacement semantics. The cap must
+  // raise a diagnostic naming the offending component and its mode — never
+  // return a partial extent.
   try {
     engine.Query("def flip() : not flip()\n"
                  "def output() : flip()");
     FAIL() << "expected non-convergence";
   } catch (const RelError& e) {
     EXPECT_EQ(e.kind(), ErrorKind::kNonConvergent);
+    std::string what = e.what();
+    EXPECT_NE(what.find("flip"), std::string::npos) << what;
+    EXPECT_NE(what.find("replacement"), std::string::npos) << what;
   }
 }
 
 TEST(Engine, RunawayAccumulationIsCapped) {
   Engine engine;
   engine.options().max_iterations = 100;
-  // Counts upward forever.
-  EXPECT_THROW(engine.Query("def n(x) : x = 0\n"
-                            "def n(x) : exists((y) | n(y) and x = y + 1)\n"
-                            "def output : count[n]"),
-               RelError);
+  // Counts upward forever: accumulate mode. (With recursion lowering on,
+  // the Datalog engine hits its inherited cap first and the component falls
+  // back; the saturation loop then raises the authoritative diagnostic.)
+  try {
+    engine.Query("def n(x) : x = 0\n"
+                 "def n(x) : exists((y) | n(y) and x = y + 1)\n"
+                 "def output : count[n]");
+    FAIL() << "expected non-convergence";
+  } catch (const RelError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kNonConvergent);
+    std::string what = e.what();
+    EXPECT_NE(what.find("'n'"), std::string::npos) << what;
+    EXPECT_NE(what.find("accumulate"), std::string::npos) << what;
+  }
 }
 
 TEST(Engine, RunawaySpecializationIsCapped) {

@@ -162,16 +162,46 @@ TEST(Interp, EvalExprRelUnderEnvironment) {
 }
 
 TEST(Interp, PartialReadsTracked) {
-  // Evaluating a recursive instance reads partial values; the counter lets
-  // memo tables refuse to cache provisional results.
+  // Evaluating a recursive instance tuple-at-a-time reads partial values;
+  // the counter lets memo tables refuse to cache provisional results.
+  // (Lowering is disabled: a lowered component never reads partial values —
+  // see Interp.LoweredRecursionReadsNoPartialValues.)
   Database db;
   db.Insert("e", Tuple({I(1), I(2)}));
   db.Insert("e", Tuple({I(2), I(3)}));
-  Interp interp(&db, Defs("def tc(x,y) : e(x,y)\n"
-                          "def tc(x,y) : exists((z) | e(x,z) and tc(z,y))"));
+  InterpOptions options;
+  options.lower_recursion = false;
+  Interp interp(&db,
+                Defs("def tc(x,y) : e(x,y)\n"
+                     "def tc(x,y) : exists((z) | e(x,z) and tc(z,y))"),
+                options);
   uint64_t before = interp.partial_reads();
   interp.EvalInstance("tc", 0, {});
   EXPECT_GT(interp.partial_reads(), before);
+}
+
+TEST(Interp, LoweredRecursionReadsNoPartialValues) {
+  // The same component through the lowering pass: the Datalog engine
+  // computes the fixpoint without ever handing out an in-progress extent,
+  // and the extent matches the saturation loop's exactly.
+  Database db;
+  db.Insert("e", Tuple({I(1), I(2)}));
+  db.Insert("e", Tuple({I(2), I(3)}));
+  Interp lowered(&db,
+                 Defs("def tc(x,y) : e(x,y)\n"
+                      "def tc(x,y) : exists((z) | e(x,z) and tc(z,y))"));
+  Relation via_datalog = lowered.EvalInstance("tc", 0, {});
+  EXPECT_EQ(lowered.partial_reads(), 0u);
+  EXPECT_EQ(lowered.lowering_stats().components_lowered, 1);
+
+  InterpOptions classic;
+  classic.lower_recursion = false;
+  Interp interp(&db,
+                Defs("def tc(x,y) : e(x,y)\n"
+                     "def tc(x,y) : exists((z) | e(x,z) and tc(z,y))"),
+                classic);
+  EXPECT_EQ(via_datalog, interp.EvalInstance("tc", 0, {}));
+  EXPECT_EQ(interp.lowering_stats().components_lowered, 0);
 }
 
 }  // namespace

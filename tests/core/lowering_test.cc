@@ -1,0 +1,346 @@
+// Tests for the recursion-lowering pass (src/core/lowering.h): which
+// components qualify, extent equality against the tuple-at-a-time fixpoint
+// (byte-identical sorted renderings), thread-count invariance, the
+// fixpoint-cap interplay, and the fallback for everything outside the
+// Datalog fragment.
+
+#include "core/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "benchutil/generators.h"
+#include "core/engine.h"
+#include "core/parser.h"
+
+namespace rel {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+std::vector<std::shared_ptr<Def>> Defs(const std::string& source) {
+  Program program = ParseProgram(source);
+  std::vector<std::shared_ptr<Def>> out;
+  for (Def& def : program.defs) {
+    out.push_back(std::make_shared<Def>(std::move(def)));
+  }
+  return out;
+}
+
+/// Queries `pred` twice — classic fixpoint and lowered — and checks the
+/// extents are equal and render byte-identically. Returns the lowered
+/// engine's stats-visible component count for further assertions.
+int ExpectLoweredEqualsInterp(const std::string& source,
+                              const std::vector<Tuple>& edges,
+                              const std::string& pred,
+                              int num_threads = 1) {
+  Engine classic;
+  classic.options().lower_recursion = false;
+  classic.Insert("edge", edges);
+  Relation expected = classic.Query(source + "\ndef output : " + pred);
+  EXPECT_EQ(classic.last_lowering_stats().components_lowered, 0);
+
+  Engine lowered;
+  lowered.options().num_threads = num_threads;
+  lowered.Insert("edge", edges);
+  Relation got = lowered.Query(source + "\ndef output : " + pred);
+  EXPECT_EQ(expected, got) << "extent diverges for '" << pred << "'";
+  EXPECT_EQ(expected.ToString(), got.ToString())
+      << "sorted rendering not byte-identical for '" << pred << "'";
+  return lowered.last_lowering_stats().components_lowered;
+}
+
+const char kTC[] =
+    "def tc(x, y) : edge(x, y)\n"
+    "def tc(x, z) : exists((y) | edge(x, y) and tc(y, z))";
+
+TEST(Lowering, TransitiveClosureTakesTheDatalogPath) {
+  std::vector<Tuple> edges = benchutil::RandomGraph(24, 70, 3);
+  EXPECT_EQ(ExpectLoweredEqualsInterp(kTC, edges, "tc"), 1);
+}
+
+TEST(Lowering, ChainClosureAndThreadScalingAgree) {
+  std::vector<Tuple> edges = benchutil::ChainGraph(48);
+  EXPECT_EQ(ExpectLoweredEqualsInterp(kTC, edges, "tc", /*num_threads=*/1), 1);
+  EXPECT_EQ(ExpectLoweredEqualsInterp(kTC, edges, "tc", /*num_threads=*/4), 1);
+}
+
+TEST(Lowering, MutualRecursionLowersAsOneComponent) {
+  const std::string source =
+      "def odd(x, y) : edge(x, y)\n"
+      "def odd(x, z) : exists((y) | edge(x, y) and even(y, z))\n"
+      "def even(x, z) : exists((y) | edge(x, y) and odd(y, z))";
+  std::vector<Tuple> edges = benchutil::RandomGraph(16, 40, 11);
+  EXPECT_EQ(ExpectLoweredEqualsInterp(source, edges, "odd"), 1);
+  EXPECT_EQ(ExpectLoweredEqualsInterp(source, edges, "even"), 1);
+}
+
+TEST(Lowering, SameGenerationWithComparisonLowers) {
+  const std::string source =
+      "def sg(x, y) : exists((p) | edge(p, x) and edge(p, y) and x != y)\n"
+      "def sg(x, y) : exists((a, b) | edge(a, x) and edge(b, y) and sg(a, b))";
+  std::vector<Tuple> edges = benchutil::RandomGraph(14, 30, 5);
+  EXPECT_EQ(ExpectLoweredEqualsInterp(source, edges, "sg"), 1);
+}
+
+TEST(Lowering, ArithmeticBoundedRecursionLowers) {
+  const std::string source =
+      "def path(x, y, d) : edge(x, y) and d = 1\n"
+      "def path(x, z, d) : exists((y, e) | path(x, y, e) and edge(y, z) "
+      "and d = e + 1 and e < 5)";
+  std::vector<Tuple> edges = benchutil::RandomGraph(12, 30, 7);
+  EXPECT_EQ(ExpectLoweredEqualsInterp(source, edges, "path"), 1);
+}
+
+TEST(Lowering, ExternalNegationInsideRecursionLowers) {
+  // Negating an out-of-component name is monotone for the SCC and becomes a
+  // stratified Datalog negation.
+  const std::string source =
+      "def blocked(x) : x = 2\n"
+      "def reach(y) : exists((x) | edge(x, y) and x = 0)\n"
+      "def reach(z) : exists((y) | reach(y) and edge(y, z) "
+      "and not blocked(y))";
+  std::vector<Tuple> edges = benchutil::RandomGraph(16, 48, 21);
+  EXPECT_EQ(ExpectLoweredEqualsInterp(source, edges, "reach"), 1);
+}
+
+TEST(Lowering, DerivedExternalExtentIsMaterialized) {
+  // The recursive component joins a *derived* non-recursive relation: its
+  // extent must be evaluated and fed to the Datalog program as EDB facts.
+  const std::string source =
+      "def fwd(x, y) : edge(x, y) and x < y\n"
+      "def up(x, y) : fwd(x, y)\n"
+      "def up(x, z) : exists((y) | fwd(x, y) and up(y, z))";
+  std::vector<Tuple> edges = benchutil::RandomGraph(18, 54, 13);
+  EXPECT_EQ(ExpectLoweredEqualsInterp(source, edges, "up"), 1);
+}
+
+TEST(Lowering, BaseFactsUnionWithLoweredRules) {
+  // A member name holding base tuples *and* rules: the stored facts seed
+  // the Datalog program and survive into the extent.
+  Engine lowered;
+  lowered.Insert("edge", {Tuple({I(1), I(2)})});
+  lowered.Insert("tc", {Tuple({I(7), I(8)})});
+  Relation got = lowered.Query(std::string(kTC) + "\ndef output : tc");
+  EXPECT_EQ(lowered.last_lowering_stats().components_lowered, 1);
+  EXPECT_TRUE(got.Contains(Tuple({I(7), I(8)})));
+  EXPECT_TRUE(got.Contains(Tuple({I(1), I(2)})));
+
+  Engine classic;
+  classic.options().lower_recursion = false;
+  classic.Insert("edge", {Tuple({I(1), I(2)})});
+  classic.Insert("tc", {Tuple({I(7), I(8)})});
+  EXPECT_EQ(classic.Query(std::string(kTC) + "\ndef output : tc"), got);
+}
+
+// --- fallback: non-qualifying components stay on the Interp path -------------
+
+TEST(Lowering, ReplacementComponentsAreNotAttempted) {
+  // Non-monotone self-reference uses replacement iteration; the lowering
+  // must not even try (UsesReplacement gates it before translation).
+  Engine engine;
+  engine.Insert("edge", {Tuple({I(1), I(2)})});
+  Relation out = engine.Query(
+      "def winning(x) : exists((y) | edge(x, y) and not winning(y))\n"
+      "def output : winning");
+  EXPECT_EQ(engine.last_lowering_stats().components_lowered, 0);
+  EXPECT_EQ(engine.last_lowering_stats().components_rejected, 0);
+  EXPECT_EQ(out.ToString(), "{(1)}");
+}
+
+TEST(Lowering, DisjunctionFallsBackToInterp) {
+  const std::string source =
+      "def r(x, y) : edge(x, y) or edge(y, x)\n"
+      "def r(x, z) : exists((y) | r(x, y) and r(y, z))";
+  std::vector<Tuple> edges = benchutil::RandomGraph(10, 20, 17);
+  // Disjunction is outside the Datalog fragment: rejected, still correct.
+  Engine lowered;
+  lowered.Insert("edge", edges);
+  Relation got = lowered.Query(source + "\ndef output : r");
+  EXPECT_EQ(lowered.last_lowering_stats().components_lowered, 0);
+  EXPECT_EQ(lowered.last_lowering_stats().components_rejected, 1);
+
+  Engine classic;
+  classic.options().lower_recursion = false;
+  classic.Insert("edge", edges);
+  EXPECT_EQ(classic.Query(source + "\ndef output : r"), got);
+}
+
+TEST(Lowering, SecondOrderRecursionFallsBackToInterp) {
+  // The stdlib TC takes a relation argument — second-order, so the
+  // component cannot lower; the solver path must still answer.
+  Engine engine;
+  engine.Insert("E", {Tuple({I(1), I(2)}), Tuple({I(2), I(3)})});
+  Relation out = engine.Query("def output : TC[E]");
+  EXPECT_EQ(engine.last_lowering_stats().components_lowered, 0);
+  EXPECT_EQ(out.ToString(), "{(1, 2); (1, 3); (2, 3)}");
+}
+
+TEST(Lowering, AggregationInsideRecursionFallsBack) {
+  Engine engine;
+  engine.Insert("edge", {Tuple({I(1), I(2)}), Tuple({I(2), I(3)})});
+  // count[...] over the component's own predicate is non-monotone:
+  // replacement mode, never lowered.
+  Relation out = engine.Query(
+      "def grow(x) : x = 1\n"
+      "def grow(x) : x = count[grow] + 1 and x < 4\n"
+      "def output : grow");
+  EXPECT_EQ(engine.last_lowering_stats().components_lowered, 0);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Lowering, ArithmeticInsideNegatedAtomFallsBack) {
+  // `not r(x + 1)`: the assignment for x + 1 would be emitted positively,
+  // outside the negation, so a failing arithmetic ("a" + 1) would falsify
+  // the whole body where Rel makes the negation vacuously true. The
+  // component must reject and both paths must agree — including on the
+  // string row, which only survives via the vacuous negation.
+  const std::string source =
+      "def q(x) : x = \"a\" or x = 1\n"
+      "def r(x) : x = 99\n"
+      "def p(x) : q(x) and not r(x + 1)\n"
+      "def p(x) : exists((y) | p(y) and edge(y, x))";
+  Engine lowered;
+  lowered.Insert("edge", {Tuple({I(1), I(5)})});
+  Relation got = lowered.Query(source + "\ndef output : p");
+  EXPECT_EQ(lowered.last_lowering_stats().components_lowered, 0);
+  EXPECT_EQ(lowered.last_lowering_stats().components_rejected, 1);
+  EXPECT_TRUE(got.Contains(Tuple({Value::String("a")})));
+
+  Engine classic;
+  classic.options().lower_recursion = false;
+  classic.Insert("edge", {Tuple({I(1), I(5)})});
+  EXPECT_EQ(classic.Query(source + "\ndef output : p"), got);
+}
+
+TEST(Lowering, ZeroIterationCapDoesNotUnboundTheLoweredFixpoint) {
+  // InterpOptions::max_iterations = 0 is a strict cap; to the Datalog
+  // engine 0 means unbounded. The lowering must clamp, or a divergent
+  // lowered component would hang forever instead of throwing.
+  for (bool lower : {false, true}) {
+    Engine engine;
+    engine.options().lower_recursion = lower;
+    engine.options().max_iterations = 0;
+    try {
+      engine.Query(
+          "def n(x) : x = 0\n"
+          "def n(x) : exists((y) | n(y) and x = y + 1)\n"
+          "def output : n");
+      FAIL() << "expected non-convergence (lower_recursion=" << lower << ")";
+    } catch (const RelError& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kNonConvergent);
+    }
+  }
+}
+
+TEST(Lowering, RejectionIsRememberedPerComponent) {
+  // A rejected component must be translated at most once per Interp; the
+  // second member hitting the hook reuses the failure.
+  Database db;
+  db.Insert("edge", Tuple({I(1), I(2)}));
+  InterpOptions options;
+  Interp interp(&db,
+                Defs("def a(x, y) : edge(x, y) or edge(y, x)\n"
+                     "def a(x, z) : exists((y) | a(x, y) and b(y, z))\n"
+                     "def b(x, z) : exists((y) | a(x, y) and edge(y, z))"),
+                options);
+  interp.EvalInstance("a", 0, {});
+  interp.EvalInstance("b", 0, {});
+  EXPECT_EQ(interp.lowering_stats().components_rejected, 1);
+  EXPECT_EQ(interp.lowering_stats().components_lowered, 0);
+  ASSERT_EQ(interp.lowering_stats().rejection_notes.size(), 1u);
+}
+
+// --- the LowerComponent translator directly ----------------------------------
+
+TEST(LowerComponent, TranslatesTCAndClassifiesNames) {
+  auto defs = Defs(kTC);
+  ProgramAnalysis analysis(defs);
+  std::string why;
+  auto lowered = LowerComponent("tc", analysis, defs, &why);
+  ASSERT_TRUE(lowered.has_value()) << why;
+  EXPECT_EQ(lowered->members, std::vector<std::string>{"tc"});
+  EXPECT_EQ(lowered->externals, std::vector<std::string>{"edge"});
+  EXPECT_EQ(lowered->program.rules().size(), 2u);
+}
+
+TEST(LowerComponent, RejectsOutsideTheFragment) {
+  struct Case {
+    const char* source;
+    const char* name;
+  };
+  const Case cases[] = {
+      // Disjunction in a body.
+      {"def t(x, y) : edge(x, y) or edge(y, x)\n"
+       "def t(x, z) : exists((y) | t(x, y) and t(y, z))",
+       "t"},
+      // Second-order parameter inside the component.
+      {"def t[{A}] : A\ndef t(x) : exists((y) | t(y) and edge(y, x))", "t"},
+      // Unsupported builtin.
+      {"def t(x) : range(1, 5, 1, x)\n"
+       "def t(x) : exists((y) | t(y) and edge(y, x))",
+       "t"},
+  };
+  for (const Case& c : cases) {
+    auto defs = Defs(c.source);
+    ProgramAnalysis analysis(defs);
+    std::string why;
+    EXPECT_FALSE(LowerComponent(c.name, analysis, defs, &why).has_value())
+        << c.source;
+    EXPECT_FALSE(why.empty()) << c.source;
+  }
+}
+
+// --- fixpoint cap interplay ---------------------------------------------------
+
+TEST(Lowering, CapSurvivesTheLowering) {
+  // Value-generating recursion fits the Datalog fragment but never
+  // converges; InterpOptions::max_iterations must cap it on both paths
+  // with a diagnostic naming the component.
+  for (bool lower : {false, true}) {
+    Engine engine;
+    engine.options().lower_recursion = lower;
+    engine.options().max_iterations = 64;
+    try {
+      engine.Query(
+          "def n(x) : x = 0\n"
+          "def n(x) : exists((y) | n(y) and x = y + 1)\n"
+          "def output : n");
+      FAIL() << "expected non-convergence (lower_recursion=" << lower << ")";
+    } catch (const RelError& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kNonConvergent);
+      EXPECT_NE(std::string(e.what()).find("n"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("max_iterations"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(Lowering, TerminatingRecursionIgnoresTightInterpCapsLessDeepThanChain) {
+  // A lowered fixpoint needs as many rounds as the longest derivation
+  // chain; the cap applies to rounds on both paths, so both succeed when
+  // the cap exceeds the chain depth and both diagnose when it does not.
+  std::vector<Tuple> edges = benchutil::ChainGraph(12);
+  for (bool lower : {false, true}) {
+    Engine ok;
+    ok.options().lower_recursion = lower;
+    ok.options().max_iterations = 40;
+    ok.Insert("edge", edges);
+    EXPECT_EQ(ok.Query(std::string(kTC) + "\ndef output : tc").size(),
+              12u * 11u / 2u);
+
+    Engine capped;
+    capped.options().lower_recursion = lower;
+    capped.options().max_iterations = 3;
+    capped.Insert("edge", edges);
+    EXPECT_THROW(capped.Query(std::string(kTC) + "\ndef output : tc"),
+                 RelError);
+  }
+}
+
+}  // namespace
+}  // namespace rel

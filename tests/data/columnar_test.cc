@@ -266,5 +266,119 @@ TEST(IndexCache, SortedColumnsCachedPerVersion) {
   EXPECT_EQ(rebuilt.rows, 3u);
 }
 
+// --- the ForEachOfArityRange / swap-last-erase contract ----------------------
+//
+// Erase swaps the last row into the erased slot and shrinks the columns, so
+// row indices held across an in-loop mutation go stale. The pinned contract
+// (src/data/relation.h): ranged iteration re-clamps to the shrunken row
+// count — it never hands out a row index past the end — and visitation
+// becomes lossy (the swapped-in row may be skipped), while erase-free
+// iteration stays exactly-once with ranges partitioning the arena.
+
+TEST(ForEachRangeErase, DisjointRangesPartitionExactlyWithoutMutation) {
+  Relation r;
+  constexpr int kRows = 1000;
+  for (int i = 0; i < kRows; ++i) r.Insert(Tuple({I(i), I(i + 1)}));
+  // Chunked like the parallel evaluator's driver scans: arbitrary cuts.
+  std::vector<std::pair<size_t, size_t>> ranges = {
+      {0, 137}, {137, 512}, {512, 513}, {513, 1000}, {1000, 2000}};
+  std::vector<int> seen(kRows, 0);
+  for (const auto& [begin, end] : ranges) {
+    r.ForEachOfArityRange(2, begin, end, [&](const TupleRef& t) {
+      seen[static_cast<int>(t[0].AsInt())]++;
+    });
+  }
+  for (int i = 0; i < kRows; ++i) {
+    EXPECT_EQ(seen[i], 1) << "row " << i << " visited " << seen[i] << " times";
+  }
+}
+
+TEST(ForEachRangeErase, EraseDuringRangedIterationTruncatesSafely) {
+  // fn erases the row it is handed (plus never the last remaining tuple of
+  // the arity): the loop must re-clamp to the shrinking arena instead of
+  // dereferencing stale row indices past the new end.
+  Relation r;
+  constexpr int kRows = 64;
+  for (int i = 0; i < kRows; ++i) r.Insert(Tuple({I(i)}));
+  size_t visited = 0;
+  r.ForEachOfArityRange(1, 0, kRows, [&](const TupleRef& t) {
+    ++visited;
+    if (r.size() > 1) {
+      Tuple victim({t[0]});
+      EXPECT_TRUE(r.Erase(victim));
+    }
+  });
+  // Every handed-out row was a live row: with one erase per visit, the
+  // clamp stops the loop near the midpoint instead of running to kRows.
+  EXPECT_GE(visited, static_cast<size_t>(kRows) / 2);
+  EXPECT_LE(visited, static_cast<size_t>(kRows));
+  // The relation is still structurally consistent after the churn.
+  size_t remaining = 0;
+  r.ForEachOfArity(1, [&](const TupleRef&) { ++remaining; });
+  EXPECT_EQ(remaining, r.size());
+  // One erase per visit: the survivors plus the visits account for every
+  // original row (the size > 1 guard never fires at this scale).
+  EXPECT_EQ(r.size() + visited, static_cast<size_t>(kRows));
+}
+
+TEST(ForEachRangeErase, SwappedInRowsMaySkipButNeverDangle) {
+  // Erasing an already-visited row moves the (unvisited) tail row into
+  // visited territory: the contract allows skipping it, but every TupleRef
+  // handed out must be a live row whose values round-trip.
+  Relation r;
+  constexpr int kRows = 100;
+  for (int i = 0; i < kRows; ++i) r.Insert(Tuple({I(i), I(i * 10)}));
+  std::vector<int64_t> handed;
+  r.ForEachOfArityRange(2, 0, kRows, [&](const TupleRef& t) {
+    int64_t key = t[0].AsInt();
+    EXPECT_EQ(t[1].AsInt(), key * 10) << "dangling or torn row";
+    handed.push_back(key);
+    if (key % 3 == 0 && r.size() > 1) {
+      r.Erase(Tuple({I(key), I(key * 10)}));
+    }
+  });
+  // No duplicates among handed-out rows (a stale index could revisit).
+  std::sort(handed.begin(), handed.end());
+  EXPECT_TRUE(std::adjacent_find(handed.begin(), handed.end()) ==
+              handed.end());
+}
+
+TEST(ForEachRangeErase, EraseInvalidatesVersionAndSortedViews) {
+  // Downstream structures key on (id, version): an erase between rounds
+  // must bump the version so stale sorted views / indexes rebuild instead
+  // of dereferencing renumbered rows.
+  Relation r;
+  for (int i = 0; i < 10; ++i) r.Insert(Tuple({I(i), I(i)}));
+  const ColumnArena* arena = r.ArenaOfArity(2);
+  ASSERT_NE(arena, nullptr);
+  (void)arena->SortedRows();
+  uint64_t version_before = arena->version();
+  ASSERT_TRUE(r.Erase(Tuple({I(4), I(4)})));
+  EXPECT_GT(arena->version(), version_before);
+  // The rebuilt sorted view covers exactly the surviving rows.
+  EXPECT_EQ(arena->SortedRows().size(), 9u);
+  EXPECT_EQ(arena->SortedTuples().size(), 9u);
+}
+
+TEST(ForEachRangeErase, ErasingTheLastTupleOfAnArityDropsTheArena) {
+  // The documented hard exception: when an arity empties, its arena node is
+  // destroyed (blocks_ holds only non-empty arenas — AsBool/operator==
+  // depend on it), so erasing the final tuple of the arity being iterated
+  // is unsupported mid-flight. Pin the invariant that motivates it.
+  Relation r;
+  r.Insert(Tuple({I(1)}));
+  r.Insert(Tuple({I(2), I(3)}));
+  ASSERT_NE(r.ArenaOfArity(1), nullptr);
+  ASSERT_TRUE(r.Erase(Tuple({I(1)})));
+  EXPECT_EQ(r.ArenaOfArity(1), nullptr);
+  EXPECT_EQ(r.Arities(), std::vector<size_t>{2});
+  // An erase+reinsert sequence lands in a fresh arena with a fresh id, so
+  // (id, version)-keyed caches cannot alias the destroyed arena.
+  uint64_t old_id = r.ArenaOfArity(2)->id();
+  ASSERT_TRUE(r.Erase(Tuple({I(2), I(3)})));
+  r.Insert(Tuple({I(2), I(3)}));
+  EXPECT_NE(r.ArenaOfArity(2)->id(), old_id);
+}
+
 }  // namespace
 }  // namespace rel
