@@ -46,6 +46,19 @@ std::vector<Tuple> CycleGraph(int n) {
   return edges;
 }
 
+std::vector<Tuple> GridGraph(int w, int h) {
+  std::vector<Tuple> edges;
+  if (w > 0 && h > 0) edges.reserve(2 * w * h);
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      int64_t node = static_cast<int64_t>(r) * w + c;
+      if (c + 1 < w) edges.push_back(Tuple({I(node), I(node + 1)}));
+      if (r + 1 < h) edges.push_back(Tuple({I(node), I(node + w)}));
+    }
+  }
+  return edges;
+}
+
 std::vector<Tuple> SkewedTriangleGraph(int n, int hubs, uint64_t seed) {
   Rng rng(seed);
   std::set<std::pair<int, int>> seen;

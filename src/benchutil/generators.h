@@ -27,6 +27,13 @@ std::vector<Tuple> ChainGraph(int n);
 /// The cycle 0 -> 1 -> ... -> n-1 -> 0.
 std::vector<Tuple> CycleGraph(int n);
 
+/// The w x h directed grid: node (r, c) is r*w + c, with edges right
+/// ((r,c) -> (r,c+1)) and down ((r,c) -> (r+1,c)). The demanded cone of a
+/// corner query covers the whole grid, but along many short paths — the
+/// shape between the chain (deep, thin) and the random graph (shallow,
+/// dense) in the demand benchmarks.
+std::vector<Tuple> GridGraph(int w, int h);
+
 /// A hub-skewed graph: `hubs` nodes connect densely among themselves and to
 /// a ring of `n` spokes — triangle-heavy, where binary join plans blow up.
 std::vector<Tuple> SkewedTriangleGraph(int n, int hubs, uint64_t seed);

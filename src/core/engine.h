@@ -68,7 +68,8 @@ class Engine {
   const Database& db() const { return db_; }
   Database& mutable_db() { return db_; }
 
-  /// Evaluation limits (iteration caps etc.).
+  /// Evaluation limits and toggles (iteration caps, num_threads, the
+  /// lower_recursion / demand_transform evaluation-path switches).
   InterpOptions& options() { return options_; }
 
   /// Recursion-lowering counters from the most recent Query/Eval/Exec

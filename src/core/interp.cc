@@ -286,14 +286,36 @@ const Relation& Interp::EvalInstanceImpl(const InstanceKey& key) {
   return inst.value;
 }
 
-bool Interp::TryLowerComponent(const std::string& name) {
+namespace {
+
+/// The Datalog options every lowered evaluation — the full-component splice
+/// (TryLowerComponent) and the demanded cone (EvalInstanceDemand) — runs
+/// under, so the two paths can never diverge. InterpOptions treats any cap
+/// as strict (0 still allows one iteration), while 0 means unbounded to the
+/// Datalog engine — clamp to at least 1 so a zero cap can never turn into
+/// an infinite lowered fixpoint.
+datalog::EvalOptions LoweredEvalOptions(const InterpOptions& options) {
+  datalog::EvalOptions eval_options;
+  eval_options.strategy = datalog::Strategy::kSemiNaive;
+  eval_options.num_threads = options.num_threads;
+  eval_options.max_iterations = std::max(options.max_iterations, 1);
+  return eval_options;
+}
+
+}  // namespace
+
+std::optional<LoweredComponent> Interp::BuildLoweredProgram(
+    const std::string& name) {
   int comp = analysis_.ComponentOf(name);
-  if (comp < 0 || lowering_failed_components_.count(comp)) return false;
-  auto reject = [&](const std::string& reason) {
+  if (comp < 0 || lowering_failed_components_.count(comp)) {
+    return std::nullopt;
+  }
+  auto reject =
+      [&](const std::string& reason) -> std::optional<LoweredComponent> {
     lowering_failed_components_.insert(comp);
     ++lowering_stats_.components_rejected;
     lowering_stats_.rejection_notes.push_back(name + ": " + reason);
-    return false;
+    return std::nullopt;
   };
 
   std::string why;
@@ -320,21 +342,30 @@ bool Interp::TryLowerComponent(const std::string& name) {
       lowered->program.AddFacts(member, db_->Get(member));
     }
   }
+  return lowered;
+}
 
-  datalog::EvalOptions eval_options;
-  eval_options.strategy = datalog::Strategy::kSemiNaive;
-  eval_options.num_threads = options_.num_threads;
+bool Interp::TryLowerComponent(const std::string& name) {
+  int comp = analysis_.ComponentOf(name);
+  if (comp < 0 || lowering_failed_components_.count(comp)) return false;
+  auto reject = [&](const std::string& reason) {
+    lowering_failed_components_.insert(comp);
+    ++lowering_stats_.components_rejected;
+    lowering_stats_.rejection_notes.push_back(name + ": " + reason);
+    return false;
+  };
+
+  std::optional<LoweredComponent> lowered = BuildLoweredProgram(name);
+  if (!lowered) return false;
+
   // Value-generating recursion (x = y + 1 inside the SCC) can diverge even
   // in the Datalog fragment; the interpreter's iteration cap must survive
-  // the lowering. A capped component rejects below and re-runs (and re-caps,
-  // with the authoritative diagnostic) on the tuple-at-a-time path.
-  // InterpOptions treats any cap as strict (0 still allows one iteration),
-  // while 0 means unbounded to the Datalog engine — clamp to at least 1 so
-  // a zero cap can never turn into an infinite lowered fixpoint.
-  eval_options.max_iterations = std::max(options_.max_iterations, 1);
+  // the lowering (LoweredEvalOptions clamps it). A capped component rejects
+  // below and re-runs (and re-caps, with the authoritative diagnostic) on
+  // the tuple-at-a-time path.
   std::map<std::string, Relation> extents;
   try {
-    extents = datalog::Evaluate(lowered->program, eval_options);
+    extents = datalog::Evaluate(lowered->program, LoweredEvalOptions(options_));
   } catch (const RelError& err) {
     // E.g. a rule that is not range-restricted under any literal order; the
     // tuple-at-a-time solver stays the authority on whether that errors.
@@ -356,6 +387,80 @@ bool Interp::TryLowerComponent(const std::string& name) {
   }
   ++lowering_stats_.components_lowered;
   return true;
+}
+
+bool Interp::DemandEligible(const std::string& name) const {
+  if (!options_.demand_transform || !options_.lower_recursion) return false;
+  return analysis_.IsRecursive(name) && !analysis_.UsesReplacement(name);
+}
+
+const Relation& Interp::EvalInstanceDemand(
+    const std::string& name,
+    const std::vector<std::optional<Value>>& pattern) {
+  bool any_bound = false;
+  for (const auto& p : pattern) any_bound |= p.has_value();
+  if (!any_bound || !DemandEligible(name)) return EvalInstance(name, 0, {});
+  // A memoized full extent is strictly cheaper than any demanded cone; and
+  // an in-progress instance must keep its partial-value semantics (the
+  // saturation loop's recursive references drive convergence through it).
+  auto inst = instances_.find(InstanceKey{name, 0, {}});
+  if (inst != instances_.end() &&
+      (inst->second.done || inst->second.in_progress)) {
+    return EvalInstance(name, 0, {});
+  }
+  int comp = analysis_.ComponentOf(name);
+  if (comp < 0 || lowering_failed_components_.count(comp)) {
+    return EvalInstance(name, 0, {});
+  }
+
+  // Memo key: bound positions and their values; the name is qualified by
+  // the pattern arity so tc(0, Y) and tc(0, Y, Z) never share an entry.
+  std::vector<std::pair<size_t, Value>> bound;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i]) bound.emplace_back(i, *pattern[i]);
+  }
+  auto key = std::make_pair(name + "/" + std::to_string(pattern.size()),
+                            std::move(bound));
+  auto memo = demand_memo_.find(key);
+  if (memo != demand_memo_.end()) return memo->second;
+
+  // A new pattern. Past the per-component cutoff, many distinct cones cost
+  // more than the one closure they overlap in — evaluate the full extent
+  // once (memoized done, so every later lookup takes the fast path above)
+  // and drop the cached translation.
+  DemandComponent& dc = demand_components_[comp];
+  if (dc.patterns >= kMaxDemandPatterns) {
+    dc.lowered.reset();
+    return EvalInstance(name, 0, {});
+  }
+  // The component's translation and materialized EDB are pattern-
+  // independent; build them once and share across this component's cones.
+  if (!dc.lowered) {
+    dc.lowered = BuildLoweredProgram(name);
+    if (!dc.lowered) return EvalInstance(name, 0, {});
+  }
+  std::optional<datalog::DemandGoal> goal =
+      DemandGoalFor(*dc.lowered, name, pattern);
+  if (!goal) return EvalInstance(name, 0, {});
+
+  datalog::EvalOptions eval_options = LoweredEvalOptions(options_);
+  eval_options.demand_goal = std::move(goal);
+  std::map<std::string, Relation> extents;
+  try {
+    extents = datalog::Evaluate(dc.lowered->program, eval_options);
+  } catch (const RelError&) {
+    // The tuple-at-a-time path stays the authority on errors (safety under
+    // any literal order, non-convergence diagnostics naming the component).
+    return EvalInstance(name, 0, {});
+  }
+
+  ++dc.patterns;
+  Relation& slot = demand_memo_[key];
+  auto it = extents.find(name);
+  if (it != extents.end()) slot = std::move(it->second);
+  ++lowering_stats_.components_demanded;
+  lowering_stats_.demanded_tuples += slot.size();
+  return slot;
 }
 
 const Relation& Interp::MaterializeSO(const SOValue& value) {

@@ -26,6 +26,7 @@
 
 #include "core/analysis.h"
 #include "core/ast.h"
+#include "core/lowering.h"
 #include "core/solver.h"
 #include "data/database.h"
 
@@ -50,6 +51,18 @@ struct InterpOptions {
   /// tuple-at-a-time saturation loop. Semantics-preserving; disable to force
   /// the classic fixpoint (ablation benchmarks, differential tests).
   bool lower_recursion = true;
+  /// Demand-driven recursive queries: when the solver looks up a recursive
+  /// component through an application with bound arguments (tc(0, y)),
+  /// rewrite the lowered Datalog program with the magic-set transform
+  /// (src/datalog/magic.h) so only the demanded cone is derived instead of
+  /// the full closure. Answer-preserving: the demanded extent is
+  /// byte-identical to the goal-filtered full fixpoint (pinned by the magic
+  /// differential suite). The one observable difference is max_iterations
+  /// interplay — a query whose FULL fixpoint would exceed the cap can still
+  /// succeed when its (smaller) demanded cone converges within it. Off by
+  /// default until the differential suite has soaked in CI; flip via
+  /// Engine::options().demand_transform.
+  bool demand_transform = false;
 };
 
 /// Counters for the recursion-lowering pass, exposed per Interp (and copied
@@ -57,7 +70,9 @@ struct InterpOptions {
 struct LoweringStats {
   int components_lowered = 0;   // SCCs evaluated by the Datalog engine
   int components_rejected = 0;  // monotone SCCs outside the Datalog fragment
+  int components_demanded = 0;  // demand-transformed (magic-set) evaluations
   uint64_t lowered_tuples = 0;  // tuples spliced back into instances
+  uint64_t demanded_tuples = 0; // tuples in demanded extents handed out
   std::vector<std::string> lowered_names;    // members, evaluation order
   std::vector<std::string> rejection_notes;  // "name: reason" per rejection
 };
@@ -103,6 +118,33 @@ class Interp {
   /// instance (callers must copy out what they keep across re-entry).
   const Relation& EvalInstance(const std::string& name, size_t sig,
                                const std::vector<SOValue>& so_args);
+
+  /// Demand-driven variant of EvalInstance for first-order instances
+  /// queried through an application with a binding pattern: bound
+  /// positions carry the querying atom's values (constants or variables
+  /// the solver has already bound). With options().demand_transform set
+  /// and a qualifying monotone recursive component, only the demanded cone
+  /// is evaluated (magic-set transform on the lowered Datalog program) and
+  /// the returned extent holds exactly the tuples of the full extent that
+  /// match the pattern — what the solver's enumeration would keep anyway.
+  /// Falls back to EvalInstance (the full extent) whenever no position is
+  /// bound, the full extent is already memoized, or the component does not
+  /// qualify for lowering. Demanded extents are memoized per (name,
+  /// pattern); references stay valid for the lifetime of this Interp. The
+  /// component's translation + materialized EDB are built once and shared
+  /// across patterns, and after kMaxDemandPatterns distinct patterns the
+  /// component stops demanding — one full evaluation then serves every
+  /// later lookup, so a join probing many distinct bindings can never run
+  /// many cone fixpoints where one closure would be cheaper.
+  const Relation& EvalInstanceDemand(
+      const std::string& name,
+      const std::vector<std::optional<Value>>& pattern);
+
+  /// Cheap pre-filter for the solver's demand gate: true iff
+  /// demand_transform is on and `name` heads a monotone recursive
+  /// component. Lets ExecAtom skip binding-pattern construction entirely
+  /// for the (overwhelmingly common) atoms demand can never help.
+  bool DemandEligible(const std::string& name) const;
 
   /// Materializes a second-order value into a finite relation. Memoized for
   /// closures. Throws kSafety for builtins and unsafe closures.
@@ -167,6 +209,14 @@ class Interp {
   /// tuple-at-a-time fixpoint.
   bool TryLowerComponent(const std::string& name);
 
+  /// Shared front half of TryLowerComponent and EvalInstanceDemand:
+  /// translates the component of `name` and materializes its EDB (external
+  /// extents via EvalInstance, members' base facts from the database).
+  /// Returns nullopt after recording the rejection (and remembering the
+  /// component as failed) when the component is outside the fragment or an
+  /// external has no finite standalone extent.
+  std::optional<LoweredComponent> BuildLoweredProgram(const std::string& name);
+
   const Database* db_;
   std::vector<std::shared_ptr<Def>> all_defs_;
   // name -> sig -> rules
@@ -181,6 +231,21 @@ class Interp {
   std::vector<Instance*> stack_;
   LoweringStats lowering_stats_;
   std::set<int> lowering_failed_components_;
+  /// Demanded-cone extents, memoized per (name, bound-position values).
+  /// Pure functions of the (fixed) database and rule set, so entries stay
+  /// valid for the Interp's lifetime; map nodes keep references stable.
+  std::map<std::pair<std::string, std::vector<std::pair<size_t, Value>>>,
+           Relation>
+      demand_memo_;
+  /// Per-component demand bookkeeping: the translation + materialized EDB
+  /// (built once, reused across patterns) and the distinct-pattern count
+  /// driving the kMaxDemandPatterns cutoff.
+  static constexpr int kMaxDemandPatterns = 8;
+  struct DemandComponent {
+    int patterns = 0;
+    std::optional<LoweredComponent> lowered;
+  };
+  std::map<int, DemandComponent> demand_components_;
   uint64_t change_tick_ = 0;
   uint64_t partial_reads_ = 0;
   int fresh_counter_ = 0;

@@ -177,9 +177,10 @@ class RuleLowerer {
   /// A first-order term: a literal, an in-scope variable, a wildcard
   /// (fresh variable), or an arithmetic application reduced to a fresh
   /// variable through an assignment literal. `allow_aux` is false inside
-  /// negated atoms: the assignment would be emitted positively, outside the
-  /// negation, so a failing arithmetic (e.g. "a" + 1) would falsify the
-  /// whole body where Rel makes the negation vacuously true.
+  /// negated atoms and negated comparisons: the assignment would be emitted
+  /// positively, outside the negation, so a failing arithmetic (e.g.
+  /// "a" + 1) would falsify the whole body where Rel makes the negation
+  /// vacuously true.
   std::optional<Term> TermOf(const ExprPtr& e, bool allow_aux = true) {
     if (!e) return Term::Var(next_var_++);  // wildcard argument slot
     switch (e->kind) {
@@ -202,7 +203,7 @@ class RuleLowerer {
       case ExprKind::kApplication: {
         if (!allow_aux) {
           if (why_ && why_->empty()) {
-            *why_ = "computed argument in a negated atom";
+            *why_ = "computed argument under negation";
           }
           return std::nullopt;
         }
@@ -251,20 +252,28 @@ class RuleLowerer {
     const bool is_defined = ctx_.defs_by_name->count(name) > 0;
     const Builtin* builtin = is_defined ? nullptr : FindBuiltin(name);
     if (builtin) {
-      // Negated builtins are rejected: inverting a comparison flips
-      // kUnordered outcomes (e.g. `not (x < "a")` holds in Rel but `x >= "a"`
-      // does not), so the fragment keeps only positive filters.
-      if (!positive) return FailBool("negated builtin application");
       std::string canonical = CanonicalBuiltin(name);
       if (std::optional<CmpOp> cmp = CmpOpOf(canonical)) {
         if (args.size() != 2) return FailBool("comparison arity");
-        std::optional<Term> a = TermOf(args[0].expr);
+        // Negated comparisons must complement the WHOLE outcome, kUnordered
+        // included: `not (x < 1)` holds for x = "a" in Rel, while the naive
+        // inverse x >= 1 does not. Literal::NegatedCompare carries exactly
+        // that semantics. Computed arguments stay disallowed under negation
+        // (allow_aux=false): their auxiliary assignment would be emitted
+        // positively, outside the negation, so a failing arithmetic would
+        // falsify the body where Rel makes the negation vacuously true.
+        std::optional<Term> a = TermOf(args[0].expr, /*allow_aux=*/positive);
         if (!a) return false;
-        std::optional<Term> b = TermOf(args[1].expr);
+        std::optional<Term> b = TermOf(args[1].expr, /*allow_aux=*/positive);
         if (!b) return false;
-        rule_.body.push_back(Literal::Compare(*cmp, *a, *b));
+        rule_.body.push_back(positive
+                                 ? Literal::Compare(*cmp, *a, *b)
+                                 : Literal::NegatedCompare(*cmp, *a, *b));
         return true;
       }
+      // Other negated builtins (arithmetic equation forms) are rejected:
+      // their auxiliary assignment cannot be emitted under the negation.
+      if (!positive) return FailBool("negated builtin application");
       if (std::optional<ArithOp> op = ArithOpOf(canonical)) {
         // add(a, b, c): compute into a fresh variable, then equate with the
         // result term — numeric-tolerant, matching the builtin's semantics.
@@ -387,6 +396,19 @@ std::optional<LoweredComponent> LowerComponent(
   out.members = std::move(members);
   out.externals.assign(externals.begin(), externals.end());
   return out;
+}
+
+std::optional<datalog::DemandGoal> DemandGoalFor(
+    const LoweredComponent& lowered, const std::string& name,
+    const std::vector<std::optional<Value>>& pattern) {
+  bool member = false;
+  for (const std::string& m : lowered.members) member |= (m == name);
+  if (!member) return std::nullopt;
+  datalog::DemandGoal goal;
+  goal.pred = name;
+  goal.pattern = pattern;
+  if (!goal.AnyBound()) return std::nullopt;
+  return goal;
 }
 
 }  // namespace rel

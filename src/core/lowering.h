@@ -16,8 +16,11 @@
 //         wildcards (the member predicates themselves, or SCC-external
 //         names whose extents are materialized as EDB facts),
 //       - negated full applications of SCC-external names,
-//       - comparisons (=, !=, <, <=, >, >=) and arithmetic equalities
-//         (v = a + b, minimum/maximum and the ternary builtin forms), and
+//       - comparisons (=, !=, <, <=, >, >=), positive or negated — a
+//         negated comparison lowers to a kUnordered-faithful complement
+//         (datalog::Literal::NegatedCompare), never to a flipped operator —
+//         and arithmetic equalities (v = a + b, minimum/maximum and the
+//         ternary builtin forms), and
 //       - `true` / `e where f` conjunctions.
 //
 // Everything else — disjunction, tuple variables, string builtins, `range`,
@@ -64,6 +67,16 @@ struct LoweredComponent {
 std::optional<LoweredComponent> LowerComponent(
     const std::string& name, const ProgramAnalysis& analysis,
     const std::vector<std::shared_ptr<Def>>& defs, std::string* why);
+
+/// Builds the Datalog demand goal for querying member `name` of a lowered
+/// component with a binding pattern (bound positions carry the querying
+/// atom's constants — how the interpreter's demand path hands the solver's
+/// bound arguments to datalog::EvalOptions::demand_goal). Returns nullopt
+/// when `name` is not a member or no position is bound (an all-free query
+/// demands the full extent; callers should evaluate normally).
+std::optional<datalog::DemandGoal> DemandGoalFor(
+    const LoweredComponent& lowered, const std::string& name,
+    const std::vector<std::optional<Value>>& pattern);
 
 }  // namespace rel
 

@@ -1438,7 +1438,49 @@ class Executor {
         // of the enclosing expression, not a cue to inline.
         const Relation* r = nullptr;
         try {
-          r = &interp_->EvalInstance(c.name, c.sig, sovals);
+          if (c.sig == 0 && sovals.empty() &&
+              interp_->DemandEligible(c.name)) {
+            // Demand-driven lookup: hand the interpreter this atom's
+            // binding pattern (constants and already-bound variables), so
+            // a qualifying recursive component can evaluate just the
+            // demanded cone instead of its full fixpoint. The demanded
+            // extent contains exactly the full extent's tuples matching
+            // the bound positions — the ones the enumeration below would
+            // keep anyway. Tuple-variable arguments leave the atom's arity
+            // open, so they disable the pattern. DemandEligible pre-filters
+            // so this allocation-bearing block never runs for atoms demand
+            // cannot help (non-recursive or replacement-mode relations, or
+            // the toggle off).
+            std::vector<std::optional<Value>> pattern;
+            pattern.reserve(c.args.size());
+            bool usable = true;
+            bool some_bound = false;
+            for (const CTerm& t : c.args) {
+              if (t.kind == CTerm::Kind::kConst) {
+                pattern.emplace_back(t.cval);
+                some_bound = true;
+              } else if (t.kind == CTerm::Kind::kVar) {
+                const Value* v = LookupVar(frame, t.name);
+                if (v) {
+                  pattern.emplace_back(*v);
+                  some_bound = true;
+                } else {
+                  pattern.emplace_back(std::nullopt);
+                }
+              } else if (t.kind == CTerm::Kind::kWildcard) {
+                pattern.emplace_back(std::nullopt);
+              } else {
+                usable = false;
+                break;
+              }
+            }
+            if (usable && some_bound) {
+              r = &interp_->EvalInstanceDemand(c.name, pattern);
+            }
+          }
+          if (r == nullptr) {
+            r = &interp_->EvalInstance(c.name, c.sig, sovals);
+          }
         } catch (const RelError& err) {
           if (err.kind() != ErrorKind::kSafety) throw;
           return InlineDefs(c, sovals, rest, frame, emit, stop);

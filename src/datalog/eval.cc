@@ -16,6 +16,7 @@
 #include "base/hash.h"
 #include "base/thread_pool.h"
 #include "datalog/index.h"
+#include "datalog/magic.h"
 #include "joins/leapfrog.h"
 
 namespace rel {
@@ -118,6 +119,14 @@ bool EvalCompare(CmpOp op, const Value& a, const Value& b) {
                             o == Value::Ordering::kEqual;
   }
   return false;
+}
+
+/// A kCompare literal's outcome: the comparison, complemented when the
+/// literal is negated. The complement is over the whole outcome, so
+/// kUnordered operands (where every plain comparison is false) satisfy
+/// every negated comparison — the faithful `not (a < b)` semantics.
+bool EvalCompareLit(const Literal& lit, const Value& a, const Value& b) {
+  return EvalCompare(lit.cmp_op, a, b) != lit.negated;
 }
 
 /// Mutable per-rule binding vector (variables are dense ids).
@@ -302,8 +311,9 @@ void EvalRuleScan(const Rule& rule, const State& state, const DeltaMap& delta,
         if (!a || !b) {
           // An equality with exactly one side known acts as a binding; the
           // unknown side is necessarily a variable (constants always have a
-          // value). Handles both `V = c` and `c = V`.
-          if (lit.cmp_op == CmpOp::kEq && (!a != !b)) {
+          // value). Handles both `V = c` and `c = V`. Negated equalities
+          // never bind — `not (V = c)` constrains, it does not produce.
+          if (lit.cmp_op == CmpOp::kEq && !lit.negated && (!a != !b)) {
             const Term& unbound = a ? lit.rhs : lit.lhs;
             const Value& known = a ? *a : *b;
             bindings[unbound.var] = known;
@@ -315,7 +325,7 @@ void EvalRuleScan(const Rule& rule, const State& state, const DeltaMap& delta,
                          "comparison over unbound variables in rule for '" +
                              rule.head.pred + "'");
         }
-        if (EvalCompare(lit.cmp_op, *a, *b)) step(li + 1);
+        if (EvalCompareLit(lit, *a, *b)) step(li + 1);
         return;
       }
       case Literal::Kind::kAssign: {
@@ -463,7 +473,7 @@ RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state) {
               plan.steps.push_back({PlanStep::Kind::kFilter, i, {}, false});
               done[i] = true;
               progress = true;
-            } else if (lit.cmp_op == CmpOp::kEq && lk != rk &&
+            } else if (lit.cmp_op == CmpOp::kEq && !lit.negated && lk != rk &&
                        !bound_elsewhere((lk ? lit.rhs : lit.lhs).var)) {
               // Equality with exactly one side known binds the other side
               // (which is necessarily a variable) — but only for pure
@@ -717,7 +727,7 @@ void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
         return;
       }
       case PlanStep::Kind::kFilter: {
-        if (EvalCompare(lit.cmp_op, value_of(lit.lhs), value_of(lit.rhs))) {
+        if (EvalCompareLit(lit, value_of(lit.lhs), value_of(lit.rhs))) {
           self(self, si + 1);
         }
         return;
@@ -1115,13 +1125,44 @@ std::string EvalStats::ToString() const {
      << " index_probes=" << index_probes << " full_scans=" << full_scans
      << " driver_scans=" << driver_scans << " delta_scans=" << delta_scans
      << " leapfrog_joins=" << leapfrog_joins << " par_tasks=" << par_tasks
-     << " par_steals=" << par_steals << " par_merges=" << par_merges;
+     << " par_steals=" << par_steals << " par_merges=" << par_merges
+     << " adorned_rules=" << adorned_rules << " magic_rules=" << magic_rules
+     << " magic_facts=" << magic_facts;
   return os.str();
 }
 
 std::map<std::string, Relation> Evaluate(const Program& program,
                                          const EvalOptions& options,
                                          EvalStats* stats) {
+  if (options.demand_goal) {
+    // Rewrite for the goal, evaluate the rewritten program with the same
+    // options, then splice the goal-filtered answers back under the goal's
+    // original predicate name. When the transform degenerates to the
+    // identity (all-free pattern, un-chaseable goal) this is a plain
+    // evaluation plus, for a bound pattern, the goal filter.
+    const DemandGoal& goal = *options.demand_goal;
+    MagicProgram magic = MagicTransform(program, goal);
+    EvalOptions inner = options;
+    inner.demand_goal.reset();
+    std::map<std::string, Relation> extents =
+        Evaluate(magic.transformed ? magic.program : program, inner, stats);
+    if (stats) {
+      stats->adorned_rules = magic.adorned_rules;
+      stats->magic_rules = magic.magic_rules;
+      for (const std::string& pred : magic.magic_preds) {
+        auto it = extents.find(pred);
+        if (it != extents.end()) stats->magic_facts += it->second.size();
+      }
+    }
+    if (!magic.transformed && !goal.AnyBound()) return extents;
+    auto it = extents.find(magic.goal_pred);
+    Relation answers = it == extents.end()
+                           ? Relation()
+                           : FilterByPattern(it->second, goal.pattern);
+    extents[goal.pred] = std::move(answers);
+    return extents;
+  }
+
   EvalStats scratch;
   EvalStats* s = stats ? stats : &scratch;
   std::map<std::string, int> stratum = Stratify(program);

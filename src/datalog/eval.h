@@ -66,6 +66,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,16 @@ struct EvalOptions {
   /// need the same guard the Rel interpreter has. Exceeding the cap throws
   /// kNonConvergent naming the unit's head predicates.
   int max_iterations = 0;
+  /// Demand-driven evaluation: when set, the program is rewritten by the
+  /// magic-set transform (datalog/magic.h) before unit scheduling, so the
+  /// fixpoint derives only the cone relevant to this goal. The returned
+  /// extent map holds, under the goal's predicate name, exactly the
+  /// goal-filtered answers (byte-identical to filtering the full fixpoint
+  /// by the bound constants); the adorned and magic predicates appear under
+  /// their internal '@'-names for inspection. An all-free pattern is a
+  /// no-op (the transform degenerates to the identity). Works under every
+  /// strategy and thread count.
+  std::optional<DemandGoal> demand_goal;
 };
 
 /// Evaluation statistics (exposed for benchmarks and tests). Under parallel
@@ -124,6 +135,11 @@ struct EvalStats {
   uint64_t par_tasks = 0;       // pool tasks executed (0 when sequential)
   uint64_t par_steals = 0;      // tasks taken from another worker's queue
   uint64_t par_merges = 0;      // staging relations merged at round barriers
+  // Demand transformation (all 0 unless EvalOptions::demand_goal is set
+  // and the rewrite actually fired; set once at the top level, like strata):
+  int adorned_rules = 0;        // rule variants specialized to an adornment
+  int magic_rules = 0;          // demand-propagation rules generated
+  uint64_t magic_facts = 0;     // demand tuples in magic extents at fixpoint
 
   /// One stable line per field, deterministic order — safe to print and
   /// diff regardless of how many threads produced the numbers.

@@ -52,8 +52,14 @@ const HashIndex& IndexCache::Get(const std::string& pred, const Relation& rel,
   HashIndex& index = entry->index;
   const ColumnArena* arena = rel.ArenaOfArity(arity);
   if (arena == nullptr) {
-    // No rows of this arity: probes are no-ops on an unbuilt index.
-    index.Clear();
+    // No rows of this arity: probes are no-ops on an unbuilt index. Reset
+    // only an index that was actually built (its arity vanished between
+    // evaluations of a shared cache); within one evaluation arenas never
+    // disappear, so for a never-built index this path must stay write-free —
+    // an unconditional Clear() would race with lock-free probes of the same
+    // entry from concurrent tasks (e.g. magic-set programs probing a demand
+    // predicate whose extent is still empty in early rounds).
+    if (index.built()) index.Clear();
     return index;
   }
   if (!index.built() || index.built_id() != arena->id() ||

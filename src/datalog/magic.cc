@@ -1,0 +1,348 @@
+#include "datalog/magic.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace rel {
+namespace datalog {
+
+namespace {
+
+int MaxVarOf(const Rule& rule) {
+  int max_var = -1;
+  auto scan_atom = [&max_var](const Atom& atom) {
+    for (const Term& t : atom.terms) {
+      if (t.is_var()) max_var = std::max(max_var, t.var);
+    }
+  };
+  scan_atom(rule.head);
+  for (const Literal& lit : rule.body) {
+    scan_atom(lit.atom);
+    if (lit.lhs.is_var()) max_var = std::max(max_var, lit.lhs.var);
+    if (lit.rhs.is_var()) max_var = std::max(max_var, lit.rhs.var);
+    max_var = std::max(max_var, lit.target);
+  }
+  return max_var;
+}
+
+bool SameTerm(const Term& a, const Term& b) {
+  if (a.is_var() != b.is_var()) return false;
+  if (a.is_var()) return a.var == b.var;
+  return a.constant == b.constant;
+}
+
+bool SameAtom(const Atom& a, const Atom& b) {
+  if (a.pred != b.pred || a.terms.size() != b.terms.size()) return false;
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    if (!SameTerm(a.terms[i], b.terms[i])) return false;
+  }
+  return true;
+}
+
+/// The whole transform state for one MagicTransform call.
+class Transformer {
+ public:
+  Transformer(const Program& program, const DemandGoal& goal)
+      : program_(program), goal_(goal) {
+    for (const Rule& rule : program.rules()) {
+      rules_of_[rule.head.pred].push_back(&rule);
+    }
+    for (const auto& p : goal.pattern) {
+      goal_ad_ += p.has_value() ? 'b' : 'f';
+    }
+  }
+
+  MagicProgram Run() {
+    if (!goal_.AnyBound() || rules_of_.count(goal_.pred) == 0) {
+      return Identity();
+    }
+
+    // Predicates that must keep their original (un-adorned) rules: anything
+    // referenced under negation, transitively closed over rule bodies, plus
+    // — discovered by dry walks — anything demanded all-free somewhere in
+    // the cone. The walk's adornments depend on this set (kept atoms are
+    // not chased), so iterate to a fixpoint; the set only grows, bounded by
+    // the number of IDB predicates.
+    for (const Rule& rule : program_.rules()) {
+      for (const Literal& lit : rule.body) {
+        if (lit.kind == Literal::Kind::kNegative &&
+            rules_of_.count(lit.atom.pred)) {
+          AddKeepClosure(lit.atom.pred);
+        }
+      }
+    }
+    for (;;) {
+      if (keep_.count(goal_.pred)) return Identity();
+      MagicProgram scratch;
+      std::set<std::string> grow;
+      Walk(&scratch, &grow);
+      if (grow.empty()) break;
+      for (const std::string& p : grow) AddKeepClosure(p);
+    }
+
+    MagicProgram out;
+    Walk(&out, nullptr);
+    // Original rules of the kept predicates that the cone references.
+    std::set<std::string> copied;
+    while (!needed_.empty()) {
+      std::string p = *needed_.begin();
+      needed_.erase(needed_.begin());
+      if (!copied.insert(p).second) continue;
+      auto it = rules_of_.find(p);
+      if (it == rules_of_.end()) continue;
+      for (const Rule* rule : it->second) {
+        out.program.AddRule(*rule);
+        for (const Literal& lit : rule->body) {
+          if ((lit.kind == Literal::Kind::kPositive ||
+               lit.kind == Literal::Kind::kNegative) &&
+              rules_of_.count(lit.atom.pred) && !copied.count(lit.atom.pred)) {
+            needed_.insert(lit.atom.pred);
+          }
+        }
+      }
+    }
+    // Every EDB fact carries over: adorned rules read base extents under
+    // their original names (fact-copy rules splice IDB predicates' facts
+    // into the adorned extents).
+    for (const auto& [pred, facts] : program_.facts()) {
+      out.program.AddFacts(pred, facts);
+    }
+    // Seed: the goal's own demand.
+    Tuple seed;
+    for (const auto& p : goal_.pattern) {
+      if (p.has_value()) seed.Append(*p);
+    }
+    out.program.AddFact(MagicName(goal_.pred, goal_ad_), std::move(seed));
+
+    out.goal_pred = AdornedName(goal_.pred, goal_ad_);
+    out.transformed = true;
+    return out;
+  }
+
+ private:
+  MagicProgram Identity() const {
+    // `program` stays empty: callers evaluate the ORIGINAL program when
+    // !transformed, so the identity path never pays an EDB deep copy.
+    MagicProgram out;
+    out.goal_pred = goal_.pred;
+    out.transformed = false;
+    return out;
+  }
+
+  void AddKeepClosure(const std::string& pred) {
+    std::deque<std::string> work{pred};
+    while (!work.empty()) {
+      std::string p = work.front();
+      work.pop_front();
+      auto it = rules_of_.find(p);
+      if (it == rules_of_.end() || !keep_.insert(p).second) continue;
+      for (const Rule* rule : it->second) {
+        for (const Literal& lit : rule->body) {
+          if (lit.kind == Literal::Kind::kPositive ||
+              lit.kind == Literal::Kind::kNegative) {
+            work.push_back(lit.atom.pred);
+          }
+        }
+      }
+    }
+  }
+
+  /// One pass over the demanded cone. With `grow` non-null this is a dry
+  /// run under the current keep set: all-free IDB occurrences land in
+  /// `grow` (the keep fixpoint's next additions) and `out` is scratch.
+  /// With `grow` null the keep set is final; rules are emitted for real
+  /// and kept/EDB references are recorded in needed_.
+  void Walk(MagicProgram* out, std::set<std::string>* grow) {
+    needed_.clear();
+    std::set<std::pair<std::string, std::string>> seen;
+    std::deque<std::pair<std::string, std::string>> work;
+    auto enqueue = [&](const std::string& p, const std::string& ad) {
+      if (seen.emplace(p, ad).second) work.emplace_back(p, ad);
+    };
+    enqueue(goal_.pred, goal_ad_);
+    while (!work.empty()) {
+      auto [pred, ad] = work.front();
+      work.pop_front();
+      out->magic_preds.push_back(MagicName(pred, ad));
+      auto rules_it = rules_of_.find(pred);
+      if (rules_it != rules_of_.end()) {
+        for (const Rule* rule : rules_it->second) {
+          if (rule->head.terms.size() != ad.size()) continue;
+          AdornRule(*rule, pred, ad, out, grow, enqueue);
+        }
+      }
+      // Fact-copy rule: the predicate's base facts of the goal arity flow
+      // into the adorned extent (the original rules are gone, so the
+      // original name is pure EDB here unless the predicate is also kept —
+      // in which case the copy still only narrows to the demanded subset).
+      auto facts_it = program_.facts().find(pred);
+      if (facts_it != program_.facts().end() &&
+          facts_it->second.CountOfArity(ad.size()) > 0) {
+        Rule copy;
+        copy.head.pred = AdornedName(pred, ad);
+        Atom guard;
+        guard.pred = MagicName(pred, ad);
+        Atom source;
+        source.pred = pred;
+        for (size_t i = 0; i < ad.size(); ++i) {
+          Term v = Term::Var(static_cast<int>(i));
+          copy.head.terms.push_back(v);
+          source.terms.push_back(v);
+          if (ad[i] == 'b') guard.terms.push_back(v);
+        }
+        copy.body.push_back(Literal::Positive(std::move(guard)));
+        copy.body.push_back(Literal::Positive(std::move(source)));
+        out->program.AddRule(std::move(copy));
+        ++out->adorned_rules;
+      }
+    }
+  }
+
+  template <typename EnqueueFn>
+  void AdornRule(const Rule& rule, const std::string& pred,
+                 const std::string& ad, MagicProgram* out,
+                 std::set<std::string>* grow, EnqueueFn&& enqueue) {
+    std::vector<bool> bound(static_cast<size_t>(MaxVarOf(rule) + 1), false);
+    auto term_bound = [&](const Term& t) {
+      return !t.is_var() || bound[t.var];
+    };
+    auto atom_vars_bound = [&](const Atom& atom) {
+      for (const Term& t : atom.terms) {
+        if (!term_bound(t)) return false;
+      }
+      return true;
+    };
+
+    Rule adorned;
+    adorned.head.pred = AdornedName(pred, ad);
+    adorned.head.terms = rule.head.terms;
+    Atom guard;
+    guard.pred = MagicName(pred, ad);
+    for (size_t i = 0; i < ad.size(); ++i) {
+      if (ad[i] != 'b') continue;
+      guard.terms.push_back(rule.head.terms[i]);
+      if (rule.head.terms[i].is_var()) bound[rule.head.terms[i].var] = true;
+    }
+    Literal guard_lit = Literal::Positive(std::move(guard));
+    adorned.body.push_back(guard_lit);
+    // The literals a magic rule emitted mid-body may reuse: the guard plus
+    // every already-passed literal whose variables are fully bound (atoms
+    // always are, once passed). Filters excluded here only widen demand.
+    std::vector<Literal> prefix{guard_lit};
+
+    for (const Literal& lit : rule.body) {
+      switch (lit.kind) {
+        case Literal::Kind::kPositive: {
+          const std::string& q = lit.atom.pred;
+          const bool chase = rules_of_.count(q) > 0 && keep_.count(q) == 0;
+          if (chase) {
+            std::string a2;
+            bool any_b = false;
+            for (const Term& t : lit.atom.terms) {
+              bool b = term_bound(t);
+              a2 += b ? 'b' : 'f';
+              any_b |= b;
+            }
+            if (!any_b) {
+              // All-free demand: the predicate must be evaluated in full.
+              // Dry walks record it for the keep fixpoint; the final walk
+              // never reaches here (the fixpoint has converged).
+              if (grow) grow->insert(q);
+              needed_.insert(q);
+              adorned.body.push_back(lit);
+            } else {
+              Rule magic;
+              magic.head.pred = MagicName(q, a2);
+              for (size_t i = 0; i < lit.atom.terms.size(); ++i) {
+                if (a2[i] == 'b') magic.head.terms.push_back(lit.atom.terms[i]);
+              }
+              // Skip the tautology m(X) :- m(X) that a recursive atom
+              // guarded by its own adornment produces.
+              bool tautology = prefix.size() == 1 &&
+                               SameAtom(magic.head, prefix.front().atom);
+              if (!tautology) {
+                magic.body = prefix;
+                out->program.AddRule(std::move(magic));
+                ++out->magic_rules;
+              }
+              enqueue(q, a2);
+              Literal renamed = lit;
+              renamed.atom.pred = AdornedName(q, a2);
+              adorned.body.push_back(std::move(renamed));
+            }
+          } else {
+            if (rules_of_.count(q)) needed_.insert(q);
+            adorned.body.push_back(lit);
+          }
+          prefix.push_back(adorned.body.back());
+          for (const Term& t : lit.atom.terms) {
+            if (t.is_var()) bound[t.var] = true;
+          }
+          break;
+        }
+        case Literal::Kind::kNegative: {
+          if (rules_of_.count(lit.atom.pred)) needed_.insert(lit.atom.pred);
+          adorned.body.push_back(lit);
+          if (atom_vars_bound(lit.atom)) prefix.push_back(lit);
+          break;
+        }
+        case Literal::Kind::kCompare: {
+          adorned.body.push_back(lit);
+          if (term_bound(lit.lhs) && term_bound(lit.rhs)) {
+            prefix.push_back(lit);
+          }
+          break;
+        }
+        case Literal::Kind::kAssign: {
+          adorned.body.push_back(lit);
+          if (term_bound(lit.lhs) && term_bound(lit.rhs)) {
+            prefix.push_back(lit);
+            bound[lit.target] = true;
+          }
+          break;
+        }
+      }
+    }
+    out->program.AddRule(std::move(adorned));
+    ++out->adorned_rules;
+  }
+
+  const Program& program_;
+  const DemandGoal& goal_;
+  std::string goal_ad_;
+  std::map<std::string, std::vector<const Rule*>> rules_of_;
+  std::set<std::string> keep_;
+  std::set<std::string> needed_;
+};
+
+}  // namespace
+
+std::string AdornedName(const std::string& pred, const std::string& adornment) {
+  return pred + "@" + adornment;
+}
+
+std::string MagicName(const std::string& pred, const std::string& adornment) {
+  return "m@" + pred + "@" + adornment;
+}
+
+MagicProgram MagicTransform(const Program& program, const DemandGoal& goal) {
+  return Transformer(program, goal).Run();
+}
+
+Relation FilterByPattern(const Relation& extent,
+                         const std::vector<std::optional<Value>>& pattern) {
+  Relation out;
+  extent.ForEachOfArity(pattern.size(), [&](const TupleRef& row) {
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (pattern[i].has_value() && !(row[i] == *pattern[i])) return;
+    }
+    out.Insert(row);
+  });
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace rel

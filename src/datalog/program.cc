@@ -31,6 +31,12 @@ Literal Literal::Compare(CmpOp op, Term lhs, Term rhs) {
   return l;
 }
 
+Literal Literal::NegatedCompare(CmpOp op, Term lhs, Term rhs) {
+  Literal l = Compare(op, lhs, rhs);
+  l.negated = true;
+  return l;
+}
+
 Literal Literal::Assign(int target_var, ArithOp op, Term a, Term b) {
   Literal l;
   l.kind = Kind::kAssign;

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "data/value.h"
+
 #include "data/relation.h"
 
 namespace rel {
@@ -59,14 +61,23 @@ struct Literal {
   static Literal Positive(Atom a);
   static Literal Negative(Atom a);
   static Literal Compare(CmpOp op, Term lhs, Term rhs);
+  /// The complement of Compare(op, lhs, rhs): holds exactly when that
+  /// comparison does NOT. This is not expressible by flipping `op` —
+  /// NumericCompare can return kUnordered (mixed types, NaN), where every
+  /// plain comparison is false and every negated one is therefore true.
+  /// E.g. NegatedCompare(kLt, "a", 1) holds while Compare(kGe, "a", 1)
+  /// does not. The Rel lowering uses this to translate `not (a < b)`
+  /// faithfully (see core/lowering.cc).
+  static Literal NegatedCompare(CmpOp op, Term lhs, Term rhs);
   /// target must be a fresh variable; a and b must be bound earlier.
   static Literal Assign(int target_var, ArithOp op, Term a, Term b);
 
   Kind kind = Kind::kPositive;
-  Atom atom;       // kPositive / kNegative
+  Atom atom;             // kPositive / kNegative
   CmpOp cmp_op = CmpOp::kEq;
-  Term lhs, rhs;   // kCompare
-  int target = -1; // kAssign
+  bool negated = false;  // kCompare: complement the comparison's outcome
+  Term lhs, rhs;         // kCompare
+  int target = -1;       // kAssign
   ArithOp arith_op = ArithOp::kAdd;
 };
 
@@ -75,6 +86,25 @@ struct Literal {
 struct Rule {
   Atom head;
   std::vector<Literal> body;
+};
+
+/// A query goal for demand-driven evaluation: answer the atoms of `pred`
+/// whose bound positions carry the given constants (e.g. tc(0, Y) is
+/// {pred: "tc", pattern: {0, nullopt}}). The pattern's length fixes the
+/// goal arity. Consumed by EvalOptions::demand_goal (datalog/eval.h), which
+/// routes evaluation through the magic-set transform (datalog/magic.h).
+struct DemandGoal {
+  std::string pred;
+  std::vector<std::optional<Value>> pattern;
+
+  /// True iff at least one position is bound. An all-free goal demands the
+  /// whole extent, so the transform is the identity.
+  bool AnyBound() const {
+    for (const auto& p : pattern) {
+      if (p.has_value()) return true;
+    }
+    return false;
+  }
 };
 
 /// A Datalog program: facts (EDB) plus rules (IDB).

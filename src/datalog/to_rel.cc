@@ -88,9 +88,14 @@ std::string LiteralToRel(const Literal& lit, const std::string& var_prefix) {
       return AtomToRel(lit.atom, var_prefix);
     case Literal::Kind::kNegative:
       return "not " + AtomToRel(lit.atom, var_prefix);
-    case Literal::Kind::kCompare:
-      return TermToRel(lit.lhs, var_prefix) + " " + CmpToRel(lit.cmp_op) +
-             " " + TermToRel(lit.rhs, var_prefix);
+    case Literal::Kind::kCompare: {
+      std::string cmp = TermToRel(lit.lhs, var_prefix) + " " +
+                        CmpToRel(lit.cmp_op) + " " +
+                        TermToRel(lit.rhs, var_prefix);
+      // A negated comparison complements the whole outcome (kUnordered
+      // included), which is exactly Rel's `not (a < b)` — NOT `a >= b`.
+      return lit.negated ? "not (" + cmp + ")" : cmp;
+    }
     case Literal::Kind::kAssign: {
       const char* op = ArithToRel(lit.arith_op);
       if (op) {

@@ -217,6 +217,156 @@ TEST(Lowering, ArithmeticInsideNegatedAtomFallsBack) {
   EXPECT_EQ(classic.Query(source + "\ndef output : p"), got);
 }
 
+// --- negated comparisons: kUnordered-faithful inverses ------------------------
+
+TEST(Lowering, NegatedComparisonKeepsUnorderedRows) {
+  // `not (x < 1)` must hold for x = "a": comparing a string with an int is
+  // kUnordered, so the comparison is false and its negation true — exactly
+  // Rel's semantics. The naive inverse `x >= 1` is ALSO false on kUnordered
+  // and would silently drop the string row, which is why this construct
+  // used to reject the whole component. It now lowers via
+  // datalog::Literal::NegatedCompare and must agree with the classic path.
+  const std::string source =
+      "def q(x) : x = \"a\" or x = 0 or x = 5\n"
+      "def p(x) : q(x) and not (x < 1)\n"
+      "def p(y) : exists((x) | p(x) and edge(x, y))";
+  std::vector<Tuple> edges = {Tuple({I(5), I(9)})};
+
+  Engine lowered;
+  lowered.Insert("edge", edges);
+  Relation got = lowered.Query(source + "\ndef output : p");
+  EXPECT_EQ(lowered.last_lowering_stats().components_lowered, 1)
+      << "negated comparison must lower, not reject";
+  EXPECT_TRUE(got.Contains(Tuple({Value::String("a")})));  // kUnordered row
+  EXPECT_TRUE(got.Contains(Tuple({I(5)})));
+  EXPECT_TRUE(got.Contains(Tuple({I(9)})));   // derived through the recursion
+  EXPECT_FALSE(got.Contains(Tuple({I(0)})));  // 0 < 1 holds, negation drops
+
+  Engine classic;
+  classic.options().lower_recursion = false;
+  classic.Insert("edge", edges);
+  Relation expected = classic.Query(source + "\ndef output : p");
+  EXPECT_EQ(expected, got);
+  EXPECT_EQ(expected.ToString(), got.ToString());
+}
+
+TEST(Lowering, NegatedEqualityIsNotNeq) {
+  // `not (x = 1)` and `x != 1` differ on kUnordered operands: both sides of
+  // the Datalog engine's kNeq require comparability, so "a" != 1 is false,
+  // while not ("a" = 1) is true. The lowering must emit the complement of
+  // equality, never kNeq.
+  const std::string source =
+      "def q(x) : x = \"a\" or x = 1 or x = 2\n"
+      "def keep(x) : q(x) and not (x = 1)\n"
+      "def keep(y) : exists((x) | keep(x) and edge(x, y))";
+  std::vector<Tuple> edges = {Tuple({I(2), I(7)})};
+
+  Engine lowered;
+  lowered.Insert("edge", edges);
+  Relation got = lowered.Query(source + "\ndef output : keep");
+  EXPECT_EQ(lowered.last_lowering_stats().components_lowered, 1);
+  EXPECT_TRUE(got.Contains(Tuple({Value::String("a")})));
+  EXPECT_TRUE(got.Contains(Tuple({I(2)})));
+  EXPECT_TRUE(got.Contains(Tuple({I(7)})));
+  EXPECT_FALSE(got.Contains(Tuple({I(1)})));
+
+  Engine classic;
+  classic.options().lower_recursion = false;
+  classic.Insert("edge", edges);
+  EXPECT_EQ(classic.Query(source + "\ndef output : keep"), got);
+}
+
+TEST(Lowering, ComputedArgumentInNegatedComparisonStillFallsBack) {
+  // `not (x + 1 < 5)`: the auxiliary assignment for x + 1 would sit outside
+  // the negation, so a failing arithmetic ("a" + 1) would falsify the body
+  // where Rel makes the negation vacuously true. Must reject and agree.
+  const std::string source =
+      "def q(x) : x = \"a\" or x = 1 or x = 9\n"
+      "def p(x) : q(x) and not (x + 1 < 5)\n"
+      "def p(y) : exists((x) | p(x) and edge(x, y))";
+  std::vector<Tuple> edges = {Tuple({I(9), I(3)})};
+
+  Engine lowered;
+  lowered.Insert("edge", edges);
+  Relation got = lowered.Query(source + "\ndef output : p");
+  EXPECT_EQ(lowered.last_lowering_stats().components_lowered, 0);
+  EXPECT_EQ(lowered.last_lowering_stats().components_rejected, 1);
+  // The string row survives only through the vacuous negation.
+  EXPECT_TRUE(got.Contains(Tuple({Value::String("a")})));
+
+  Engine classic;
+  classic.options().lower_recursion = false;
+  classic.Insert("edge", edges);
+  EXPECT_EQ(classic.Query(source + "\ndef output : p"), got);
+}
+
+// --- demand transformation through the engine ---------------------------------
+
+TEST(Lowering, DemandTransformAnswersPointQueriesFromTheCone) {
+  // End-to-end wiring: with demand_transform on, a bound application of a
+  // recursive component evaluates only the demanded cone (magic-set
+  // rewrite on the lowered program) and matches the full evaluation.
+  std::vector<Tuple> edges = benchutil::ChainGraph(32);
+
+  Engine full;
+  full.Insert("edge", edges);
+  Relation expected = full.Query(std::string(kTC) + "\ndef output(y) : tc(0, y)");
+  EXPECT_EQ(full.last_lowering_stats().components_demanded, 0);
+
+  Engine demand;
+  demand.options().demand_transform = true;
+  demand.Insert("edge", edges);
+  Relation got = demand.Query(std::string(kTC) + "\ndef output(y) : tc(0, y)");
+  EXPECT_EQ(demand.last_lowering_stats().components_demanded, 1);
+  EXPECT_EQ(demand.last_lowering_stats().components_lowered, 0)
+      << "the demanded query must not also compute the full extent";
+  EXPECT_EQ(demand.last_lowering_stats().demanded_tuples, 31u);
+  EXPECT_EQ(expected, got);
+  EXPECT_EQ(expected.ToString(), got.ToString());
+}
+
+TEST(Lowering, DemandedExtentsMemoizePerPattern) {
+  std::vector<Tuple> edges = benchutil::ChainGraph(16);
+  Engine demand;
+  demand.options().demand_transform = true;
+  demand.Insert("edge", edges);
+  // Two distinct bound applications in one transaction: one demanded
+  // evaluation each; a repeat of the same pattern hits the memo.
+  Relation out = demand.Query(
+      std::string(kTC) +
+      "\ndef a(y) : tc(0, y)\ndef b(y) : tc(3, y)\ndef c(y) : tc(0, y)\n"
+      "def output(x, y) : a(y) and x = 1\n"
+      "def output(x, y) : b(y) and x = 2\n"
+      "def output(x, y) : c(y) and x = 3");
+  EXPECT_EQ(demand.last_lowering_stats().components_demanded, 2);
+  EXPECT_EQ(out.size(), 15u + 12u + 15u);
+}
+
+TEST(Lowering, DemandPatternCutoffFallsBackToOneFullEvaluation) {
+  // Many distinct bound probes of one component must not run a cone
+  // fixpoint each: after kMaxDemandPatterns (8) distinct patterns the
+  // interpreter evaluates the full extent once and serves every later
+  // lookup from it. Answers stay identical to the demand-off path.
+  std::vector<Tuple> edges = benchutil::ChainGraph(16);
+  std::string probes;
+  for (int i = 0; i < 12; ++i) {
+    probes += "def output(x, y) : tc(" + std::to_string(i) + ", y) and x = " +
+              std::to_string(i) + "\n";
+  }
+
+  Engine full;
+  full.Insert("edge", edges);
+  Relation expected = full.Query(std::string(kTC) + "\n" + probes);
+
+  Engine demand;
+  demand.options().demand_transform = true;
+  demand.Insert("edge", edges);
+  Relation got = demand.Query(std::string(kTC) + "\n" + probes);
+  EXPECT_EQ(expected, got);
+  EXPECT_EQ(demand.last_lowering_stats().components_demanded, 8)
+      << "demand must stop at the per-component pattern cutoff";
+}
+
 TEST(Lowering, ZeroIterationCapDoesNotUnboundTheLoweredFixpoint) {
   // InterpOptions::max_iterations = 0 is a strict cap; to the Datalog
   // engine 0 means unbounded. The lowering must clamp, or a divergent

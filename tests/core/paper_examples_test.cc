@@ -1,6 +1,13 @@
 // E1: golden tests for (nearly) every worked example in the paper, run
 // against the Figure 1 database. Expected answers are the ones stated in
 // the paper's text (Sections 3-5).
+//
+// The whole suite is parameterized over InterpOptions::lower_recursion
+// {off, on}: every example pins BOTH evaluation pipelines — the classic
+// tuple-at-a-time saturation loop and the path where qualifying recursive
+// components lower onto the indexed Datalog evaluator. Examples without
+// recursion are unaffected by the toggle (the lowering only changes how
+// recursive fixpoints are computed), so identical expectations apply.
 
 #include <gtest/gtest.h>
 
@@ -41,9 +48,12 @@ void LoadFigure1(Engine& engine) {
                 });
 }
 
-class PaperExamples : public ::testing::Test {
+class PaperExamples : public ::testing::TestWithParam<bool> {
  protected:
-  PaperExamples() { LoadFigure1(engine_); }
+  PaperExamples() {
+    engine_.options().lower_recursion = GetParam();
+    LoadFigure1(engine_);
+  }
 
   std::string Query(const std::string& source) {
     return engine_.Query(source).ToString();
@@ -52,27 +62,32 @@ class PaperExamples : public ::testing::Test {
   Engine engine_;
 };
 
+INSTANTIATE_TEST_SUITE_P(Pipelines, PaperExamples, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "lowered" : "interp";
+                         });
+
 // --- Section 3.1: Datalog as a starting point ---
 
-TEST_F(PaperExamples, OrderWithPayment) {
+TEST_P(PaperExamples, OrderWithPayment) {
   EXPECT_EQ(Query("def OrderWithPayment(y) : exists((x) | PaymentOrder(x,y))\n"
                   "def output(y) : OrderWithPayment(y)"),
             R"({("O1"); ("O2"); ("O3")})");
 }
 
-TEST_F(PaperExamples, OrderWithPaymentWildcard) {
+TEST_P(PaperExamples, OrderWithPaymentWildcard) {
   EXPECT_EQ(Query("def OrderWithPayment(y) : PaymentOrder(_,y)\n"
                   "def output(y) : OrderWithPayment(y)"),
             R"({("O1"); ("O2"); ("O3")})");
 }
 
-TEST_F(PaperExamples, OrderedProducts) {
+TEST_P(PaperExamples, OrderedProducts) {
   EXPECT_EQ(Query("def OrderedProducts(y) : OrderProductQuantity(_,y,_)\n"
                   "def output(y) : OrderedProducts(y)"),
             R"({("P1"); ("P2"); ("P3")})");
 }
 
-TEST_F(PaperExamples, OrderedProductPrice) {
+TEST_P(PaperExamples, OrderedProductPrice) {
   EXPECT_EQ(
       Query("def OrderedProductPrice(x,y) :\n"
             "  OrderProductQuantity(_,x,_) and ProductPrice(x,y)\n"
@@ -80,28 +95,28 @@ TEST_F(PaperExamples, OrderedProductPrice) {
       R"({("P1", 10); ("P2", 20); ("P3", 30)})");
 }
 
-TEST_F(PaperExamples, NotOrderedViaNegation) {
+TEST_P(PaperExamples, NotOrderedViaNegation) {
   EXPECT_EQ(Query("def NotOrdered(x) : ProductPrice(x,_) and\n"
                   "  not exists ((y1,y2) | OrderProductQuantity(y1,x,y2))\n"
                   "def output(x) : NotOrdered(x)"),
             R"({("P4")})");
 }
 
-TEST_F(PaperExamples, NotOrderedViaForall) {
+TEST_P(PaperExamples, NotOrderedViaForall) {
   EXPECT_EQ(Query("def NotOrdered(x) : ProductPrice(x,_) and\n"
                   "  forall ((y1,y2) | not OrderProductQuantity(y1,x,y2))\n"
                   "def output(x) : NotOrdered(x)"),
             R"({("P4")})");
 }
 
-TEST_F(PaperExamples, NotOrderedViaWildcards) {
+TEST_P(PaperExamples, NotOrderedViaWildcards) {
   EXPECT_EQ(Query("def NotOrdered(x) :\n"
                   "  ProductPrice(x,_) and not OrderProductQuantity(_,x,_)\n"
                   "def output(x) : NotOrdered(x)"),
             R"({("P4")})");
 }
 
-TEST_F(PaperExamples, AlwaysOrderedRestrictedForall) {
+TEST_P(PaperExamples, AlwaysOrderedRestrictedForall) {
   // V = {"O1", "O2"}; products in every order of V: P1 (in O1 and O2).
   EXPECT_EQ(Query("def V {(\"O1\") ; (\"O2\")}\n"
                   "def AlwaysOrdered(x) : ProductPrice(x,_) and\n"
@@ -112,7 +127,7 @@ TEST_F(PaperExamples, AlwaysOrderedRestrictedForall) {
 
 // --- Section 3.2: infinite relations ---
 
-TEST_F(PaperExamples, DiscountedProductPrice) {
+TEST_P(PaperExamples, DiscountedProductPrice) {
   EXPECT_EQ(
       Query("def DiscountedproductPrice(x,y) :\n"
             "  exists ((z) | ProductPrice(x,z) and add(y,5,z))\n"
@@ -120,14 +135,14 @@ TEST_F(PaperExamples, DiscountedProductPrice) {
       R"({("P1", 5); ("P2", 15); ("P3", 25); ("P4", 35)})");
 }
 
-TEST_F(PaperExamples, UnsafeAloneIsError) {
+TEST_P(PaperExamples, UnsafeAloneIsError) {
   EXPECT_THROW(
       Query("def AdditiveInverse(x,y) : Int(x) and Int(y) and add(x,y,0)\n"
             "def output(x,y) : AdditiveInverse(x,y)"),
       RelError);
 }
 
-TEST_F(PaperExamples, UnsafeIntersectedWithFiniteIsFine) {
+TEST_P(PaperExamples, UnsafeIntersectedWithFiniteIsFine) {
   // The paper: "an expression that intersects AdditiveInverse with a finite
   // set will be seen as safe and thus evaluated to produce a finite result".
   EXPECT_EQ(
@@ -137,7 +152,7 @@ TEST_F(PaperExamples, UnsafeIntersectedWithFiniteIsFine) {
       "{(-4, 4); (1, -1)}");
 }
 
-TEST_F(PaperExamples, PsychologicallyPriced) {
+TEST_P(PaperExamples, PsychologicallyPriced) {
   engine_.Insert("ProductPrice", {Tuple({S("P9"), I(199)})});
   EXPECT_EQ(Query("def PsychologicallyPriced(x) :\n"
                   "  exists ((y) | ProductPrice(x,y) and y % 100 = 99)\n"
@@ -147,7 +162,7 @@ TEST_F(PaperExamples, PsychologicallyPriced) {
 
 // --- Section 3.3: code flow and recursion ---
 
-TEST_F(PaperExamples, BoughtWithExpensiveProduct) {
+TEST_P(PaperExamples, BoughtWithExpensiveProduct) {
   const char* program =
       "def SameOrder(p1, p2) :\n"
       "  exists((o) | OrderProductQuantity(o, p1, _)\n"
@@ -161,7 +176,7 @@ TEST_F(PaperExamples, BoughtWithExpensiveProduct) {
   EXPECT_EQ(Query(program), R"({("P1")})");
 }
 
-TEST_F(PaperExamples, RuleOrderIrrelevant) {
+TEST_P(PaperExamples, RuleOrderIrrelevant) {
   const char* reversed =
       "def output(p) : BoughtWithExpensiveProduct(p)\n"
       "def BoughtWithExpensiveProduct(p) :\n"
@@ -175,7 +190,7 @@ TEST_F(PaperExamples, RuleOrderIrrelevant) {
   EXPECT_EQ(Query(reversed), R"({("P1")})");
 }
 
-TEST_F(PaperExamples, SameOrderDiffProductPairs) {
+TEST_P(PaperExamples, SameOrderDiffProductPairs) {
   EXPECT_EQ(
       Query("def SameOrder(p1, p2) :\n"
             "  exists((o) | OrderProductQuantity(o, p1, _)\n"
@@ -184,8 +199,9 @@ TEST_F(PaperExamples, SameOrderDiffProductPairs) {
       R"({("P1", "P2"); ("P2", "P1")})");
 }
 
-TEST_F(PaperExamples, TransitiveClosureNonLinear) {
+TEST_P(PaperExamples, TransitiveClosureNonLinear) {
   Engine engine;
+  engine.options().lower_recursion = GetParam();
   engine.Insert("E", {Tuple({I(1), I(2)}), Tuple({I(2), I(3)}),
                       Tuple({I(3), I(4)}), Tuple({I(10), I(11)})});
   // Non-linear recursion: TC_E occurs twice on the right-hand side.
@@ -198,7 +214,7 @@ TEST_F(PaperExamples, TransitiveClosureNonLinear) {
   EXPECT_TRUE(out.Contains(Tuple({I(10), I(11)})));
 }
 
-TEST_F(PaperExamples, MultipleRulesAreUnion) {
+TEST_P(PaperExamples, MultipleRulesAreUnion) {
   EXPECT_EQ(Query("def R(x) : x = 1\n"
                   "def R(x) : x = 2\n"
                   "def output(x) : R(x)"),
@@ -207,13 +223,13 @@ TEST_F(PaperExamples, MultipleRulesAreUnion) {
 
 // --- Section 3.4: output and updates ---
 
-TEST_F(PaperExamples, OutputControlRelation) {
+TEST_P(PaperExamples, OutputControlRelation) {
   EXPECT_EQ(Query("def output (x) : exists( (y) | ProductPrice(x,y) and y > "
                   "30)"),
             R"({("P4")})");
 }
 
-TEST_F(PaperExamples, InsertAndDeleteControlRelations) {
+TEST_P(PaperExamples, InsertAndDeleteControlRelations) {
   // OrderTotal / OrderPaid via aggregation (Section 5.2), then close fully
   // paid orders: O1 has total 2*10+1*20=40 and payments 20+10=30 (open);
   // O2 total 10, paid 10 (closed); O3 total 120, paid 90 (open).
@@ -244,14 +260,14 @@ TEST_F(PaperExamples, InsertAndDeleteControlRelations) {
 
 // --- Section 3.5: integrity constraints ---
 
-TEST_F(PaperExamples, TypeConstraintHolds) {
+TEST_P(PaperExamples, TypeConstraintHolds) {
   engine_.Define(
       "ic integer_quantities() requires\n"
       "  forall((x) | OrderProductQuantity(_,_,x) implies Int(x))");
   EXPECT_NO_THROW(engine_.Exec("def insert(:Dummy, x) : x = 1"));
 }
 
-TEST_F(PaperExamples, ViolatedConstraintAbortsTransaction) {
+TEST_P(PaperExamples, ViolatedConstraintAbortsTransaction) {
   engine_.Define(
       "ic valid_products(x) requires\n"
       "  OrderProductQuantity(_,x,_) implies ProductPrice(x,_)");
@@ -267,7 +283,7 @@ TEST_F(PaperExamples, ViolatedConstraintAbortsTransaction) {
 
 // --- Section 4.1: tuple variables ---
 
-TEST_F(PaperExamples, CartesianProductFixedArity) {
+TEST_P(PaperExamples, CartesianProductFixedArity) {
   EXPECT_EQ(Query("def R {(1,2) ; (3,4)}\n"
                   "def S {(5,6)}\n"
                   "def ProductRS(a,b,c,d) : R(a,b) and S(c,d)\n"
@@ -275,7 +291,7 @@ TEST_F(PaperExamples, CartesianProductFixedArity) {
             "{(1, 2, 5, 6); (3, 4, 5, 6)}");
 }
 
-TEST_F(PaperExamples, CartesianProductTupleVariables) {
+TEST_P(PaperExamples, CartesianProductTupleVariables) {
   EXPECT_EQ(Query("def R {(1,2,3)}\n"
                   "def S {(5,6)}\n"
                   "def ProductRS(x..., y...) : R(x...) and S(y...)\n"
@@ -283,14 +299,14 @@ TEST_F(PaperExamples, CartesianProductTupleVariables) {
             "{(1, 2, 3, 5, 6)}");
 }
 
-TEST_F(PaperExamples, PrefixesOfTuples) {
+TEST_P(PaperExamples, PrefixesOfTuples) {
   EXPECT_EQ(Query("def R {(1,2)}\n"
                   "def Prefix(x...) : R(x..., _...)\n"
                   "def output : Prefix"),
             "{(); (1); (1, 2)}");
 }
 
-TEST_F(PaperExamples, PermutationsViaTranspositions) {
+TEST_P(PaperExamples, PermutationsViaTranspositions) {
   Relation out = engine_.Query(
       "def R {(1,2,3)}\n"
       "def Perm(x...) : R(x...)\n"
@@ -303,29 +319,29 @@ TEST_F(PaperExamples, PermutationsViaTranspositions) {
 
 // --- Sections 4.2/4.3: relation variables and relational application ---
 
-TEST_F(PaperExamples, ProductAsSecondOrderRelationFullApplication) {
+TEST_P(PaperExamples, ProductAsSecondOrderRelationFullApplication) {
   engine_.Define("def R {(1,2) ; (3,4)}\ndef S {(5,6)}");
   EXPECT_EQ(Query("def output : Product(R, S, 1, 2, 5, 6)"), "{()}");
   EXPECT_EQ(Query("def output : Product(R, S, 1, 2, 5, 7)"), "{}");
 }
 
-TEST_F(PaperExamples, ProductPartialApplication) {
+TEST_P(PaperExamples, ProductPartialApplication) {
   engine_.Define("def R {(1,2) ; (3,4)}\ndef S {(5,6)}");
   EXPECT_EQ(Query("def output : Product[R, S]"),
             "{(1, 2, 5, 6); (3, 4, 5, 6)}");
 }
 
-TEST_F(PaperExamples, CommaIsCartesianProduct) {
+TEST_P(PaperExamples, CommaIsCartesianProduct) {
   EXPECT_EQ(Query("def output : (\"P4\", 40)"), R"({("P4", 40)})");
   EXPECT_EQ(engine_.Eval("(PaymentOrder, ProductPrice)").size(), 16u);
 }
 
-TEST_F(PaperExamples, PartialApplicationSuffixes) {
+TEST_P(PaperExamples, PartialApplicationSuffixes) {
   EXPECT_EQ(Query("def output : OrderProductQuantity[\"O1\"]"),
             R"({("P1", 2); ("P2", 1)})");
 }
 
-TEST_F(PaperExamples, FullEqualsPartialWhenAllArgsGiven) {
+TEST_P(PaperExamples, FullEqualsPartialWhenAllArgsGiven) {
   EXPECT_EQ(Query("def output : OrderProductQuantity[\"O1\",\"P1\",2]"),
             "{()}");
   EXPECT_EQ(Query("def output : OrderProductQuantity(\"O1\",\"P1\",2)"),
@@ -334,12 +350,12 @@ TEST_F(PaperExamples, FullEqualsPartialWhenAllArgsGiven) {
 
 // --- Section 4.4: abstraction ---
 
-TEST_F(PaperExamples, RoundAbstractionSetComprehension) {
+TEST_P(PaperExamples, RoundAbstractionSetComprehension) {
   EXPECT_EQ(Query("def output : {(x,y) : OrderProductQuantity(x,\"P1\",y)}"),
             R"({("O1", 2); ("O2", 1)})");
 }
 
-TEST_F(PaperExamples, SquareAbstractionExample4) {
+TEST_P(PaperExamples, SquareAbstractionExample4) {
   // {[x,y] : (OrderProductQuantity[x], PaymentOrder(y,x))}
   Relation out = engine_.Eval(
       "{[x,y] : (OrderProductQuantity[x], PaymentOrder(y,x)) }");
@@ -350,7 +366,7 @@ TEST_F(PaperExamples, SquareAbstractionExample4) {
   EXPECT_EQ(out.size(), 6u);
 }
 
-TEST_F(PaperExamples, SquareAbstractionRestrictedRange) {
+TEST_P(PaperExamples, SquareAbstractionRestrictedRange) {
   engine_.Define("def V {(\"Pmt2\") ; (\"Pmt4\")}");
   EXPECT_EQ(
       Query("def output : {[x, y in V] :\n"
@@ -358,7 +374,7 @@ TEST_F(PaperExamples, SquareAbstractionRestrictedRange) {
       R"({("O2", "Pmt2", "P1", 1); ("O3", "Pmt4", "P3", 4)})");
 }
 
-TEST_F(PaperExamples, WhereIsSugarForConditioning) {
+TEST_P(PaperExamples, WhereIsSugarForConditioning) {
   Relation a = engine_.Eval(
       "{[x,y] : OrderProductQuantity[x] where PaymentOrder(y,x)}");
   Relation b = engine_.Eval(
@@ -368,7 +384,7 @@ TEST_F(PaperExamples, WhereIsSugarForConditioning) {
 
 // --- Section 5.1: standard library ---
 
-TEST_F(PaperExamples, DotJoin) {
+TEST_P(PaperExamples, DotJoin) {
   EXPECT_EQ(Query("def output : PaymentOrder.OrderProductQuantity"),
             engine_
                 .Query("def output(p, pr, q) : exists((o) | "
@@ -376,7 +392,7 @@ TEST_F(PaperExamples, DotJoin) {
                 .ToString());
 }
 
-TEST_F(PaperExamples, LeftOverride) {
+TEST_P(PaperExamples, LeftOverride) {
   EXPECT_EQ(Query("def A {(1, 10)}\n"
                   "def B {(1, 99) ; (2, 20)}\n"
                   "def output : left_override[A, B]"),
@@ -385,8 +401,9 @@ TEST_F(PaperExamples, LeftOverride) {
 
 // --- Section 5.2: aggregation and reduce ---
 
-TEST_F(PaperExamples, BasicAggregates) {
+TEST_P(PaperExamples, BasicAggregates) {
   Engine e;
+  e.options().lower_recursion = GetParam();
   EXPECT_EQ(e.Eval("sum[{(1);(2);(3)}]").ToString(), "{(6)}");
   EXPECT_EQ(e.Eval("count[{(5);(7);(9)}]").ToString(), "{(3)}");
   EXPECT_EQ(e.Eval("min[{(5);(7);(9)}]").ToString(), "{(5)}");
@@ -394,18 +411,18 @@ TEST_F(PaperExamples, BasicAggregates) {
   EXPECT_EQ(e.Eval("avg[{(2);(4)}]").ToString(), "{(3)}");
 }
 
-TEST_F(PaperExamples, SumIsOverWholeRelationNotLastColumn) {
+TEST_P(PaperExamples, SumIsOverWholeRelationNotLastColumn) {
   // sum of {(1,12),(2,12)} is 24 even though the value 12 repeats.
   EXPECT_EQ(Query("def output : sum[{(1,12) ; (2,12)}]"), "{(24)}");
 }
 
-TEST_F(PaperExamples, Argmin) {
+TEST_P(PaperExamples, Argmin) {
   EXPECT_EQ(Query("def output : Argmin[{(\"a\", 2) ; (\"b\", 1) ; "
                   "(\"c\", 1)}]"),
             R"({("b"); ("c")})");
 }
 
-TEST_F(PaperExamples, GroupedAggregationOrderPaid) {
+TEST_P(PaperExamples, GroupedAggregationOrderPaid) {
   const char* program =
       "def Ord(x) : OrderProductQuantity(x,_,_)\n"
       "def OrderPaymentAmount(x,y,z) :\n"
@@ -415,7 +432,7 @@ TEST_F(PaperExamples, GroupedAggregationOrderPaid) {
   EXPECT_EQ(Query(program), R"({("O1", 30); ("O2", 10); ("O3", 90)})");
 }
 
-TEST_F(PaperExamples, GroupedAggregationWithDefault) {
+TEST_P(PaperExamples, GroupedAggregationWithDefault) {
   // Orders without payments get 0 via left override.
   engine_.Insert("OrderProductQuantity", {Tuple({S("O4"), S("P4"), I(1)})});
   const char* program =
@@ -430,7 +447,7 @@ TEST_F(PaperExamples, GroupedAggregationWithDefault) {
 
 // --- Section 5.3.1: point-free relational algebra ---
 
-TEST_F(PaperExamples, PointFreeSelectUnion) {
+TEST_P(PaperExamples, PointFreeSelectUnion) {
   // sigma_{A1=A2}(R x S) ∪ B
   const char* program =
       "def R {(1) ; (2)}\n"
@@ -441,7 +458,7 @@ TEST_F(PaperExamples, PointFreeSelectUnion) {
   EXPECT_EQ(Query(program), "{(1, 1); (7, 7)}");
 }
 
-TEST_F(PaperExamples, ProjectionViaAbstraction) {
+TEST_P(PaperExamples, ProjectionViaAbstraction) {
   EXPECT_EQ(Query("def R {(1,2,3,4) ; (5,6,7,8)}\n"
                   "def output : {(x,y) : R(x,_,y,_...)}"),
             "{(1, 3); (5, 7)}");
@@ -449,7 +466,7 @@ TEST_F(PaperExamples, ProjectionViaAbstraction) {
 
 // --- Section 5.3.2: linear algebra ---
 
-TEST_F(PaperExamples, ScalarProduct) {
+TEST_P(PaperExamples, ScalarProduct) {
   // u=(4,2), v=(3,6): u.v = 24.
   EXPECT_EQ(Query("def U {(1,4) ; (2,2)}\n"
                   "def V {(1,3) ; (2,6)}\n"
@@ -457,7 +474,7 @@ TEST_F(PaperExamples, ScalarProduct) {
             "{(24)}");
 }
 
-TEST_F(PaperExamples, MatrixMult) {
+TEST_P(PaperExamples, MatrixMult) {
   // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
   const char* program =
       "def A {(1,1,1) ; (1,2,2) ; (2,1,3) ; (2,2,4)}\n"
@@ -467,7 +484,7 @@ TEST_F(PaperExamples, MatrixMult) {
             "{(1, 1, 19); (1, 2, 22); (2, 1, 43); (2, 2, 50)}");
 }
 
-TEST_F(PaperExamples, MatrixVector) {
+TEST_P(PaperExamples, MatrixVector) {
   // [[1,2],[3,4]] * (5,6) = (17, 39)
   EXPECT_EQ(Query("def A {(1,1,1) ; (1,2,2) ; (2,1,3) ; (2,2,4)}\n"
                   "def V {(1,5) ; (2,6)}\n"
@@ -477,7 +494,7 @@ TEST_F(PaperExamples, MatrixVector) {
 
 // --- Section 5.4: graph library ---
 
-TEST_F(PaperExamples, ApspTeaser) {
+TEST_P(PaperExamples, ApspTeaser) {
   // Path graph 1 -> 2 -> 3.
   engine_.Define("def N {(1);(2);(3)}\n"
                  "def NN {(1,2) ; (2,3)}");
@@ -487,14 +504,14 @@ TEST_F(PaperExamples, ApspTeaser) {
             "(3, 3, 0)}");
 }
 
-TEST_F(PaperExamples, ApspBothFormulationsAgree) {
+TEST_P(PaperExamples, ApspBothFormulationsAgree) {
   engine_.Define("def N {(1);(2);(3);(4)}\n"
                  "def NN {(1,2) ; (2,3) ; (3,4) ; (1,3)}");
   EXPECT_EQ(engine_.Query("def output : APSP[N, NN]"),
             engine_.Query("def output : APSP_guarded[N, NN]"));
 }
 
-TEST_F(PaperExamples, PageRankConverges) {
+TEST_P(PaperExamples, PageRankConverges) {
   // A 3-cycle: column-stochastic matrix; PageRank converges to uniform.
   engine_.Define(
       "def G {(1,3,1.0) ; (2,1,1.0) ; (3,2,1.0)}");
@@ -508,7 +525,7 @@ TEST_F(PaperExamples, PageRankConverges) {
 
 // --- Addendum A: ?/& disambiguation ---
 
-TEST_F(PaperExamples, AddUpDisambiguation) {
+TEST_P(PaperExamples, AddUpDisambiguation) {
   // The paper's listing writes the digit-sum rule with `where x >= 0` and
   // no base case, which has an empty least fixpoint (addUp[0] would require
   // addUp[0]); we add the intended base case addUp[0] = 0.
