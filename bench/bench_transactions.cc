@@ -4,9 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "base/error.h"
 #include "bench_common.h"
 #include "benchutil/generators.h"
+#include "storage/file.h"
 
 namespace rel {
 namespace {
@@ -67,6 +70,27 @@ void BM_AbortingTxn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AbortingTxn)->Apply(ApplyArgs)->Unit(benchmark::kMillisecond);
+
+// The same insert transaction as BM_InsertTxn_NoConstraints, but with a
+// durable store attached (in-memory file system, so this series tracks the
+// WAL encode/append overhead of the commit pipeline, not disk speed;
+// bench_wal measures real fsync cost).
+void BM_InsertTxn_Durable(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    auto fs = std::make_shared<storage::MemFileSystem>();
+    if (!engine.AttachStorage("db", {}, fs).status.ok()) {
+      state.SkipWithError("attach failed");
+      return;
+    }
+    TxnResult txn = engine.Exec(
+        "def insert(:Numbers, x) : range(1, " + std::to_string(n) +
+        ", 1, x)");
+    benchmark::DoNotOptimize(txn.txn_id);
+  }
+}
+BENCHMARK(BM_InsertTxn_Durable)->Apply(ApplyArgs)->Unit(benchmark::kMillisecond);
 
 void BM_DeleteTxn(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));

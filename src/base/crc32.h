@@ -1,0 +1,25 @@
+// CRC32 (the IEEE 802.3 polynomial, reflected form 0xEDB88320) used by the
+// storage layer to checksum every write-ahead-log record and the snapshot
+// body. Table-driven, byte-at-a-time: durability writes are dominated by
+// fsync, not checksumming, so simplicity wins over a sliced variant.
+
+#ifndef REL_BASE_CRC32_H_
+#define REL_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rel {
+
+/// CRC of `data`, optionally continuing from a previous crc (pass the prior
+/// return value to checksum data arriving in pieces).
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t crc = 0) {
+  return Crc32(s.data(), s.size(), crc);
+}
+
+}  // namespace rel
+
+#endif  // REL_BASE_CRC32_H_

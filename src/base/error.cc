@@ -22,10 +22,19 @@ const char* ErrorKindName(ErrorKind kind) {
       return "integrity constraint violation";
     case ErrorKind::kTransaction:
       return "transaction error";
+    case ErrorKind::kIo:
+      return "io error";
+    case ErrorKind::kCorruption:
+      return "corruption";
     case ErrorKind::kInternal:
       return "internal error";
   }
   return "error";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return std::string(ErrorKindName(kind_)) + ": " + message_;
 }
 
 RelError::RelError(ErrorKind kind, const std::string& message)

@@ -24,6 +24,8 @@ enum class ErrorKind {
   kNonConvergent,   ///< replacement fixpoint exceeded the iteration cap
   kConstraint,      ///< integrity constraint violated; transaction aborted
   kTransaction,     ///< misuse of the transaction API
+  kIo,              ///< file I/O failure in the durability layer
+  kCorruption,      ///< stored bytes failed a checksum or decode
   kInternal,        ///< invariant violation inside the engine (a bug)
 };
 
@@ -68,6 +70,44 @@ class ConstraintViolation : public RelError {
 /// Throws RelError(kInternal) when `condition` is false. Used for invariants
 /// that indicate engine bugs rather than bad user input.
 void InternalCheck(bool condition, const char* what);
+
+/// A non-throwing result carrier for the storage layer, where failures
+/// (a full disk, a torn record, a checksum mismatch) are expected outcomes
+/// to degrade through, not exceptions to unwind on. Ok() is the success
+/// value; failures carry the same ErrorKind taxonomy as RelError so the
+/// Engine can rethrow one as the other at its API boundary.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status Ok() { return Status(); }
+  static Status Error(ErrorKind kind, std::string message) {
+    Status s;
+    s.failed_ = true;
+    s.kind_ = kind;
+    s.message_ = std::move(message);
+    return s;
+  }
+  static Status IoError(std::string message) {
+    return Error(ErrorKind::kIo, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Error(ErrorKind::kCorruption, std::move(message));
+  }
+
+  bool ok() const { return !failed_; }
+  /// Requires !ok().
+  ErrorKind kind() const { return kind_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<kind name>: <message>".
+  std::string ToString() const;
+
+ private:
+  bool failed_ = false;
+  ErrorKind kind_ = ErrorKind::kInternal;
+  std::string message_;
+};
 
 }  // namespace rel
 

@@ -57,12 +57,26 @@ bool SplitControlTuple(const Tuple& t, std::string* name, Tuple* payload) {
 Engine::Engine() : Engine(/*load_stdlib=*/true) {}
 
 Engine::Engine(bool load_stdlib) {
-  if (load_stdlib) Define(StdlibSource());
+  if (load_stdlib) DefineImpl(StdlibSource(), /*internal=*/true);
 }
 
 void Engine::Define(const std::string& source) {
+  DefineImpl(source, /*internal=*/false);
+}
+
+void Engine::DefineImpl(const std::string& source, bool internal) {
   std::vector<std::shared_ptr<Def>> defs = ParseToDefs(source);
+  // Write-ahead: a model change that cannot be made durable is not made.
+  if (!internal && store_ != nullptr) {
+    Status s = store_->LogDefine(source);
+    if (!s.ok()) {
+      throw RelError(s.kind(),
+                     "define not installed (WAL append failed): " +
+                         s.message());
+    }
+  }
   persistent_.insert(persistent_.end(), defs.begin(), defs.end());
+  if (!internal) model_sources_.push_back(source);
 }
 
 Relation Engine::Query(const std::string& source) {
@@ -103,8 +117,11 @@ TxnResult Engine::Run(const std::string& source, bool apply) {
   }
 
   // ... then apply them (deletes first, as both were computed against the
-  // same snapshot) and validate the post-state.
+  // same snapshot) and validate the post-state. The applied updates are
+  // collected as WAL ops so the transaction can be logged after it passes
+  // constraint checking.
   Database backup = db_;
+  std::vector<storage::WalRecord> ops;
   for (const Tuple& t : deletes.SortedTuples()) {
     std::string name;
     Tuple payload;
@@ -114,6 +131,7 @@ TxnResult Engine::Run(const std::string& source, bool apply) {
                      "delete tuples must start with a :RelationName");
     }
     db_.Delete(name, payload);
+    if (store_ != nullptr) ops.push_back(storage::WalRecord::Retract(name, payload));
     ++result.deleted;
   }
   for (const Tuple& t : inserts.SortedTuples()) {
@@ -125,6 +143,7 @@ TxnResult Engine::Run(const std::string& source, bool apply) {
                      "insert tuples must start with a :RelationName");
     }
     db_.Insert(name, payload);
+    if (store_ != nullptr) ops.push_back(storage::WalRecord::Fact(name, payload));
     ++result.inserted;
   }
 
@@ -134,6 +153,18 @@ TxnResult Engine::Run(const std::string& source, bool apply) {
   } catch (...) {
     db_ = std::move(backup);  // abort: roll back the transaction
     throw;
+  }
+
+  // Durability point: the transaction is acknowledged only after its WAL
+  // records (commit included) are appended — and, per the fsync policy,
+  // synced. A failed append aborts exactly like a constraint violation.
+  if (store_ != nullptr && !ops.empty()) {
+    Status s = store_->LogTransaction(ops, &result.txn_id);
+    if (!s.ok()) {
+      db_ = std::move(backup);
+      throw RelError(s.kind(), "transaction rolled back (WAL append failed): " +
+                                   s.message());
+    }
   }
   return result;
 }
@@ -233,16 +264,95 @@ void Engine::CheckConstraints() {
 }
 
 void Engine::Insert(const std::string& name, const std::vector<Tuple>& tuples) {
+  if (store_ != nullptr && !tuples.empty()) {
+    std::vector<storage::WalRecord> ops;
+    ops.reserve(tuples.size());
+    for (const Tuple& t : tuples) {
+      ops.push_back(storage::WalRecord::Fact(name, t));
+    }
+    Status s = store_->LogTransaction(ops, nullptr);
+    if (!s.ok()) {
+      throw RelError(s.kind(),
+                     "bulk insert not applied (WAL append failed): " +
+                         s.message());
+    }
+  }
   for (const Tuple& t : tuples) db_.Insert(name, t);
 }
 
 void Engine::DeleteTuples(const std::string& name,
                           const std::vector<Tuple>& tuples) {
+  if (store_ != nullptr && !tuples.empty()) {
+    std::vector<storage::WalRecord> ops;
+    ops.reserve(tuples.size());
+    for (const Tuple& t : tuples) {
+      ops.push_back(storage::WalRecord::Retract(name, t));
+    }
+    Status s = store_->LogTransaction(ops, nullptr);
+    if (!s.ok()) {
+      throw RelError(s.kind(),
+                     "bulk delete not applied (WAL append failed): " +
+                         s.message());
+    }
+  }
   for (const Tuple& t : tuples) db_.Delete(name, t);
 }
 
 const Relation& Engine::Base(const std::string& name) const {
   return db_.Get(name);
+}
+
+storage::RecoveryReport Engine::AttachStorage(
+    const std::string& dir, storage::DurabilityOptions opts,
+    std::shared_ptr<storage::FileSystem> fs) {
+  storage::RecoveryReport report;
+  if (store_ != nullptr) {
+    report.status =
+        Status::Error(ErrorKind::kTransaction, "storage already attached");
+    return report;
+  }
+  if (fs == nullptr) fs = std::make_shared<storage::PosixFileSystem>();
+  auto store = std::make_unique<storage::Store>(std::move(fs), dir, opts);
+  storage::SnapshotData data;
+  report = store->Recover(&data);
+  if (!report.status.ok()) return report;
+
+  // Install the recovered model (snapshot sources + WAL define records),
+  // then adopt the recovered database. Rules Define'd on this engine
+  // before attaching stay installed; they are logged to the store below so
+  // the next snapshot captures them.
+  std::vector<std::string> pre_attach = std::move(model_sources_);
+  model_sources_.clear();
+  for (const std::string& source : data.model_sources) {
+    DefineImpl(source, /*internal=*/true);
+    model_sources_.push_back(source);
+  }
+  for (const std::string& source : pre_attach) {
+    model_sources_.push_back(source);
+  }
+  db_ = std::move(data.db);
+  store_ = std::move(store);
+  for (const std::string& source : pre_attach) {
+    Status s = store_->LogDefine(source);
+    if (!s.ok()) {
+      store_.reset();
+      report.status = s;
+      return report;
+    }
+  }
+  return report;
+}
+
+Status Engine::Checkpoint() {
+  if (store_ == nullptr) {
+    return Status::Error(ErrorKind::kTransaction, "no storage attached");
+  }
+  return store_->Checkpoint(db_, model_sources_);
+}
+
+Status Engine::FlushWal() {
+  if (store_ == nullptr) return Status::Ok();
+  return store_->Flush();
 }
 
 }  // namespace rel

@@ -19,6 +19,7 @@
 #include "core/ast.h"
 #include "core/interp.h"
 #include "data/database.h"
+#include "storage/store.h"
 
 namespace rel {
 
@@ -27,6 +28,9 @@ struct TxnResult {
   Relation output;
   size_t inserted = 0;  // tuples added to base relations
   size_t deleted = 0;   // tuples removed from base relations
+  /// WAL id of this transaction when durability is attached and the
+  /// transaction changed base relations; 0 otherwise.
+  uint64_t txn_id = 0;
 };
 
 class Engine {
@@ -62,6 +66,40 @@ class Engine {
   /// database; throws ConstraintViolation on the first failure.
   void CheckConstraints();
 
+  // --- durability (src/storage) ---
+
+  /// Attaches a durable store rooted at `dir` (created if needed). Existing
+  /// state is recovered first: the latest valid snapshot is loaded, the WAL
+  /// tail replayed (complete transactions only, truncating at the first
+  /// torn or corrupt record), recovered model sources are re-installed, and
+  /// the recovered database REPLACES this engine's database. Afterwards
+  /// every Exec/Insert/DeleteTuples/Define is written ahead to the log —
+  /// an Exec whose WAL write fails rolls back and throws RelError(kIo).
+  ///
+  /// Corruption is degradation, not death: the returned report carries the
+  /// truncation point and recovered-transaction count; only an unusable
+  /// store (unreadable directory, unopenable WAL) makes `report.status`
+  /// non-ok, in which case the engine stays detached and in-memory.
+  ///
+  /// Rules Define'd before attaching (beyond the stdlib) are logged to the
+  /// fresh store so the model round-trips; attach before Define when the
+  /// exact install order matters. `fs` is the I/O seam for tests (fault
+  /// injection); nullptr uses the real file system.
+  storage::RecoveryReport AttachStorage(
+      const std::string& dir, storage::DurabilityOptions opts = {},
+      std::shared_ptr<storage::FileSystem> fs = nullptr);
+
+  /// Serializes the full database + model into a snapshot checkpoint and
+  /// rotates the WAL (see storage/store.h for the crash-safe protocol).
+  /// On failure the previous snapshot and WAL stay intact and in use.
+  Status Checkpoint();
+
+  /// Makes any group-commit-buffered WAL tail durable now.
+  Status FlushWal();
+
+  /// True when a durable store is attached.
+  bool durable() const { return store_ != nullptr; }
+
   /// Read access to a base relation ({} if absent).
   const Relation& Base(const std::string& name) const;
 
@@ -84,11 +122,19 @@ class Engine {
  private:
   TxnResult Run(const std::string& source, bool apply);
   void CheckConstraintsWith(Interp* interp);
+  /// Parses and installs `source`; records it in model_sources_ (and WAL-
+  /// logs it when attached) unless `internal` — the stdlib and recovery
+  /// replay go through the internal path.
+  void DefineImpl(const std::string& source, bool internal);
 
   Database db_;
   std::vector<std::shared_ptr<Def>> persistent_;
   InterpOptions options_;
   LoweringStats lowering_stats_;
+  std::unique_ptr<storage::Store> store_;
+  /// Post-stdlib Define history, in install order — what snapshots persist
+  /// so rules and integrity constraints recover with the data.
+  std::vector<std::string> model_sources_;
 };
 
 /// The Rel source text of the standard library (aggregates, relational

@@ -1,0 +1,267 @@
+#include "data/serialize.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rel {
+
+namespace {
+
+// Caps that keep a corrupt length prefix from driving a giant allocation
+// before the (bounds-checked) element reads would fail anyway.
+constexpr uint32_t kMaxArity = 1u << 16;
+
+}  // namespace
+
+void ByteWriter::U32(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_->append(buf, 4);
+}
+
+void ByteWriter::U64(uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_->append(buf, 8);
+}
+
+void ByteWriter::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_->append(s.data(), s.size());
+}
+
+bool ByteReader::U8(uint8_t* v) {
+  if (data_.size() - pos_ < 1) return false;
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool ByteReader::U32(uint32_t* v) {
+  if (data_.size() - pos_ < 4) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool ByteReader::U64(uint64_t* v) {
+  if (data_.size() - pos_ < 8) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool ByteReader::I64(int64_t* v) {
+  uint64_t bits;
+  if (!U64(&bits)) return false;
+  *v = static_cast<int64_t>(bits);
+  return true;
+}
+
+bool ByteReader::F64(double* v) {
+  uint64_t bits;
+  if (!U64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool ByteReader::Str(std::string_view* s) {
+  uint32_t len;
+  if (!U32(&len)) return false;
+  if (data_.size() - pos_ < len) return false;
+  *s = data_.substr(pos_, len);
+  pos_ += len;
+  return true;
+}
+
+uint32_t StringTable::IdFor(const std::string& s) {
+  auto [it, inserted] =
+      ids_.emplace(std::string_view(s), static_cast<uint32_t>(strings_.size()));
+  if (inserted) strings_.push_back(it->first);
+  return it->second;
+}
+
+namespace {
+
+void EncodeStringRef(ByteWriter* w, const std::string& s, StringTable* table) {
+  if (table != nullptr) {
+    w->U32(table->IdFor(s));
+  } else {
+    w->Str(s);
+  }
+}
+
+bool DecodeStringRef(ByteReader* r, const std::vector<std::string>* table,
+                     std::string_view* out) {
+  if (table != nullptr) {
+    uint32_t id;
+    if (!r->U32(&id)) return false;
+    if (id >= table->size()) return false;
+    *out = (*table)[id];
+    return true;
+  }
+  return r->Str(out);
+}
+
+}  // namespace
+
+void EncodeValue(ByteWriter* w, const Value& v, StringTable* table) {
+  w->U8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kInt:
+      w->I64(v.AsInt());
+      break;
+    case ValueKind::kFloat:
+      w->F64(v.AsFloat());
+      break;
+    case ValueKind::kString:
+      EncodeStringRef(w, v.AsString(), table);
+      break;
+    case ValueKind::kEntity:
+      EncodeStringRef(w, v.EntityConcept(), table);
+      EncodeStringRef(w, v.EntityId(), table);
+      break;
+  }
+}
+
+bool DecodeValue(ByteReader* r, const std::vector<std::string>* table,
+                 Value* out) {
+  uint8_t kind;
+  if (!r->U8(&kind)) return false;
+  switch (static_cast<ValueKind>(kind)) {
+    case ValueKind::kInt: {
+      int64_t v;
+      if (!r->I64(&v)) return false;
+      *out = Value::Int(v);
+      return true;
+    }
+    case ValueKind::kFloat: {
+      double v;
+      if (!r->F64(&v)) return false;
+      *out = Value::Float(v);
+      return true;
+    }
+    case ValueKind::kString: {
+      std::string_view s;
+      if (!DecodeStringRef(r, table, &s)) return false;
+      *out = Value::String(s);
+      return true;
+    }
+    case ValueKind::kEntity: {
+      std::string_view concept_name, id;
+      if (!DecodeStringRef(r, table, &concept_name)) return false;
+      if (!DecodeStringRef(r, table, &id)) return false;
+      *out = Value::Entity(concept_name, id);
+      return true;
+    }
+  }
+  return false;  // unknown kind tag: corrupt
+}
+
+void EncodeTuple(ByteWriter* w, const Tuple& t, StringTable* table) {
+  w->U32(static_cast<uint32_t>(t.arity()));
+  for (size_t i = 0; i < t.arity(); ++i) EncodeValue(w, t[i], table);
+}
+
+bool DecodeTuple(ByteReader* r, const std::vector<std::string>* table,
+                 Tuple* out) {
+  uint32_t arity;
+  if (!r->U32(&arity)) return false;
+  if (arity > kMaxArity) return false;
+  std::vector<Value> values(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    if (!DecodeValue(r, table, &values[i])) return false;
+  }
+  *out = Tuple(std::move(values));
+  return true;
+}
+
+void EncodeRelation(ByteWriter* w, const Relation& rel, StringTable* table) {
+  std::vector<size_t> arities = rel.Arities();
+  w->U32(static_cast<uint32_t>(arities.size()));
+  for (size_t arity : arities) {
+    const ColumnArena* arena = rel.ArenaOfArity(arity);
+    const std::vector<uint32_t>& order = arena->SortedRows();
+    w->U32(static_cast<uint32_t>(arity));
+    w->U64(order.size());
+    for (size_t col = 0; col < arity; ++col) {
+      for (uint32_t row : order) EncodeValue(w, arena->At(row, col), table);
+    }
+  }
+}
+
+bool DecodeRelation(ByteReader* r, const std::vector<std::string>* table,
+                    Relation* out) {
+  *out = Relation();
+  uint32_t num_arities;
+  if (!r->U32(&num_arities)) return false;
+  for (uint32_t a = 0; a < num_arities; ++a) {
+    uint32_t arity;
+    uint64_t rows;
+    if (!r->U32(&arity)) return false;
+    if (arity > kMaxArity) return false;
+    if (!r->U64(&rows)) return false;
+    // Column-major on the wire; gather back into rows to insert. The
+    // reserve is clamped so a corrupt row count cannot drive a huge
+    // allocation before element reads fail.
+    std::vector<std::vector<Value>> cols(arity);
+    const size_t reserve = static_cast<size_t>(std::min<uint64_t>(rows, 4096));
+    for (auto& c : cols) c.reserve(reserve);
+    for (uint32_t col = 0; col < arity; ++col) {
+      for (uint64_t row = 0; row < rows; ++row) {
+        Value v;
+        if (!DecodeValue(r, table, &v)) return false;
+        cols[col].push_back(v);
+      }
+    }
+    std::vector<Value> buf(arity);
+    for (uint64_t row = 0; row < rows; ++row) {
+      for (uint32_t col = 0; col < arity; ++col) buf[col] = cols[col][row];
+      out->Insert(buf.data(), arity);
+    }
+  }
+  return true;
+}
+
+void EncodeDatabase(ByteWriter* w, const Database& db, StringTable* table) {
+  std::vector<std::string> names = db.Names();
+  w->U32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    w->Str(name);
+    EncodeRelation(w, db.Get(name), table);
+  }
+}
+
+bool DecodeDatabase(ByteReader* r, const std::vector<std::string>* table,
+                    Database* out) {
+  *out = Database();
+  uint32_t count;
+  if (!r->U32(&count)) return false;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view name;
+    if (!r->Str(&name)) return false;
+    Relation rel;
+    if (!DecodeRelation(r, table, &rel)) return false;
+    if (rel.empty()) return false;  // Database never stores empty relations
+    out->Put(std::string(name), std::move(rel));
+  }
+  return true;
+}
+
+}  // namespace rel

@@ -1,0 +1,124 @@
+// Binary serialization of the data model (Value, Tuple, ColumnArena-backed
+// Relation, Database) for the durability layer.
+//
+// Everything is little-endian and fixed-width; floats round-trip by bit
+// pattern (NaN payloads — the source of kUnordered comparisons — survive
+// exactly). Strings and entities are stored by *content*, never by Symbol
+// id: symbol ids are process-local interner handles, so a snapshot written
+// by one process must re-intern on load. Two string encodings exist:
+//
+//   * inline (length + bytes) — used by WAL records, which are small and
+//     self-contained;
+//   * table-referenced (u32 index into a per-snapshot string table) — used
+//     by snapshots, where the same interned strings recur across millions
+//     of rows. The table is built on the fly during encoding (first use
+//     assigns the next index) and written ahead of the body.
+//
+// Decoders are defensive: every read is bounds-checked and malformed input
+// returns false rather than crashing, because the bytes come from disk and
+// the storage layer treats decode failure as corruption to degrade through.
+
+#ifndef REL_DATA_SERIALIZE_H_
+#define REL_DATA_SERIALIZE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/database.h"
+#include "data/relation.h"
+#include "data/tuple.h"
+#include "data/value.h"
+
+namespace rel {
+
+/// Appends fixed-width little-endian primitives to a byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  /// u32 length + raw bytes.
+  void Str(std::string_view s);
+
+  std::string* out() { return out_; }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked reads over a byte buffer. All readers return false on
+/// truncated or malformed input and leave the cursor unspecified after a
+/// failure (callers stop at the first false).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I64(int64_t* v);
+  bool F64(double* v);
+  /// View into the underlying buffer (valid while the buffer lives).
+  bool Str(std::string_view* s);
+
+  size_t pos() const { return pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Deduplicating string table for snapshot encoding: assigns dense ids in
+/// first-use order. The keys view into the global Interner's stable storage.
+class StringTable {
+ public:
+  /// The id for `s`, assigning the next one on first use.
+  uint32_t IdFor(const std::string& s);
+
+  /// Strings in id order.
+  const std::vector<std::string_view>& strings() const { return strings_; }
+
+ private:
+  std::map<std::string_view, uint32_t> ids_;
+  std::vector<std::string_view> strings_;
+};
+
+/// Encodes `v`. With `table` set, string/entity content is table-referenced;
+/// otherwise it is inline.
+void EncodeValue(ByteWriter* w, const Value& v, StringTable* table);
+
+/// Decodes a value encoded by EncodeValue. `table` must mirror the encoding
+/// side: the loaded string table for table-referenced input, nullptr for
+/// inline input. Strings are re-interned into this process's Interner.
+bool DecodeValue(ByteReader* r, const std::vector<std::string>* table,
+                 Value* out);
+
+/// u32 arity + values (inline or table-referenced per `table`).
+void EncodeTuple(ByteWriter* w, const Tuple& t, StringTable* table);
+bool DecodeTuple(ByteReader* r, const std::vector<std::string>* table,
+                 Tuple* out);
+
+/// Relation wire format: u32 arity-count, then per arity u32 arity, u64 row
+/// count and the rows column-major (column 0 for every row, then column 1,
+/// ...), rows in sorted order so equal relations encode byte-identically
+/// regardless of insertion history.
+void EncodeRelation(ByteWriter* w, const Relation& rel, StringTable* table);
+bool DecodeRelation(ByteReader* r, const std::vector<std::string>* table,
+                    Relation* out);
+
+/// u32 relation count, then per relation an inline name + EncodeRelation.
+void EncodeDatabase(ByteWriter* w, const Database& db, StringTable* table);
+bool DecodeDatabase(ByteReader* r, const std::vector<std::string>* table,
+                    Database* out);
+
+}  // namespace rel
+
+#endif  // REL_DATA_SERIALIZE_H_

@@ -1,0 +1,313 @@
+#include "storage/file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace rel::storage {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " " + path + ": " + std::strerror(errno));
+}
+
+// --- POSIX -------------------------------------------------------------------
+
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IoError("append to closed file " + path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IoError("sync of closed file " + path_);
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close", path_);
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+Status PosixFileSystem::OpenAppend(const std::string& path, bool truncate,
+                                   std::unique_ptr<File>* out) {
+  int flags = O_CREAT | O_WRONLY | O_APPEND | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open", path);
+  *out = std::make_unique<PosixFile>(fd, path);
+  return Status::Ok();
+}
+
+Status PosixFileSystem::ReadFile(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status PosixFileSystem::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+  return Status::Ok();
+}
+
+Status PosixFileSystem::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::Ok();
+}
+
+Status PosixFileSystem::List(const std::string& dir,
+                             std::vector<std::string>* names) {
+  names->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    names->push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names->begin(), names->end());
+  return Status::Ok();
+}
+
+Status PosixFileSystem::CreateDir(const std::string& dir) {
+  // mkdir -p: create each prefix, tolerating ones that already exist.
+  for (size_t i = 1; i <= dir.size(); ++i) {
+    if (i != dir.size() && dir[i] != '/') continue;
+    std::string prefix = dir.substr(0, i);
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+  }
+  return Status::Ok();
+}
+
+bool PosixFileSystem::Exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+// --- in-memory + fault injection ---------------------------------------------
+
+// At namespace scope (not file-local) so the friend declaration in
+// MemFileSystem matches.
+class MemFile : public File {
+ public:
+  MemFile(MemFileSystem* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override { return Status::Ok(); }
+
+ private:
+  MemFileSystem* fs_;
+  std::string path_;
+};
+
+MemFileSystem::MemFileSystem(std::map<std::string, std::string> files) {
+  for (auto& [path, data] : files) {
+    Entry entry;
+    entry.synced = data.size();  // a restored image is durable by definition
+    entry.data = std::move(data);
+    files_.emplace(path, std::move(entry));
+  }
+}
+
+Status MemFileSystem::ApplyWrite(Entry* entry, std::string_view data) {
+  if (device_failed_) return Status::IoError("device failed (injected)");
+  ++write_count_;
+  const bool hit = plan_.kind != FaultPlan::Kind::kNone && !fault_fired_ &&
+                   write_count_ == plan_.at_write;
+  if (!hit) {
+    entry->data.append(data.data(), data.size());
+    return Status::Ok();
+  }
+  fault_fired_ = true;
+  switch (plan_.kind) {
+    case FaultPlan::Kind::kNone:
+      break;
+    case FaultPlan::Kind::kFailWrite:
+      device_failed_ = true;
+      return Status::IoError("write failed (injected fault)");
+    case FaultPlan::Kind::kTornWrite: {
+      size_t keep = plan_.offset != 0
+                        ? std::min<size_t>(plan_.offset, data.size())
+                        : data.size() / 2;
+      entry->data.append(data.data(), keep);
+      device_failed_ = true;
+      return Status::IoError("torn write (injected fault)");
+    }
+    case FaultPlan::Kind::kBitFlip: {
+      std::string corrupted(data);
+      if (!corrupted.empty()) {
+        corrupted[plan_.offset % corrupted.size()] ^=
+            static_cast<char>(plan_.flip_mask);
+      }
+      entry->data.append(corrupted);
+      return Status::Ok();  // silent corruption: the writer never knows
+    }
+  }
+  return Status::Ok();
+}
+
+Status MemFile::Append(std::string_view data) {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  return fs_->ApplyWrite(&fs_->files_[path_], data);
+}
+
+Status MemFile::Sync() {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  if (fs_->device_failed_) return Status::IoError("device failed (injected)");
+  auto it = fs_->files_.find(path_);
+  if (it != fs_->files_.end()) it->second.synced = it->second.data.size();
+  return Status::Ok();
+}
+
+Status MemFileSystem::OpenAppend(const std::string& path, bool truncate,
+                                 std::unique_ptr<File>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (device_failed_) return Status::IoError("device failed (injected)");
+  Entry& entry = files_[path];
+  if (truncate) {
+    entry.data.clear();
+    entry.synced = 0;
+  }
+  *out = std::make_unique<MemFile>(this, path);
+  return Status::Ok();
+}
+
+Status MemFileSystem::ReadFile(const std::string& path, std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::IoError("no such file: " + path);
+  *out = it->second.data;
+  return Status::Ok();
+}
+
+Status MemFileSystem::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (device_failed_) return Status::IoError("device failed (injected)");
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::IoError("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status MemFileSystem::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (device_failed_) return Status::IoError("device failed (injected)");
+  files_.erase(path);
+  return Status::Ok();
+}
+
+Status MemFileSystem::List(const std::string& dir,
+                           std::vector<std::string>* names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  names->clear();
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (const auto& [path, entry] : files_) {
+    (void)entry;
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix))
+      continue;
+    std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names->push_back(std::move(rest));
+  }
+  return Status::Ok();
+}
+
+Status MemFileSystem::CreateDir(const std::string& dir) {
+  (void)dir;  // directories are implicit in the path map
+  return Status::Ok();
+}
+
+bool MemFileSystem::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+void MemFileSystem::SetFault(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  write_count_ = 0;
+  fault_fired_ = false;
+  device_failed_ = false;
+}
+
+uint64_t MemFileSystem::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_count_;
+}
+
+bool MemFileSystem::fault_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_fired_;
+}
+
+std::map<std::string, std::string> MemFileSystem::FilesAsIs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::string> out;
+  for (const auto& [path, entry] : files_) out[path] = entry.data;
+  return out;
+}
+
+std::map<std::string, std::string> MemFileSystem::FilesSynced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::string> out;
+  for (const auto& [path, entry] : files_) {
+    out[path] = entry.data.substr(0, entry.synced);
+  }
+  return out;
+}
+
+}  // namespace rel::storage

@@ -1,0 +1,163 @@
+// The file-system seam of the durability layer.
+//
+// All storage I/O — WAL appends, snapshot writes, recovery reads — goes
+// through the FileSystem/File interfaces so the crash-recovery harness can
+// substitute a deterministic in-memory implementation with injected faults
+// (fail the Nth write, tear it partway, flip a bit in it) and then recover
+// from the exact byte image a real crash would have left behind. Nothing in
+// the engine above this header knows whether bytes go to a disk or a map.
+//
+// Durability model the in-memory implementation mirrors: Append lands in
+// the "page cache" (the file's byte buffer); only Sync advances the durable
+// watermark. FilesSynced() is the disk image after a crash that loses the
+// page cache, FilesAsIs() the image after a crash where the OS had already
+// flushed everything — recovery must cope with both, and the harness sweeps
+// both. Metadata operations (Rename, Remove) are treated as immediately
+// durable, a simplification the snapshot protocol is designed around (the
+// rename happens only after the snapshot bytes are synced and verified).
+
+#ifndef REL_STORAGE_FILE_H_
+#define REL_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/error.h"
+
+namespace rel::storage {
+
+/// An append-only file handle.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Appends `data` at the end of the file. One Append call is the unit of
+  /// fault injection: a torn write delivers a strict prefix of one call.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Makes every byte appended so far durable (fsync).
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+};
+
+/// A minimal file system: everything the Store needs, nothing more.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for appending, creating it if missing; with `truncate`
+  /// the file starts empty.
+  virtual Status OpenAppend(const std::string& path, bool truncate,
+                            std::unique_ptr<File>* out) = 0;
+
+  /// Reads the whole file into `out`.
+  virtual Status ReadFile(const std::string& path, std::string* out) = 0;
+
+  /// Atomically renames `from` to `to`, replacing any existing `to`.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Base names of the entries in `dir` (no "." / ".."), sorted.
+  virtual Status List(const std::string& dir,
+                      std::vector<std::string>* names) = 0;
+
+  /// Creates `dir` (and parents). Existing directories are fine.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+/// The real thing: POSIX files, fsync-backed Sync.
+class PosixFileSystem : public FileSystem {
+ public:
+  Status OpenAppend(const std::string& path, bool truncate,
+                    std::unique_ptr<File>* out) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status List(const std::string& dir,
+              std::vector<std::string>* names) override;
+  Status CreateDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+};
+
+/// One injected fault, triggered by the Nth Append across the whole file
+/// system (1-based; counting restarts when the plan is set).
+struct FaultPlan {
+  enum class Kind : uint8_t {
+    kNone,
+    kFailWrite,  ///< the Nth Append writes nothing and the device dies
+    kTornWrite,  ///< the Nth Append lands a strict prefix, then the device dies
+    kBitFlip,    ///< the Nth Append lands fully but with one byte corrupted;
+                 ///< the device stays healthy (silent corruption)
+  };
+  Kind kind = Kind::kNone;
+  uint64_t at_write = 0;  ///< which Append triggers (1-based)
+  /// kTornWrite: bytes kept (0 = half the write). kBitFlip: byte offset
+  /// within the write to corrupt (modulo its size).
+  uint64_t offset = 0;
+  uint8_t flip_mask = 0x40;  ///< XORed into the chosen byte on kBitFlip
+};
+
+/// Deterministic in-memory file system with fault injection — the substrate
+/// of the crash-recovery harness. Thread-safe (a single mutex; nothing here
+/// is a hot path).
+class MemFileSystem : public FileSystem {
+ public:
+  MemFileSystem() = default;
+  /// Restores a captured disk image (see FilesAsIs / FilesSynced).
+  explicit MemFileSystem(std::map<std::string, std::string> files);
+
+  Status OpenAppend(const std::string& path, bool truncate,
+                    std::unique_ptr<File>* out) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status List(const std::string& dir,
+              std::vector<std::string>* names) override;
+  Status CreateDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+
+  /// Installs `plan` and resets the write counter. Kind::kNone clears.
+  void SetFault(FaultPlan plan);
+  /// Append calls observed since the last SetFault.
+  uint64_t writes() const;
+  /// True once the planned fault has triggered.
+  bool fault_fired() const;
+
+  /// Disk image with every appended byte, synced or not (a crash after the
+  /// OS flushed its cache).
+  std::map<std::string, std::string> FilesAsIs() const;
+  /// Disk image truncated to each file's synced watermark (a crash that
+  /// loses the page cache).
+  std::map<std::string, std::string> FilesSynced() const;
+
+ private:
+  friend class MemFile;
+  struct Entry {
+    std::string data;
+    size_t synced = 0;
+  };
+
+  /// Applies the fault plan to one Append of `data` against `entry`.
+  /// Returns the status the caller should surface.
+  Status ApplyWrite(Entry* entry, std::string_view data);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> files_;
+  FaultPlan plan_;
+  uint64_t write_count_ = 0;
+  bool fault_fired_ = false;
+  bool device_failed_ = false;
+};
+
+}  // namespace rel::storage
+
+#endif  // REL_STORAGE_FILE_H_

@@ -1,0 +1,87 @@
+#include "storage/snapshot.h"
+
+#include "base/crc32.h"
+#include "data/serialize.h"
+
+namespace rel::storage {
+
+namespace {
+
+constexpr std::string_view kMagic = "RELSNAP1";
+constexpr uint32_t kFormatVersion = 1;
+
+}  // namespace
+
+void EncodeSnapshot(const SnapshotData& data, std::string* out) {
+  // The string table is discovered while encoding the database body, but
+  // must precede it in the payload; encode the body to the side first.
+  StringTable table;
+  std::string body;
+  {
+    ByteWriter w(&body);
+    EncodeDatabase(&w, data.db, &table);
+  }
+
+  std::string payload;
+  ByteWriter w(&payload);
+  w.U32(kFormatVersion);
+  w.U64(data.last_txn_id);
+  w.U32(static_cast<uint32_t>(data.model_sources.size()));
+  for (const std::string& source : data.model_sources) w.Str(source);
+  w.U32(static_cast<uint32_t>(table.strings().size()));
+  for (std::string_view s : table.strings()) w.Str(s);
+  payload.append(body);
+
+  out->clear();
+  out->append(kMagic);
+  ByteWriter header(out);
+  header.U32(Crc32(payload));
+  out->append(payload);
+}
+
+Status DecodeSnapshot(std::string_view image, SnapshotData* out) {
+  if (image.size() < kMagic.size() + 4 ||
+      image.substr(0, kMagic.size()) != kMagic) {
+    return Status::Corruption("snapshot: bad magic");
+  }
+  ByteReader header(image.substr(kMagic.size()));
+  uint32_t crc;
+  if (!header.U32(&crc)) return Status::Corruption("snapshot: torn header");
+  std::string_view payload = image.substr(kMagic.size() + 4);
+  if (Crc32(payload) != crc) {
+    return Status::Corruption("snapshot: crc mismatch");
+  }
+
+  ByteReader r(payload);
+  uint32_t version;
+  if (!r.U32(&version) || version != kFormatVersion) {
+    return Status::Corruption("snapshot: unsupported format version");
+  }
+  SnapshotData data;
+  if (!r.U64(&data.last_txn_id)) {
+    return Status::Corruption("snapshot: torn body");
+  }
+  uint32_t num_sources;
+  if (!r.U32(&num_sources)) return Status::Corruption("snapshot: torn body");
+  for (uint32_t i = 0; i < num_sources; ++i) {
+    std::string_view s;
+    if (!r.Str(&s)) return Status::Corruption("snapshot: torn model source");
+    data.model_sources.emplace_back(s);
+  }
+  uint32_t num_strings;
+  if (!r.U32(&num_strings)) return Status::Corruption("snapshot: torn body");
+  std::vector<std::string> strings;
+  strings.reserve(num_strings);
+  for (uint32_t i = 0; i < num_strings; ++i) {
+    std::string_view s;
+    if (!r.Str(&s)) return Status::Corruption("snapshot: torn string table");
+    strings.emplace_back(s);
+  }
+  if (!DecodeDatabase(&r, &strings, &data.db) || !r.done()) {
+    return Status::Corruption("snapshot: undecodable database body");
+  }
+  *out = std::move(data);
+  return Status::Ok();
+}
+
+}  // namespace rel::storage

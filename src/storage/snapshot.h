@@ -1,0 +1,49 @@
+// Snapshot checkpoints: a full serialized image of the engine's durable
+// state — the Database (every per-arity ColumnArena, column-major, rows in
+// sorted order), the interned strings those columns reference (as a
+// deduplicated string table re-interned on load), and the model sources
+// (Define'd rules and integrity constraints, replayed through the parser
+// on load so schema/IC state recovers with the data).
+//
+// File format:
+//   "RELSNAP1" magic · [u32 crc32(payload)] · payload
+//   payload = [u32 format version]
+//             [u64 last_txn_id]
+//             [u32 source count · inline strings]
+//             [u32 string-table count · inline strings]
+//             [database body, string values table-referenced]
+// The CRC covers the whole payload, so any bit flip anywhere in the file is
+// detected and the loader reports corruption instead of deserializing junk.
+
+#ifndef REL_STORAGE_SNAPSHOT_H_
+#define REL_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/error.h"
+#include "data/database.h"
+
+namespace rel::storage {
+
+/// The durable state a snapshot captures.
+struct SnapshotData {
+  Database db;
+  /// Rel sources installed via Engine::Define after the stdlib, in order.
+  std::vector<std::string> model_sources;
+  /// Id of the last committed transaction the snapshot includes.
+  uint64_t last_txn_id = 0;
+};
+
+/// Serializes `data` into `out` (replacing its contents).
+void EncodeSnapshot(const SnapshotData& data, std::string* out);
+
+/// Decodes a snapshot image. Returns kCorruption when the magic, CRC or any
+/// structural decode fails — the caller falls back to an older snapshot.
+Status DecodeSnapshot(std::string_view image, SnapshotData* out);
+
+}  // namespace rel::storage
+
+#endif  // REL_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,285 @@
+#include "storage/store.h"
+
+#include <algorithm>
+
+namespace rel::storage {
+
+namespace {
+
+/// Parses "<prefix>-<number>" file names; returns false for anything else.
+bool ParseEpochFile(const std::string& name, const char* prefix,
+                    uint64_t* epoch) {
+  std::string p = std::string(prefix) + "-";
+  if (name.size() <= p.size() || name.compare(0, p.size(), p) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = p.size(); i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
+}  // namespace
+
+Store::Store(std::shared_ptr<FileSystem> fs, std::string dir,
+             DurabilityOptions options)
+    : fs_(std::move(fs)), dir_(std::move(dir)), options_(options) {}
+
+std::string Store::WalPath(uint64_t epoch) const {
+  return dir_ + "/wal-" + std::to_string(epoch);
+}
+
+std::string Store::SnapPath(uint64_t epoch) const {
+  return dir_ + "/snap-" + std::to_string(epoch);
+}
+
+Status Store::OpenWal(uint64_t epoch, bool truncate) {
+  std::unique_ptr<File> file;
+  Status s = fs_->OpenAppend(WalPath(epoch), truncate, &file);
+  if (!s.ok()) return s;
+  WalWriterOptions wopts;
+  wopts.fsync_on_commit = options_.fsync_on_commit;
+  wopts.group_commit = std::max(1, options_.group_commit);
+  wal_ = std::make_unique<WalWriter>(std::move(file), wopts);
+  epoch_ = epoch;
+  return Status::Ok();
+}
+
+RecoveryReport Store::Recover(SnapshotData* out) {
+  RecoveryReport report;
+  *out = SnapshotData();
+
+  Status s = fs_->CreateDir(dir_);
+  if (!s.ok()) {
+    report.status = s;
+    return report;
+  }
+  std::vector<std::string> names;
+  s = fs_->List(dir_, &names);
+  if (!s.ok()) {
+    report.status = s;
+    return report;
+  }
+
+  // Newest decodable snapshot wins; corrupt ones are reported and skipped.
+  std::vector<uint64_t> snapshot_epochs;
+  for (const std::string& name : names) {
+    uint64_t epoch;
+    if (ParseEpochFile(name, "snap", &epoch)) snapshot_epochs.push_back(epoch);
+  }
+  std::sort(snapshot_epochs.rbegin(), snapshot_epochs.rend());
+
+  uint64_t base_epoch = 0;
+  for (uint64_t epoch : snapshot_epochs) {
+    std::string image;
+    s = fs_->ReadFile(SnapPath(epoch), &image);
+    Status decoded = s.ok() ? DecodeSnapshot(image, out) : s;
+    if (decoded.ok()) {
+      base_epoch = epoch;
+      break;
+    }
+    report.detail += "skipped snap-" + std::to_string(epoch) + " (" +
+                     decoded.ToString() + "); ";
+    *out = SnapshotData();
+  }
+  report.snapshot_txn = out->last_txn_id;
+  next_txn_ = out->last_txn_id + 1;
+
+  // Replay the epoch's WAL tail: complete committed transactions only.
+  std::string image;
+  bool have_wal = false;
+  uint64_t wal_valid_bytes = 0;
+  if (fs_->ReadFile(WalPath(base_epoch), &image).ok()) {
+    have_wal = true;
+    WalReadResult wal = ReadWal(image);
+    report.wal_truncated = wal.truncated;
+    report.truncated_at = wal.valid_bytes;
+    wal_valid_bytes = wal.valid_bytes;
+    if (wal.truncated) {
+      report.detail += "wal-" + std::to_string(base_epoch) +
+                       " truncated: " + wal.detail + "; ";
+    }
+    std::vector<const WalRecord*> pending;
+    bool in_txn = false;
+    for (const WalRecord& rec : wal.records) {
+      switch (rec.type) {
+        case WalRecordType::kBegin:
+          pending.clear();
+          in_txn = true;
+          break;
+        case WalRecordType::kFact:
+        case WalRecordType::kRetract:
+          if (in_txn) pending.push_back(&rec);
+          break;
+        case WalRecordType::kCommit:
+          if (!in_txn) break;  // stray commit: ignore, nothing to apply
+          for (const WalRecord* op : pending) {
+            if (op->type == WalRecordType::kFact) {
+              out->db.Insert(op->name, op->tuple);
+            } else {
+              out->db.Delete(op->name, op->tuple);
+            }
+          }
+          pending.clear();
+          in_txn = false;
+          ++report.replayed_txns;
+          next_txn_ = std::max(next_txn_, rec.txn_id + 1);
+          break;
+        case WalRecordType::kDefine:
+          out->model_sources.push_back(rec.source);
+          next_txn_ = std::max(next_txn_, rec.txn_id + 1);
+          break;
+      }
+    }
+  }
+  report.recovered_txns = report.snapshot_txn + report.replayed_txns;
+  out->last_txn_id = next_txn_ - 1;
+
+  // A torn or corrupt tail must be chopped off before we append again:
+  // new commits written after the garbage would be stranded behind bytes
+  // every future reader stops at — committed-then-lost, exactly what the
+  // recovery invariant forbids. Rewrite-to-temp + atomic rename, so a
+  // crash mid-rewrite leaves the original (still recoverable) file.
+  if (report.wal_truncated && have_wal) {
+    const std::string tmp = dir_ + "/wal-tmp";
+    std::unique_ptr<File> file;
+    s = fs_->OpenAppend(tmp, /*truncate=*/true, &file);
+    if (s.ok()) s = file->Append(std::string_view(image).substr(0, wal_valid_bytes));
+    if (s.ok()) s = file->Sync();
+    if (s.ok()) s = file->Close();
+    if (s.ok()) s = fs_->Rename(tmp, WalPath(base_epoch));
+    if (!s.ok()) {
+      // Appending after untrimmed garbage is unsafe; refuse to attach.
+      report.status = Status::IoError("could not trim corrupt WAL tail: " +
+                                      s.message());
+      return report;
+    }
+    report.detail += "trimmed wal-" + std::to_string(base_epoch) + " to " +
+                     std::to_string(wal_valid_bytes) + " bytes; ";
+  }
+
+  // Resume appending to the recovered epoch's WAL.
+  s = OpenWal(base_epoch, /*truncate=*/false);
+  if (!s.ok()) {
+    report.status = s;
+    return report;
+  }
+  prev_epoch_ = base_epoch;
+  recovered_ = true;
+  // Stale scratch files from an interrupted checkpoint or trim are dead
+  // weight — recovery never reads them.
+  fs_->Remove(dir_ + "/snap-tmp");
+  fs_->Remove(dir_ + "/wal-tmp");
+  return report;
+}
+
+Status Store::LogTransaction(const std::vector<WalRecord>& ops,
+                             uint64_t* txn_id) {
+  if (!recovered_) {
+    return Status::Error(ErrorKind::kTransaction,
+                         "Store::Recover must run before logging");
+  }
+  uint64_t id = next_txn_;
+  Status s = wal_->LogTransaction(id, ops);
+  if (!s.ok()) return s;
+  next_txn_ = id + 1;
+  if (txn_id != nullptr) *txn_id = id;
+  return Status::Ok();
+}
+
+Status Store::LogDefine(const std::string& source) {
+  if (!recovered_) {
+    return Status::Error(ErrorKind::kTransaction,
+                         "Store::Recover must run before logging");
+  }
+  uint64_t id = next_txn_;
+  Status s = wal_->LogDefine(id, source);
+  if (!s.ok()) return s;
+  next_txn_ = id + 1;
+  return Status::Ok();
+}
+
+Status Store::Checkpoint(const Database& db,
+                         const std::vector<std::string>& model_sources) {
+  if (!recovered_) {
+    return Status::Error(ErrorKind::kTransaction,
+                         "Store::Recover must run before checkpointing");
+  }
+  // 1. Everything the snapshot will claim must already be durable.
+  Status s = wal_->Flush();
+  if (!s.ok()) return s;
+
+  SnapshotData data;
+  data.db = db;
+  data.model_sources = model_sources;
+  data.last_txn_id = next_txn_ - 1;
+  const uint64_t epoch = data.last_txn_id;
+  if (epoch == epoch_ && fs_->Exists(SnapPath(epoch))) {
+    return Status::Ok();  // nothing committed since the last checkpoint
+  }
+
+  // 2. Write + sync the image off to the side.
+  std::string image;
+  EncodeSnapshot(data, &image);
+  const std::string tmp = dir_ + "/snap-tmp";
+  std::unique_ptr<File> file;
+  s = fs_->OpenAppend(tmp, /*truncate=*/true, &file);
+  if (!s.ok()) return s;
+  s = file->Append(image);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) {
+    fs_->Remove(tmp);
+    return s;
+  }
+
+  // 3. Read back and verify before touching anything the previous epoch
+  // needs: a bit flip on the way down must not retire good state.
+  std::string readback;
+  s = fs_->ReadFile(tmp, &readback);
+  if (s.ok()) {
+    SnapshotData check;
+    s = DecodeSnapshot(readback, &check);
+  }
+  if (!s.ok()) {
+    fs_->Remove(tmp);
+    return Status::Corruption("checkpoint verification failed (" +
+                              s.message() + "); keeping previous epoch");
+  }
+
+  // 4. Publish.
+  s = fs_->Rename(tmp, SnapPath(epoch));
+  if (!s.ok()) return s;
+
+  // 5. New epoch's WAL; retire everything older than the fallback epoch.
+  const uint64_t old_epoch = epoch_;
+  s = OpenWal(epoch, /*truncate=*/true);
+  if (!s.ok()) return s;
+  prev_epoch_ = old_epoch;
+  RetireEpochsBefore(prev_epoch_);
+  return Status::Ok();
+}
+
+void Store::RetireEpochsBefore(uint64_t keep_from) {
+  std::vector<std::string> names;
+  if (!fs_->List(dir_, &names).ok()) return;  // best-effort cleanup
+  for (const std::string& name : names) {
+    uint64_t epoch;
+    if ((ParseEpochFile(name, "snap", &epoch) ||
+         ParseEpochFile(name, "wal", &epoch)) &&
+        epoch < keep_from) {
+      fs_->Remove(dir_ + "/" + name);
+    }
+  }
+}
+
+Status Store::Flush() {
+  if (!recovered_) return Status::Ok();
+  return wal_->Flush();
+}
+
+}  // namespace rel::storage

@@ -1,0 +1,118 @@
+// Store: the durability orchestrator the Engine talks to.
+//
+// Directory layout (one store = one directory):
+//   wal-<E>    the write-ahead log of epoch E
+//   snap-<E>   snapshot covering all transactions with id <= E
+//   snap-tmp   an in-flight checkpoint (never read by recovery)
+// An epoch is opened by the checkpoint that wrote snap-<E>; epoch 0 has no
+// snapshot (the store starts as just wal-0). The current and the previous
+// epoch's files are retained so recovery can fall back one epoch if the
+// newest snapshot turns out to be unreadable; older epochs are deleted.
+//
+// Checkpoint protocol (crash-safe at every step):
+//   1. flush the current WAL (buffered group commits become durable);
+//   2. write the snapshot to snap-tmp, sync it;
+//   3. read snap-tmp back and decode it — a write-time bit flip is caught
+//      here, while the previous epoch is still intact;
+//   4. rename snap-tmp -> snap-<E> (atomic publish);
+//   5. start wal-<E> and retire epochs older than the previous one.
+// A failure at any step leaves the previous epoch's snapshot + WAL valid
+// and the store still appending to them: checkpointing degrades, data
+// survives.
+//
+// Recovery picks the newest epoch whose snapshot decodes (falling back to
+// older ones on corruption), replays that epoch's WAL tail — complete
+// begin..commit groups only, stopping at the first torn or corrupt record —
+// and reports exactly what it did (snapshot epoch, transactions replayed,
+// truncation point) instead of throwing.
+
+#ifndef REL_STORAGE_STORE_H_
+#define REL_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "storage/file.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace rel::storage {
+
+struct DurabilityOptions {
+  /// Sync the WAL when a commit record is written. Off trades durability of
+  /// the newest transactions for commit latency (crash loses the unsynced
+  /// tail, never atomicity).
+  bool fsync_on_commit = true;
+  /// Sync every Nth commit instead of every one (group commit).
+  int group_commit = 1;
+};
+
+/// What Recover() found and did. Degradation is reported, not thrown:
+/// a non-ok `status` means the store is unusable (directory unreadable,
+/// WAL unopenable); everything else — missing snapshot, truncated WAL —
+/// recovers to the best consistent prefix and says so here.
+struct RecoveryReport {
+  Status status;
+  uint64_t snapshot_txn = 0;    ///< last txn covered by the loaded snapshot
+  uint64_t replayed_txns = 0;   ///< committed txns replayed from the WAL
+  uint64_t recovered_txns = 0;  ///< snapshot_txn + replayed (total restored)
+  bool wal_truncated = false;   ///< WAL tail was torn or corrupt
+  uint64_t truncated_at = 0;    ///< byte offset where WAL trust ended
+  std::string detail;           ///< human-readable notes (fallbacks, tears)
+};
+
+/// One durable directory. Single-writer: the owning Engine serializes all
+/// calls (see ARCHITECTURE.md's threading model).
+class Store {
+ public:
+  Store(std::shared_ptr<FileSystem> fs, std::string dir,
+        DurabilityOptions options);
+
+  /// Loads the newest valid snapshot and replays the WAL tail into `out`
+  /// (left empty for a fresh directory), then opens the WAL for appending.
+  /// Must be called exactly once, before any logging.
+  RecoveryReport Recover(SnapshotData* out);
+
+  /// The id the next committed transaction will carry.
+  uint64_t next_txn_id() const { return next_txn_; }
+
+  /// Logs one committed transaction (ops are kFact/kRetract records; the
+  /// begin/commit envelope and txn id stamping happen here). Returns the
+  /// assigned txn id via `*txn_id`. On failure the transaction is not
+  /// durable and the caller must roll back its in-memory effects.
+  Status LogTransaction(const std::vector<WalRecord>& ops, uint64_t* txn_id);
+
+  /// Logs a model change (always synced).
+  Status LogDefine(const std::string& source);
+
+  /// Runs the checkpoint protocol over the given state. `model_sources`
+  /// must be the full post-stdlib Define history.
+  Status Checkpoint(const Database& db,
+                    const std::vector<std::string>& model_sources);
+
+  /// Syncs any group-commit tail.
+  Status Flush();
+
+ private:
+  std::string WalPath(uint64_t epoch) const;
+  std::string SnapPath(uint64_t epoch) const;
+  Status OpenWal(uint64_t epoch, bool truncate);
+  /// Deletes snap-/wal- files of epochs older than `keep_from`.
+  void RetireEpochsBefore(uint64_t keep_from);
+
+  std::shared_ptr<FileSystem> fs_;
+  std::string dir_;
+  DurabilityOptions options_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t epoch_ = 0;       // epoch of the WAL currently appended to
+  uint64_t prev_epoch_ = 0;  // retained fallback epoch
+  uint64_t next_txn_ = 1;
+  bool recovered_ = false;
+};
+
+}  // namespace rel::storage
+
+#endif  // REL_STORAGE_STORE_H_

@@ -1,0 +1,181 @@
+#include "storage/wal.h"
+
+#include "base/crc32.h"
+#include "data/serialize.h"
+
+namespace rel::storage {
+
+namespace {
+
+// A record larger than this is assumed to be a corrupt length prefix, not a
+// real record: one WAL record holds one tuple or one source string.
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+}  // namespace
+
+WalRecord WalRecord::Fact(std::string name, Tuple tuple) {
+  WalRecord rec;
+  rec.type = WalRecordType::kFact;
+  rec.name = std::move(name);
+  rec.tuple = std::move(tuple);
+  return rec;
+}
+
+WalRecord WalRecord::Retract(std::string name, Tuple tuple) {
+  WalRecord rec;
+  rec.type = WalRecordType::kRetract;
+  rec.name = std::move(name);
+  rec.tuple = std::move(tuple);
+  return rec;
+}
+
+void EncodeWalRecord(const WalRecord& rec, std::string* out) {
+  std::string payload;
+  ByteWriter w(&payload);
+  w.U8(static_cast<uint8_t>(rec.type));
+  w.U64(rec.txn_id);
+  switch (rec.type) {
+    case WalRecordType::kBegin:
+    case WalRecordType::kCommit:
+      break;
+    case WalRecordType::kFact:
+    case WalRecordType::kRetract:
+      w.Str(rec.name);
+      EncodeTuple(&w, rec.tuple, /*table=*/nullptr);
+      break;
+    case WalRecordType::kDefine:
+      w.Str(rec.source);
+      break;
+  }
+  ByteWriter frame(out);
+  frame.U32(static_cast<uint32_t>(payload.size()));
+  frame.U32(Crc32(payload));
+  out->append(payload);
+}
+
+namespace {
+
+bool DecodePayload(std::string_view payload, WalRecord* rec) {
+  ByteReader r(payload);
+  uint8_t type;
+  if (!r.U8(&type)) return false;
+  if (!r.U64(&rec->txn_id)) return false;
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kBegin:
+    case WalRecordType::kCommit:
+      rec->type = static_cast<WalRecordType>(type);
+      return r.done();
+    case WalRecordType::kFact:
+    case WalRecordType::kRetract: {
+      rec->type = static_cast<WalRecordType>(type);
+      std::string_view name;
+      if (!r.Str(&name)) return false;
+      rec->name = std::string(name);
+      if (!DecodeTuple(&r, /*table=*/nullptr, &rec->tuple)) return false;
+      return r.done();
+    }
+    case WalRecordType::kDefine: {
+      rec->type = WalRecordType::kDefine;
+      std::string_view source;
+      if (!r.Str(&source)) return false;
+      rec->source = std::string(source);
+      return r.done();
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+WalReadResult ReadWal(std::string_view image) {
+  WalReadResult result;
+  size_t pos = 0;
+  while (pos < image.size()) {
+    ByteReader header(image.substr(pos));
+    uint32_t len, crc;
+    if (!header.U32(&len) || !header.U32(&crc)) {
+      result.truncated = true;
+      result.detail = "torn frame header at offset " + std::to_string(pos);
+      break;
+    }
+    if (len > kMaxRecordBytes || image.size() - pos - 8 < len) {
+      result.truncated = true;
+      result.detail = "torn record at offset " + std::to_string(pos) +
+                      " (length " + std::to_string(len) + ")";
+      break;
+    }
+    std::string_view payload = image.substr(pos + 8, len);
+    if (Crc32(payload) != crc) {
+      result.truncated = true;
+      result.detail = "crc mismatch at offset " + std::to_string(pos);
+      break;
+    }
+    WalRecord rec;
+    if (!DecodePayload(payload, &rec)) {
+      result.truncated = true;
+      result.detail = "undecodable record at offset " + std::to_string(pos);
+      break;
+    }
+    result.records.push_back(std::move(rec));
+    pos += 8 + len;
+  }
+  result.valid_bytes = pos;
+  return result;
+}
+
+Status WalWriter::AppendRecord(const WalRecord& rec) {
+  scratch_.clear();
+  EncodeWalRecord(rec, &scratch_);
+  return file_->Append(scratch_);
+}
+
+Status WalWriter::LogTransaction(uint64_t txn_id,
+                                 const std::vector<WalRecord>& ops) {
+  WalRecord begin;
+  begin.type = WalRecordType::kBegin;
+  begin.txn_id = txn_id;
+  Status s = AppendRecord(begin);
+  if (!s.ok()) return s;
+  for (const WalRecord& op : ops) {
+    WalRecord stamped = op;
+    stamped.txn_id = txn_id;
+    s = AppendRecord(stamped);
+    if (!s.ok()) return s;
+  }
+  WalRecord commit;
+  commit.type = WalRecordType::kCommit;
+  commit.txn_id = txn_id;
+  s = AppendRecord(commit);
+  if (!s.ok()) return s;
+  if (options_.fsync_on_commit) {
+    if (++unsynced_commits_ >= options_.group_commit) {
+      s = file_->Sync();
+      if (!s.ok()) return s;
+      unsynced_commits_ = 0;
+    }
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::LogDefine(uint64_t txn_id, const std::string& source) {
+  WalRecord rec;
+  rec.type = WalRecordType::kDefine;
+  rec.txn_id = txn_id;
+  rec.source = source;
+  Status s = AppendRecord(rec);
+  if (!s.ok()) return s;
+  s = file_->Sync();
+  if (!s.ok()) return s;
+  unsynced_commits_ = 0;
+  return Status::Ok();
+}
+
+Status WalWriter::Flush() {
+  if (unsynced_commits_ == 0) return Status::Ok();
+  Status s = file_->Sync();
+  if (!s.ok()) return s;
+  unsynced_commits_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace rel::storage

@@ -1,0 +1,105 @@
+// Write-ahead log: the commit pipeline's durability record.
+//
+// A transaction that changes base relations is logged as
+//   begin(txn) · fact/retract(txn, name, tuple)* · commit(txn)
+// and is durable once the commit record reaches a Sync (fsync-on-commit,
+// with a group-commit knob that syncs every Nth commit instead). Model
+// changes (Engine::Define) are logged as self-contained define records.
+//
+// On-disk framing, one record per File::Append call:
+//   [u32 payload_len][u32 crc32(payload)][payload]
+// payload = [u8 type][u64 txn_id][type-specific body]
+//
+// The reader replays records until the first frame that is torn (length
+// prefix runs past the end of the file) or corrupt (CRC mismatch, unknown
+// type, undecodable body) and reports the byte offset where trust ended.
+// Only complete begin..commit groups are handed to recovery: a crash
+// mid-transaction leaves a headless tail that is dropped wholesale, which
+// is exactly the atomicity half of the recovery invariant.
+
+#ifndef REL_STORAGE_WAL_H_
+#define REL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/tuple.h"
+#include "storage/file.h"
+
+namespace rel::storage {
+
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kFact = 2,     ///< insert `tuple` into base relation `name`
+  kRetract = 3,  ///< delete `tuple` from base relation `name`
+  kCommit = 4,
+  kDefine = 5,  ///< install Rel `source` into the persistent model
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  uint64_t txn_id = 0;
+  std::string name;    // kFact / kRetract
+  Tuple tuple;         // kFact / kRetract
+  std::string source;  // kDefine
+
+  static WalRecord Fact(std::string name, Tuple tuple);
+  static WalRecord Retract(std::string name, Tuple tuple);
+};
+
+/// Appends the framed encoding of `rec` to `out`.
+void EncodeWalRecord(const WalRecord& rec, std::string* out);
+
+/// Everything the reader could salvage from a WAL byte image.
+struct WalReadResult {
+  std::vector<WalRecord> records;  ///< valid records, in log order
+  bool truncated = false;          ///< stopped before the end of the image
+  uint64_t valid_bytes = 0;        ///< offset of the first untrusted byte
+  std::string detail;              ///< what ended the scan, when truncated
+};
+
+/// Decodes `image`, stopping at the first torn or corrupt frame.
+WalReadResult ReadWal(std::string_view image);
+
+struct WalWriterOptions {
+  bool fsync_on_commit = true;
+  /// Sync every Nth commit (group commit). 1 = every commit is durable
+  /// before it is acknowledged; larger values trade the tail of
+  /// acknowledged-but-unsynced transactions for fewer fsyncs.
+  int group_commit = 1;
+};
+
+/// Sequential writer over one WAL file. Single-threaded (the Engine is the
+/// single writer; see ARCHITECTURE.md).
+class WalWriter {
+ public:
+  WalWriter(std::unique_ptr<File> file, WalWriterOptions options)
+      : file_(std::move(file)), options_(options) {}
+
+  /// Logs begin · ops · commit. Each record is its own Append (its own
+  /// fault-injection point); the commit record is followed by a Sync when
+  /// the group-commit policy says so. Any failure leaves the transaction
+  /// not-durable and the writer unusable for further commits.
+  Status LogTransaction(uint64_t txn_id, const std::vector<WalRecord>& ops);
+
+  /// Logs a define record. Model changes are rare, so these always sync.
+  Status LogDefine(uint64_t txn_id, const std::string& source);
+
+  /// Syncs any acknowledged-but-unsynced group-commit tail.
+  Status Flush();
+
+ private:
+  Status AppendRecord(const WalRecord& rec);
+
+  std::unique_ptr<File> file_;
+  WalWriterOptions options_;
+  int unsynced_commits_ = 0;
+  std::string scratch_;
+};
+
+}  // namespace rel::storage
+
+#endif  // REL_STORAGE_WAL_H_

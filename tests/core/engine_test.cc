@@ -75,6 +75,38 @@ TEST(Engine, ConstraintViolationRollsBackEverything) {
   EXPECT_EQ(engine.Base("R").ToString(), "{(5)}");
 }
 
+TEST(Engine, RollbackDoesNotLeakDemandMemosAcrossTransactions) {
+  // Regression guard for the demand-transform evaluation path: the
+  // per-(predicate, pattern) demand memos and lowered-extent caches live in
+  // the transaction's Interp, so a rolled-back transaction must leave no
+  // trace — the next query re-derives everything from the restored base
+  // relations. A leak would surface as tc answering from the rolled-back
+  // edge set.
+  Engine engine;
+  engine.options().demand_transform = true;
+  engine.Define(
+      "def tc(x, y) : edge(x, y)\n"
+      "def tc(x, z) : exists((y) | edge(x, y) and tc(y, z))\n"
+      "ic no_self_loop() requires forall((x, y) | edge(x, y) implies x != y)");
+  engine.Exec("def insert(:edge, x, y) : (x = 1 and y = 2) or "
+              "(x = 2 and y = 3)");
+  EXPECT_EQ(engine.Query("def output(y) : tc(1, y)").ToString(),
+            "{(2); (3)}");
+
+  // This transaction extends the graph AND violates the constraint: the
+  // whole edge delta rolls back after tc was demanded against it.
+  EXPECT_THROW(engine.Exec("def insert(:edge, x, y) : (x = 3 and y = 4) or "
+                           "(x = 5 and y = 5)\n"
+                           "def output(y) : tc(1, y)"),
+               ConstraintViolation);
+  EXPECT_EQ(engine.Base("edge").ToString(), "{(1, 2); (2, 3)}");
+
+  // Re-query through the demand path: the rolled-back edges must be gone.
+  EXPECT_EQ(engine.Query("def output(y) : tc(1, y)").ToString(),
+            "{(2); (3)}");
+  EXPECT_EQ(engine.Query("def output(y) : tc(3, y)").size(), 0u);
+}
+
 TEST(Engine, IcWithParametersReportsWitnesses) {
   Engine engine;
   engine.Insert("Quantity", {Tuple({S("a"), I(1)}), Tuple({S("b"), S("x")})});
