@@ -23,7 +23,8 @@ benchutil::OrdersWorkload Workload(const benchmark::State& state) {
 void BM_GroupedSum_Rel(benchmark::State& state) {
   benchutil::OrdersWorkload w = Workload(state);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({
+    Engine engine;
+    bench::LoadEngine(engine, {
         {"OrderProductQuantity", &w.order_product_quantity},
         {"PaymentOrder", &w.payment_order},
         {"PaymentAmount", &w.payment_amount},
@@ -63,7 +64,8 @@ void BM_CountDistinct_Rel(benchmark::State& state) {
   // Set semantics makes COUNT(DISTINCT ...) the default count (Section 5.2).
   benchutil::OrdersWorkload w = Workload(state);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine(
+    Engine engine;
+    bench::LoadEngine(engine, 
         {{"OrderProductQuantity", &w.order_product_quantity}});
     Relation out = engine.Query(
         "def output : count[(p) : OrderProductQuantity(_, p, _)]");

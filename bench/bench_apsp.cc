@@ -25,7 +25,8 @@ void BM_APSP_Rel(benchmark::State& state) {
   std::vector<Tuple> edges = benchutil::RandomGraph(n, 3 * n, 7);
   std::vector<Tuple> nodes = benchutil::NodeSet(n);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"E", &edges}, {"V", &nodes}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"E", &edges}, {"V", &nodes}});
     Relation out = engine.Query("def output : APSP[V, E]");
     benchmark::DoNotOptimize(out.size());
     state.counters["pairs"] = static_cast<double>(out.size());
@@ -38,7 +39,8 @@ void BM_APSP_RelGuarded(benchmark::State& state) {
   std::vector<Tuple> edges = benchutil::RandomGraph(n, 3 * n, 7);
   std::vector<Tuple> nodes = benchutil::NodeSet(n);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"E", &edges}, {"V", &nodes}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"E", &edges}, {"V", &nodes}});
     Relation out = engine.Query("def output : APSP_guarded[V, E]");
     benchmark::DoNotOptimize(out.size());
   }

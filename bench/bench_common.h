@@ -12,15 +12,16 @@
 namespace rel {
 namespace bench {
 
-/// Builds an engine with `relations` bulk-loaded as base relations.
-inline Engine MakeEngine(
+/// Bulk-loads `relations` into `engine` as base relations. (The engine is
+/// populated in place: since the serving redesign an Engine owns mutexes
+/// and is neither copyable nor movable.)
+inline void LoadEngine(
+    Engine& engine,
     const std::vector<std::pair<std::string, const std::vector<Tuple>*>>&
         relations) {
-  Engine engine;
   for (const auto& [name, tuples] : relations) {
     engine.Insert(name, *tuples);
   }
-  return engine;
 }
 
 }  // namespace bench

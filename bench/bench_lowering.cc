@@ -56,7 +56,8 @@ void RunRelTC(benchmark::State& state, bool lower_recursion,
               int num_threads) {
   std::vector<Tuple> edges = GraphFor(state);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"E", &edges}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"E", &edges}});
     engine.options().lower_recursion = lower_recursion;
     engine.options().num_threads = num_threads;
     Relation out = engine.Query(kTCProgram);
@@ -97,7 +98,8 @@ void BM_LowerSameGen_Interp(benchmark::State& state) {
   // step, quadratic extent.
   std::vector<Tuple> edges = GraphFor(state);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"par", &edges}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"par", &edges}});
     engine.options().lower_recursion = state.range(2) != 0;
     Relation out = engine.Query(
         "def sg(x,y) : exists((p) | par(p,x) and par(p,y) and x != y)\n"

@@ -142,7 +142,8 @@ BENCHMARK(BM_TCMagicAllBound)
 void RunRelPointQuery(benchmark::State& state, bool demand_transform) {
   std::vector<Tuple> edges = GraphFor(state);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"edge", &edges}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"edge", &edges}});
     engine.options().demand_transform = demand_transform;
     Relation out = engine.Query(kTCRelPoint);
     benchmark::DoNotOptimize(out.size());

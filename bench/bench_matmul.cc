@@ -23,7 +23,8 @@ void BM_MatMul_Rel(benchmark::State& state) {
   std::vector<Tuple> a = benchutil::SparseMatrix(n, n, 0.3, 1);
   std::vector<Tuple> b = benchutil::SparseMatrix(n, n, 0.3, 2);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"A", &a}, {"B", &b}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"A", &a}, {"B", &b}});
     Relation out = engine.Query("def output : MatrixMult[A, B]");
     benchmark::DoNotOptimize(out.size());
     state.counters["nnz"] = static_cast<double>(out.size());
@@ -52,7 +53,8 @@ void BM_ScalarProd_Rel(benchmark::State& state) {
     v.push_back(Tuple({Value::Int(i), Value::Float(i * 0.25)}));
   }
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"U", &u}, {"V", &v}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"U", &u}, {"V", &v}});
     Relation out = engine.Query("def output : ScalarProd[U, V]");
     benchmark::DoNotOptimize(out.size());
   }

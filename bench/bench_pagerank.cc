@@ -18,7 +18,8 @@ void BM_PageRank_Rel(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   std::vector<Tuple> g = benchutil::StochasticMatrix(n, 3, 11);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"G", &g}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"G", &g}});
     Relation out = engine.Query("def output : PageRank[G]");
     benchmark::DoNotOptimize(out.size());
     state.counters["entries"] = static_cast<double>(out.size());

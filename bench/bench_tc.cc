@@ -49,7 +49,8 @@ void ApplyRelGraphArgs(benchmark::internal::Benchmark* b) {
 void BM_TC_Rel(benchmark::State& state) {
   std::vector<Tuple> edges = GraphFor(state);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"E", &edges}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"E", &edges}});
     Relation out = engine.Query(
         "def tc(x,y) : E(x,y)\n"
         "def tc(x,y) : exists((z) | E(x,z) and tc(z,y))\n"
@@ -64,7 +65,8 @@ void BM_TC_RelStdlibTC(benchmark::State& state) {
   // The same closure through the stdlib's second-order TC[E].
   std::vector<Tuple> edges = GraphFor(state);
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"E", &edges}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"E", &edges}});
     Relation out = engine.Query("def output : TC[E]");
     benchmark::DoNotOptimize(out.size());
   }

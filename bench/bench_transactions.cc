@@ -97,7 +97,8 @@ void BM_DeleteTxn(benchmark::State& state) {
   std::vector<Tuple> numbers;
   for (int i = 1; i <= n; ++i) numbers.push_back(Tuple({Value::Int(i)}));
   for (auto _ : state) {
-    Engine engine = bench::MakeEngine({{"Numbers", &numbers}});
+    Engine engine;
+    bench::LoadEngine(engine, {{"Numbers", &numbers}});
     TxnResult txn =
         engine.Exec("def delete(:Numbers, x) : Numbers(x) and x % 2 = 0");
     benchmark::DoNotOptimize(txn.deleted);

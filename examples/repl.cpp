@@ -1,6 +1,9 @@
-// A tiny interactive Rel session ("meeting users where they are",
-// Section 7): type expressions to evaluate them, `def`/`ic` lines to install
-// rules, and transactions with insert/delete to mutate the database.
+// The Rel front door: an interactive session on stdin, or a line-protocol
+// server ("meeting users where they are", Section 7).
+//
+// Interactive (default): type expressions to evaluate them, `def`/`ic`
+// lines to install rules, and transactions with insert/delete to mutate
+// the database.
 //
 //   $ ./build/examples/repl
 //   rel> def E {(1,2) ; (2,3)}
@@ -11,16 +14,54 @@
 //   rel> count[Visited]
 //   {(2)}
 //   rel> :quit
+//
+// Server: `repl --serve [port] [workers]` starts the TCP line-protocol
+// server (src/server/) on 127.0.0.1 and serves until EOF on stdin or
+// SIGINT-style termination. Each connection gets its own snapshot-isolated
+// session; try it with e.g.
+//
+//   $ ./build/examples/repl --serve 8080 &
+//   $ printf 'eval 1 + 2\nquit\n' | nc 127.0.0.1 8080
+//   ok {(3)}
+//   ok bye
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "base/error.h"
 #include "core/engine.h"
+#include "server/server.h"
 
-int main() {
-  rel::Engine engine;
+namespace {
+
+int RunServer(rel::Engine* engine, int port, int workers) {
+  rel::server::ServerOptions options;
+  options.port = port;
+  options.num_workers = workers;
+  rel::server::LineServer server(engine, options);
+  rel::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("rel-cpp serving on 127.0.0.1:%d (%d workers)\n"
+              "line protocol: eval/query/exec/def/base/refresh/snap/ping/"
+              "quit — close stdin to stop.\n",
+              server.port(), workers);
+  std::fflush(stdout);
+  // Block until the terminal side is done with us.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == ":quit" || line == ":q") break;
+  }
+  server.Stop();
+  return 0;
+}
+
+int RunInteractive(rel::Engine* engine) {
   std::string line;
   std::printf("rel-cpp — type an expression, a def/ic, 'exec <rules>',\n"
               "or :quit. The standard library is loaded.\n");
@@ -33,20 +74,32 @@ int main() {
     try {
       if (line.rfind("def ", 0) == 0 || line.rfind("ic ", 0) == 0 ||
           line.rfind("@inline", 0) == 0) {
-        engine.Define(line);
-        std::printf("ok (%zu rules installed)\n", engine.installed_rules());
+        engine->Define(line);
+        std::printf("ok (%zu rules installed)\n", engine->installed_rules());
       } else if (line.rfind("exec ", 0) == 0) {
-        rel::TxnResult txn = engine.Exec(line.substr(5));
+        rel::TxnResult txn = engine->Exec(line.substr(5));
         std::printf("+%zu / -%zu\n", txn.inserted, txn.deleted);
         if (!txn.output.empty()) {
           std::printf("%s\n", txn.output.ToString().c_str());
         }
       } else {
-        std::printf("%s\n", engine.Eval(line).ToString().c_str());
+        std::printf("%s\n", engine->Eval(line).ToString().c_str());
       }
     } catch (const rel::RelError& e) {
       std::printf("error: %s\n", e.what());
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rel::Engine engine;
+  if (argc > 1 && std::string(argv[1]) == "--serve") {
+    int port = argc > 2 ? std::atoi(argv[2]) : 0;
+    int workers = argc > 3 ? std::atoi(argv[3]) : 4;
+    return RunServer(&engine, port, workers);
+  }
+  return RunInteractive(&engine);
 }

@@ -1,0 +1,97 @@
+// DemandCache: cross-transaction memoization of demanded cones.
+//
+// PR 5's magic-set transform answers a point query like tc(0, Y) by deriving
+// only the demanded cone — but the per-(pred, pattern) memo lived inside the
+// transaction's Interp, so every read-only transaction re-ran the cone
+// fixpoint from scratch. This cache hoists that memo out of the transaction:
+// it is owned by a Session (one per reader, externally synchronized — no
+// locks) and handed to each transaction's Interp via
+// InterpOptions::demand_cache.
+//
+// Correctness keying: an entry is a pure function of
+//   (Database::version() of the pinned snapshot, instance, bound values)
+// under the *shared persistent rules*. Two guards keep that sound:
+//   * the Interp only consults the cache for predicates whose transitive
+//     rule dependencies contain no transaction-local def (a query-source
+//     `def` extending a relation the cone reads would change the answer);
+//   * the owner must Clear() when the persistent rule set changes
+//     (Session watches Snapshot::rules_version) and should Retain() the
+//     pinned version on re-pin so entries from abandoned snapshots do not
+//     accumulate.
+// The commit pipeline never attaches a cache to writer-side Interps: an
+// aborted transaction's working versions can be re-issued by a later
+// commit with different content, so only published snapshot versions are
+// ever used as keys.
+
+#ifndef REL_CORE_DEMAND_CACHE_H_
+#define REL_CORE_DEMAND_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/relation.h"
+#include "data/value.h"
+
+namespace rel {
+
+class DemandCache {
+ public:
+  struct Key {
+    uint64_t db_version = 0;
+    /// "name/arity" — the same qualification the per-Interp memo uses, so
+    /// tc(0, Y) and tc(0, Y, Z) never share an entry.
+    std::string instance;
+    /// Bound positions and their values, ascending by position.
+    std::vector<std::pair<size_t, Value>> bound;
+
+    bool operator<(const Key& other) const {
+      if (db_version != other.db_version) return db_version < other.db_version;
+      if (instance != other.instance) return instance < other.instance;
+      return bound < other.bound;
+    }
+  };
+
+  /// The cached cone for `key`, or nullptr. Counts a hit or a miss.
+  const Relation* Lookup(const Key& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+  }
+
+  /// Stores (or overwrites) an entry; the returned reference is stable for
+  /// the cache's lifetime (map nodes do not move).
+  const Relation& Store(Key key, Relation cone) {
+    return entries_[std::move(key)] = std::move(cone);
+  }
+
+  /// Drops every entry whose version differs from `db_version` — called on
+  /// re-pin, so the cache holds cones for the pinned snapshot only.
+  void Retain(uint64_t db_version) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      it = it->first.db_version == db_version ? std::next(it)
+                                              : entries_.erase(it);
+    }
+  }
+
+  void Clear() { entries_.clear(); }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::map<Key, Relation> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace rel
+
+#endif  // REL_CORE_DEMAND_CACHE_H_

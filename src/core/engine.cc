@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <utility>
 
 #include "base/error.h"
 #include "base/thread_pool.h"
@@ -32,16 +33,6 @@ std::string ViolationDetail(const Relation& violations) {
              : std::to_string(violations.size()) + " violating bindings";
 }
 
-std::vector<std::shared_ptr<Def>> ParseToDefs(const std::string& source) {
-  Program program = ParseProgram(source);
-  std::vector<std::shared_ptr<Def>> out;
-  out.reserve(program.defs.size());
-  for (Def& def : program.defs) {
-    out.push_back(std::make_shared<Def>(std::move(def)));
-  }
-  return out;
-}
-
 /// insert/delete control tuples are (:RName, v1, ..., vk).
 bool SplitControlTuple(const Tuple& t, std::string* name, Tuple* payload) {
   if (t.arity() == 0) return false;
@@ -56,16 +47,68 @@ bool SplitControlTuple(const Tuple& t, std::string* name, Tuple* payload) {
 
 Engine::Engine() : Engine(/*load_stdlib=*/true) {}
 
-Engine::Engine(bool load_stdlib) {
-  if (load_stdlib) DefineImpl(StdlibSource(), /*internal=*/true);
+Engine::Engine(bool load_stdlib)
+    : rules_(std::make_shared<std::vector<std::shared_ptr<Def>>>()) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  if (load_stdlib) DefineLocked(StdlibSource(), /*internal=*/true);
+  Publish();
 }
+
+Engine::~Engine() = default;
+
+// --- sessions & snapshots ---
+
+std::unique_ptr<Session> Engine::OpenSession() {
+  return std::unique_ptr<Session>(new Session(this, SnapshotNow(), options_));
+}
+
+std::shared_ptr<const Snapshot> Engine::SnapshotNow() const {
+  std::lock_guard<std::mutex> lock(head_mu_);
+  return head_;
+}
+
+std::shared_ptr<const Snapshot> Engine::Publish() {
+  // Freeze before copying: the snapshot shares the working copy's relation
+  // objects, so forcing the lazy sorted views here makes every subsequent
+  // const read on the published side write-free.
+  db_.FreezeViews();
+  auto snap = std::make_shared<Snapshot>();
+  snap->db = std::make_shared<const Database>(db_);
+  snap->rules = rules_;
+  snap->rules_version = rules_version_;
+  snap->txn_id = last_txn_id_;
+  std::shared_ptr<const Snapshot> out = std::move(snap);
+  std::lock_guard<std::mutex> lock(head_mu_);
+  head_ = out;
+  return out;
+}
+
+void Engine::RollbackToHead() {
+  std::shared_ptr<const Snapshot> head;
+  {
+    std::lock_guard<std::mutex> lock(head_mu_);
+    head = head_;
+  }
+  // A copy-on-write re-copy: O(#relations) pointer copies, no tuple data.
+  db_ = *head->db;
+}
+
+// --- model installation ---
 
 void Engine::Define(const std::string& source) {
-  DefineImpl(source, /*internal=*/false);
+  DefineTxn(source, /*internal=*/false, nullptr);
 }
 
-void Engine::DefineImpl(const std::string& source, bool internal) {
-  std::vector<std::shared_ptr<Def>> defs = ParseToDefs(source);
+void Engine::DefineTxn(const std::string& source, bool internal,
+                       std::shared_ptr<const Snapshot>* published) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  DefineLocked(source, internal);
+  std::shared_ptr<const Snapshot> snap = Publish();
+  if (published != nullptr) *published = std::move(snap);
+}
+
+void Engine::DefineLocked(const std::string& source, bool internal) {
+  std::vector<std::shared_ptr<Def>> defs = ParseToSharedDefs(source);
   // Write-ahead: a model change that cannot be made durable is not made.
   if (!internal && store_ != nullptr) {
     Status s = store_->LogDefine(source);
@@ -75,12 +118,31 @@ void Engine::DefineImpl(const std::string& source, bool internal) {
                          s.message());
     }
   }
-  persistent_.insert(persistent_.end(), defs.begin(), defs.end());
+  // The published vector is immutable (sessions hold it); extend a copy.
+  auto next = std::make_shared<std::vector<std::shared_ptr<Def>>>(*rules_);
+  next->insert(next->end(), defs.begin(), defs.end());
+  rules_ = std::move(next);
+  ++rules_version_;
   if (!internal) model_sources_.push_back(source);
 }
 
+// --- the single-session facade ---
+
+Session& Engine::FacadeSession() {
+  if (facade_ == nullptr) {
+    facade_ = std::unique_ptr<Session>(
+        new Session(this, SnapshotNow(), options_));
+  }
+  return *facade_;
+}
+
 Relation Engine::Query(const std::string& source) {
-  return Run(source, /*apply=*/false).output;
+  Session& session = FacadeSession();
+  session.options_ = options_;
+  session.Refresh();
+  Relation out = session.Query(source);
+  lowering_stats_ = session.lowering_stats_;
+  return out;
 }
 
 Relation Engine::Eval(const std::string& expression) {
@@ -88,70 +150,102 @@ Relation Engine::Eval(const std::string& expression) {
 }
 
 TxnResult Engine::Exec(const std::string& source) {
-  return Run(source, /*apply=*/true);
+  Session& session = FacadeSession();
+  session.options_ = options_;
+  TxnResult result = session.Exec(source);
+  lowering_stats_ = session.lowering_stats_;
+  return result;
 }
 
-TxnResult Engine::Run(const std::string& source, bool apply) {
-  std::vector<std::shared_ptr<Def>> combined = persistent_;
-  for (auto& def : ParseToDefs(source)) combined.push_back(std::move(def));
+void Engine::Insert(const std::string& name, const std::vector<Tuple>& tuples) {
+  ApplyBulk(name, tuples, /*is_insert=*/true, nullptr);
+}
 
-  Interp interp(&db_, combined, options_);
+void Engine::DeleteTuples(const std::string& name,
+                          const std::vector<Tuple>& tuples) {
+  ApplyBulk(name, tuples, /*is_insert=*/false, nullptr);
+}
+
+// --- the commit pipeline ---
+
+TxnResult Engine::ExecTxn(const std::string& source, const InterpOptions& opts,
+                          LoweringStats* stats,
+                          std::shared_ptr<const Snapshot>* published) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+
+  std::vector<std::shared_ptr<Def>> combined = *rules_;
+  for (auto& def : ParseToSharedDefs(source)) combined.push_back(std::move(def));
+
+  // Writer-side Interps never use the session's demand cache: an aborted
+  // transaction's working database versions can be re-issued by a later
+  // commit with different content, so only published snapshot versions may
+  // become cache keys (see core/demand_cache.h).
+  InterpOptions writer_opts = opts;
+  writer_opts.demand_cache = nullptr;
+  writer_opts.shared_defs = 0;
+
+  Interp interp(&db_, combined, writer_opts);
   TxnResult result;
   if (interp.HasDefs("output")) {
     result.output = interp.EvalInstance("output", 0, {});
   }
-  lowering_stats_ = interp.lowering_stats();
-  if (!apply) return result;
 
   // Compute the updates against the pre-state...
   Relation inserts, deletes;
   if (interp.HasDefs("insert")) inserts = interp.EvalInstance("insert", 0, {});
   if (interp.HasDefs("delete")) deletes = interp.EvalInstance("delete", 0, {});
-  lowering_stats_ = interp.lowering_stats();
+  if (stats != nullptr) *stats = interp.lowering_stats();
 
   if (inserts.empty() && deletes.empty()) {
     // Still check constraints: the transaction's ic rules apply to the
-    // current state.
-    CheckConstraintsWith(&interp);
+    // current state. Nothing changed, so nothing is published — the caller
+    // re-pins the current head.
+    CheckConstraintsWith(&interp, writer_opts);
+    result.snapshot_version = db_.version();
+    if (published != nullptr) *published = SnapshotNow();
     return result;
   }
 
   // ... then apply them (deletes first, as both were computed against the
-  // same snapshot) and validate the post-state. The applied updates are
-  // collected as WAL ops so the transaction can be logged after it passes
-  // constraint checking.
-  Database backup = db_;
+  // same snapshot) and validate the post-state. Mutations copy-on-write the
+  // working copy only; pinned snapshots are untouched. The applied updates
+  // are collected as WAL ops so the transaction can be logged after it
+  // passes constraint checking.
   std::vector<storage::WalRecord> ops;
   for (const Tuple& t : deletes.SortedTuples()) {
     std::string name;
     Tuple payload;
     if (!SplitControlTuple(t, &name, &payload)) {
-      db_ = std::move(backup);
+      RollbackToHead();
       throw RelError(ErrorKind::kType,
                      "delete tuples must start with a :RelationName");
     }
     db_.Delete(name, payload);
-    if (store_ != nullptr) ops.push_back(storage::WalRecord::Retract(name, payload));
+    if (store_ != nullptr) {
+      ops.push_back(storage::WalRecord::Retract(name, payload));
+    }
     ++result.deleted;
   }
   for (const Tuple& t : inserts.SortedTuples()) {
     std::string name;
     Tuple payload;
     if (!SplitControlTuple(t, &name, &payload)) {
-      db_ = std::move(backup);
+      RollbackToHead();
       throw RelError(ErrorKind::kType,
                      "insert tuples must start with a :RelationName");
     }
     db_.Insert(name, payload);
-    if (store_ != nullptr) ops.push_back(storage::WalRecord::Fact(name, payload));
+    if (store_ != nullptr) {
+      ops.push_back(storage::WalRecord::Fact(name, payload));
+    }
     ++result.inserted;
   }
 
   try {
-    Interp post(&db_, combined, options_);
-    CheckConstraintsWith(&post);
+    Interp post(&db_, combined, writer_opts);
+    CheckConstraintsWith(&post, writer_opts);
   } catch (...) {
-    db_ = std::move(backup);  // abort: roll back the transaction
+    RollbackToHead();  // abort: roll back the transaction
     throw;
   }
 
@@ -161,20 +255,69 @@ TxnResult Engine::Run(const std::string& source, bool apply) {
   if (store_ != nullptr && !ops.empty()) {
     Status s = store_->LogTransaction(ops, &result.txn_id);
     if (!s.ok()) {
-      db_ = std::move(backup);
+      RollbackToHead();
       throw RelError(s.kind(), "transaction rolled back (WAL append failed): " +
                                    s.message());
     }
   }
+  if (result.txn_id != 0) last_txn_id_ = result.txn_id;
+
+  // The ack: atomically publish the post-state. From this point every new
+  // pin (and every session that adopts `published`) sees the commit.
+  std::shared_ptr<const Snapshot> snap = Publish();
+  result.snapshot_version = snap->version();
+  if (published != nullptr) *published = std::move(snap);
   return result;
 }
 
-void Engine::CheckConstraintsWith(Interp* interp) {
+void Engine::ApplyBulk(const std::string& name,
+                       const std::vector<Tuple>& tuples, bool is_insert,
+                       std::shared_ptr<const Snapshot>* published) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  if (store_ != nullptr && !tuples.empty()) {
+    std::vector<storage::WalRecord> ops;
+    ops.reserve(tuples.size());
+    for (const Tuple& t : tuples) {
+      ops.push_back(is_insert ? storage::WalRecord::Fact(name, t)
+                              : storage::WalRecord::Retract(name, t));
+    }
+    uint64_t txn_id = 0;
+    Status s = store_->LogTransaction(ops, &txn_id);
+    if (!s.ok()) {
+      throw RelError(s.kind(),
+                     std::string(is_insert ? "bulk insert" : "bulk delete") +
+                         " not applied (WAL append failed): " + s.message());
+    }
+    last_txn_id_ = txn_id;
+  }
+  for (const Tuple& t : tuples) {
+    if (is_insert) {
+      db_.Insert(name, t);
+    } else {
+      db_.Delete(name, t);
+    }
+  }
+  std::shared_ptr<const Snapshot> snap = Publish();
+  if (published != nullptr) *published = std::move(snap);
+}
+
+// --- integrity constraints ---
+
+void Engine::CheckConstraints() {
+  std::shared_ptr<const Snapshot> snap = SnapshotNow();
+  InterpOptions opts = options_;
+  opts.demand_cache = nullptr;
+  opts.shared_defs = 0;
+  Interp interp(snap->db.get(), *snap->rules, opts);
+  CheckConstraintsWith(&interp, opts);
+}
+
+void Engine::CheckConstraintsWith(Interp* interp, const InterpOptions& opts) {
   const std::vector<std::shared_ptr<Def>>& ics = interp->ics();
   if (ics.empty()) return;
 
-  int num_threads = options_.num_threads == 0 ? ThreadPool::HardwareThreads()
-                                              : options_.num_threads;
+  int num_threads = opts.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                          : opts.num_threads;
   num_threads = std::min<int>(num_threads, static_cast<int>(ics.size()));
 
   if (num_threads <= 1) {
@@ -221,8 +364,8 @@ void Engine::CheckConstraintsWith(Interp* interp) {
     // constraint: each Interp construction re-runs analysis over the whole
     // def set, so build num_threads of them, not ics.size().
     for (int worker = 0; worker < num_threads; ++worker) {
-      group.Run([this, interp, worker, num_threads, &outcomes] {
-        InterpOptions sequential = options_;
+      group.Run([interp, worker, num_threads, opts, &outcomes] {
+        InterpOptions sequential = opts;
         sequential.num_threads = 1;
         Interp local(&interp->db(), interp->defs(), sequential);
         // Same Def-address-reuse hazard as the sequential path: the solver
@@ -258,53 +401,25 @@ void Engine::CheckConstraintsWith(Interp* interp) {
   }
 }
 
-void Engine::CheckConstraints() {
-  Interp interp(&db_, persistent_, options_);
-  CheckConstraintsWith(&interp);
-}
+// --- reads over the newest snapshot ---
 
-void Engine::Insert(const std::string& name, const std::vector<Tuple>& tuples) {
-  if (store_ != nullptr && !tuples.empty()) {
-    std::vector<storage::WalRecord> ops;
-    ops.reserve(tuples.size());
-    for (const Tuple& t : tuples) {
-      ops.push_back(storage::WalRecord::Fact(name, t));
-    }
-    Status s = store_->LogTransaction(ops, nullptr);
-    if (!s.ok()) {
-      throw RelError(s.kind(),
-                     "bulk insert not applied (WAL append failed): " +
-                         s.message());
-    }
-  }
-  for (const Tuple& t : tuples) db_.Insert(name, t);
-}
-
-void Engine::DeleteTuples(const std::string& name,
-                          const std::vector<Tuple>& tuples) {
-  if (store_ != nullptr && !tuples.empty()) {
-    std::vector<storage::WalRecord> ops;
-    ops.reserve(tuples.size());
-    for (const Tuple& t : tuples) {
-      ops.push_back(storage::WalRecord::Retract(name, t));
-    }
-    Status s = store_->LogTransaction(ops, nullptr);
-    if (!s.ok()) {
-      throw RelError(s.kind(),
-                     "bulk delete not applied (WAL append failed): " +
-                         s.message());
-    }
-  }
-  for (const Tuple& t : tuples) db_.Delete(name, t);
+const Database& Engine::db() const {
+  std::lock_guard<std::mutex> lock(head_mu_);
+  return *head_->db;
 }
 
 const Relation& Engine::Base(const std::string& name) const {
-  return db_.Get(name);
+  return db().Get(name);
 }
+
+size_t Engine::installed_rules() const { return SnapshotNow()->rules->size(); }
+
+// --- durability ---
 
 storage::RecoveryReport Engine::AttachStorage(
     const std::string& dir, storage::DurabilityOptions opts,
     std::shared_ptr<storage::FileSystem> fs) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
   storage::RecoveryReport report;
   if (store_ != nullptr) {
     report.status =
@@ -324,7 +439,7 @@ storage::RecoveryReport Engine::AttachStorage(
   std::vector<std::string> pre_attach = std::move(model_sources_);
   model_sources_.clear();
   for (const std::string& source : data.model_sources) {
-    DefineImpl(source, /*internal=*/true);
+    DefineLocked(source, /*internal=*/true);
     model_sources_.push_back(source);
   }
   for (const std::string& source : pre_attach) {
@@ -332,18 +447,24 @@ storage::RecoveryReport Engine::AttachStorage(
   }
   db_ = std::move(data.db);
   store_ = std::move(store);
+  Status log_status = Status::Ok();
   for (const std::string& source : pre_attach) {
     Status s = store_->LogDefine(source);
     if (!s.ok()) {
       store_.reset();
-      report.status = s;
-      return report;
+      log_status = s;
+      break;
     }
   }
+  // The recovered state replaces the head even if re-logging failed (the
+  // engine is then detached and in-memory, matching the report).
+  Publish();
+  if (!log_status.ok()) report.status = log_status;
   return report;
 }
 
 Status Engine::Checkpoint() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
   if (store_ == nullptr) {
     return Status::Error(ErrorKind::kTransaction, "no storage attached");
   }
@@ -351,6 +472,7 @@ Status Engine::Checkpoint() {
 }
 
 Status Engine::FlushWal() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
   if (store_ == nullptr) return Status::Ok();
   return store_->Flush();
 }

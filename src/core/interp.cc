@@ -102,6 +102,37 @@ Interp::Interp(const Database* db, std::vector<std::shared_ptr<Def>> defs,
       defs_[def->name][Solver::CountSOParams(*def)].push_back(def);
     }
   }
+  // Everything past the shared prefix was parsed from this transaction's
+  // source; a demanded cone that (transitively) reads any of these names is
+  // transaction-local and must not enter the cross-transaction cache.
+  for (size_t i = options_.shared_defs; i < all_defs_.size(); ++i) {
+    txn_local_names_.insert(all_defs_[i]->name);
+  }
+}
+
+bool Interp::DemandCacheable(const std::string& name) {
+  if (options_.demand_cache == nullptr) return false;
+  auto memo = demand_cacheable_.find(name);
+  if (memo != demand_cacheable_.end()) return memo->second;
+  // Reachability over the name-level dependency graph: `name` and every
+  // def it can read must come from the shared rule prefix. Base relations
+  // (names with no rules) are covered by the version key itself.
+  bool cacheable = true;
+  std::set<std::string> seen{name};
+  std::vector<std::string> work{name};
+  while (!work.empty()) {
+    std::string cur = std::move(work.back());
+    work.pop_back();
+    if (txn_local_names_.count(cur)) {
+      cacheable = false;
+      break;
+    }
+    for (const std::string& ref : analysis_.References(cur)) {
+      if (seen.insert(ref).second) work.push_back(ref);
+    }
+  }
+  demand_cacheable_[name] = cacheable;
+  return cacheable;
 }
 
 bool Interp::HasDefs(const std::string& name) const {
@@ -424,6 +455,21 @@ const Relation& Interp::EvalInstanceDemand(
   auto memo = demand_memo_.find(key);
   if (memo != demand_memo_.end()) return memo->second;
 
+  // Session-shared cache: a cone already derived by an earlier transaction
+  // against this same database version (and the same shared rules — see
+  // DemandCacheable) is returned without touching the evaluator. The
+  // reference is stable for the cache's lifetime, which outlives this
+  // Interp.
+  const bool cacheable = DemandCacheable(name);
+  DemandCache::Key cache_key;
+  if (cacheable) {
+    cache_key = DemandCache::Key{db_->version(), key.first, key.second};
+    if (const Relation* hit = options_.demand_cache->Lookup(cache_key)) {
+      ++lowering_stats_.demand_cache_hits;
+      return *hit;
+    }
+  }
+
   // A new pattern. Past the per-component cutoff, many distinct cones cost
   // more than the one closure they overlap in — evaluate the full extent
   // once (memoized done, so every later lookup takes the fast path above)
@@ -455,12 +501,16 @@ const Relation& Interp::EvalInstanceDemand(
   }
 
   ++dc.patterns;
-  Relation& slot = demand_memo_[key];
+  Relation cone;
   auto it = extents.find(name);
-  if (it != extents.end()) slot = std::move(it->second);
+  if (it != extents.end()) cone = std::move(it->second);
   ++lowering_stats_.components_demanded;
-  lowering_stats_.demanded_tuples += slot.size();
-  return slot;
+  lowering_stats_.demanded_tuples += cone.size();
+  if (cacheable) {
+    return options_.demand_cache->Store(std::move(cache_key),
+                                        std::move(cone));
+  }
+  return demand_memo_[key] = std::move(cone);
 }
 
 const Relation& Interp::MaterializeSO(const SOValue& value) {

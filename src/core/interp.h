@@ -26,6 +26,7 @@
 
 #include "core/analysis.h"
 #include "core/ast.h"
+#include "core/demand_cache.h"
 #include "core/lowering.h"
 #include "core/solver.h"
 #include "data/database.h"
@@ -63,6 +64,19 @@ struct InterpOptions {
   /// default until the differential suite has soaked in CI; flip via
   /// Engine::options().demand_transform.
   bool demand_transform = false;
+  /// How many leading entries of the def vector are session-shared
+  /// persistent rules; everything after is transaction-local (the parsed
+  /// query source). Used to decide when a demanded cone may be served from
+  /// or stored into `demand_cache` — a cone whose transitive dependencies
+  /// include a transaction-local def must not cross transactions. The
+  /// default (0) treats every def as transaction-local, disabling the
+  /// shared cache; the Session sets it to its snapshot's rule count.
+  size_t shared_defs = 0;
+  /// Cross-transaction demand-cone cache (see core/demand_cache.h), keyed
+  /// on the database version. Owned by the Session — one per reader,
+  /// externally synchronized, so no locks on the read path. nullptr keeps
+  /// the per-Interp memo only (cones die with the transaction).
+  DemandCache* demand_cache = nullptr;
 };
 
 /// Counters for the recursion-lowering pass, exposed per Interp (and copied
@@ -71,6 +85,7 @@ struct LoweringStats {
   int components_lowered = 0;   // SCCs evaluated by the Datalog engine
   int components_rejected = 0;  // monotone SCCs outside the Datalog fragment
   int components_demanded = 0;  // demand-transformed (magic-set) evaluations
+  int demand_cache_hits = 0;    // cones served from the session DemandCache
   uint64_t lowered_tuples = 0;  // tuples spliced back into instances
   uint64_t demanded_tuples = 0; // tuples in demanded extents handed out
   std::vector<std::string> lowered_names;    // members, evaluation order
@@ -209,6 +224,13 @@ class Interp {
   /// tuple-at-a-time fixpoint.
   bool TryLowerComponent(const std::string& name);
 
+  /// True iff a demanded cone of `name` is a pure function of the database
+  /// and the session-shared rule prefix — i.e. no def reachable from
+  /// `name`'s rules (transitively, including `name` itself) is
+  /// transaction-local. Only such cones may live in the cross-transaction
+  /// demand cache. Memoized per name.
+  bool DemandCacheable(const std::string& name);
+
   /// Shared front half of TryLowerComponent and EvalInstanceDemand:
   /// translates the component of `name` and materializes its EDB (external
   /// extents via EvalInstance, members' base facts from the database).
@@ -237,6 +259,10 @@ class Interp {
   std::map<std::pair<std::string, std::vector<std::pair<size_t, Value>>>,
            Relation>
       demand_memo_;
+  /// Names defined by transaction-local defs (index >= options.shared_defs)
+  /// and the per-name DemandCacheable verdicts.
+  std::set<std::string> txn_local_names_;
+  std::map<std::string, bool> demand_cacheable_;
   /// Per-component demand bookkeeping: the translation + materialized EDB
   /// (built once, reused across patterns) and the distinct-pattern count
   /// driving the kMaxDemandPatterns cutoff.

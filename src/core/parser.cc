@@ -678,6 +678,16 @@ Program ParseProgram(std::string_view source) {
   return ParserImpl(source).ParseProgramAll();
 }
 
+std::vector<std::shared_ptr<Def>> ParseToSharedDefs(std::string_view source) {
+  Program program = ParseProgram(source);
+  std::vector<std::shared_ptr<Def>> out;
+  out.reserve(program.defs.size());
+  for (Def& def : program.defs) {
+    out.push_back(std::make_shared<Def>(std::move(def)));
+  }
+  return out;
+}
+
 ExprPtr ParseExpression(std::string_view source) {
   return ParserImpl(source).ParseSingleExpression();
 }

@@ -4,7 +4,9 @@
 #ifndef REL_CORE_PARSER_H_
 #define REL_CORE_PARSER_H_
 
+#include <memory>
 #include <string_view>
+#include <vector>
 
 #include "core/ast.h"
 
@@ -12,6 +14,10 @@ namespace rel {
 
 /// Parses a whole program (a sequence of `def` / `ic` rules).
 Program ParseProgram(std::string_view source);
+
+/// Parses a whole program into individually-owned defs — the form the
+/// Engine and Session append to a shared persistent rule prefix.
+std::vector<std::shared_ptr<Def>> ParseToSharedDefs(std::string_view source);
 
 /// Parses a single expression (used by tests and the REPL-style API).
 ExprPtr ParseExpression(std::string_view source);

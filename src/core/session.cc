@@ -1,0 +1,84 @@
+#include "core/session.h"
+
+#include <utility>
+
+#include "core/engine.h"
+#include "core/parser.h"
+
+namespace rel {
+
+Session::Session(Engine* engine, std::shared_ptr<const Snapshot> snap,
+                 InterpOptions options)
+    : engine_(engine), snap_(std::move(snap)), options_(std::move(options)) {}
+
+Session::~Session() = default;
+
+void Session::Refresh() { Adopt(engine_->SnapshotNow()); }
+
+void Session::Adopt(std::shared_ptr<const Snapshot> snap) {
+  if (snap == nullptr || snap == snap_) return;
+  if (snap->rules_version != snap_->rules_version) {
+    // Every cached cone was derived under the old rule set; none survive.
+    demand_cache_.Clear();
+  } else {
+    demand_cache_.Retain(snap->version());
+  }
+  snap_ = std::move(snap);
+}
+
+Relation Session::Query(const std::string& source) {
+  // The whole read runs against the pinned snapshot: parse the source as
+  // transaction-local rules appended to the snapshot's persistent prefix,
+  // evaluate `output`, and never look at the engine's live state.
+  std::vector<std::shared_ptr<Def>> combined = *snap_->rules;
+  for (auto& def : ParseToSharedDefs(source)) combined.push_back(std::move(def));
+
+  InterpOptions opts = options_;
+  opts.shared_defs = snap_->rules->size();
+  opts.demand_cache = &demand_cache_;
+  Interp interp(snap_->db.get(), std::move(combined), opts);
+  Relation out;
+  if (interp.HasDefs("output")) {
+    out = interp.EvalInstance("output", 0, {});
+  }
+  lowering_stats_ = interp.lowering_stats();
+  return out;
+}
+
+Relation Session::Eval(const std::string& expression) {
+  return Query("def output : " + expression);
+}
+
+const Relation& Session::Base(const std::string& name) const {
+  return snap_->db->Get(name);
+}
+
+TxnResult Session::Exec(const std::string& source) {
+  std::shared_ptr<const Snapshot> published;
+  TxnResult result =
+      engine_->ExecTxn(source, options_, &lowering_stats_, &published);
+  Adopt(std::move(published));  // read-your-writes
+  return result;
+}
+
+void Session::Define(const std::string& source) {
+  std::shared_ptr<const Snapshot> published;
+  engine_->DefineTxn(source, /*internal=*/false, &published);
+  Adopt(std::move(published));
+}
+
+void Session::Insert(const std::string& name,
+                     const std::vector<Tuple>& tuples) {
+  std::shared_ptr<const Snapshot> published;
+  engine_->ApplyBulk(name, tuples, /*is_insert=*/true, &published);
+  Adopt(std::move(published));
+}
+
+void Session::DeleteTuples(const std::string& name,
+                           const std::vector<Tuple>& tuples) {
+  std::shared_ptr<const Snapshot> published;
+  engine_->ApplyBulk(name, tuples, /*is_insert=*/false, &published);
+  Adopt(std::move(published));
+}
+
+}  // namespace rel

@@ -2,6 +2,45 @@
 
 namespace rel {
 
+Database::Database(const Database& other)
+    : relations_(other.relations_), version_(other.version_) {
+  // Both sides now share every relation: the next mutation on either side
+  // must clone. The source's flags are mutable precisely for this line;
+  // copying is therefore not thread-safe w.r.t. the source (header
+  // contract) — in the engine only the single writer copies.
+  for (auto& [name, slot] : relations_) {
+    (void)name;
+    slot.owned = false;
+  }
+  for (const auto& [name, slot] : other.relations_) {
+    (void)name;
+    slot.owned = false;
+  }
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  relations_ = other.relations_;
+  version_ = other.version_;
+  for (auto& [name, slot] : relations_) {
+    (void)name;
+    slot.owned = false;
+  }
+  for (const auto& [name, slot] : other.relations_) {
+    (void)name;
+    slot.owned = false;
+  }
+  return *this;
+}
+
+Relation& Database::Mutable(Slot& slot) {
+  if (!slot.owned) {
+    slot.rel = std::make_shared<Relation>(*slot.rel);
+    slot.owned = true;
+  }
+  return *slot.rel;
+}
+
 bool Database::Has(const std::string& name) const {
   return relations_.count(name) > 0;
 }
@@ -10,24 +49,31 @@ const Relation& Database::Get(const std::string& name) const {
   static const Relation* empty = new Relation();
   auto it = relations_.find(name);
   if (it == relations_.end()) return *empty;
-  return it->second;
+  return *it->second.rel;
 }
 
 void Database::Insert(const std::string& name, Tuple t) {
-  if (relations_[name].Insert(std::move(t))) ++version_;
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    it = relations_.emplace(name, Slot{std::make_shared<Relation>(), true})
+             .first;
+  } else if (it->second.rel->Contains(t)) {
+    return;  // no-op inserts must not clone a shared relation
+  }
+  if (Mutable(it->second).Insert(std::move(t))) ++version_;
 }
 
 void Database::Delete(const std::string& name, const Tuple& t) {
   auto it = relations_.find(name);
   if (it == relations_.end()) return;
-  if (it->second.Erase(t)) {
-    ++version_;
-    if (it->second.empty()) relations_.erase(it);
-  }
+  if (!it->second.rel->Contains(t)) return;
+  Mutable(it->second).Erase(t);
+  ++version_;
+  if (it->second.rel->empty()) relations_.erase(it);
 }
 
 void Database::Put(const std::string& name, Relation r) {
-  relations_[name] = std::move(r);
+  relations_[name] = Slot{std::make_shared<Relation>(std::move(r)), true};
   ++version_;
 }
 
@@ -38,8 +84,8 @@ void Database::Drop(const std::string& name) {
 std::vector<std::string> Database::Names() const {
   std::vector<std::string> names;
   names.reserve(relations_.size());
-  for (const auto& [name, rel] : relations_) {
-    (void)rel;
+  for (const auto& [name, slot] : relations_) {
+    (void)slot;
     names.push_back(name);
   }
   return names;
@@ -47,11 +93,22 @@ std::vector<std::string> Database::Names() const {
 
 size_t Database::TotalTuples() const {
   size_t total = 0;
-  for (const auto& [name, rel] : relations_) {
+  for (const auto& [name, slot] : relations_) {
     (void)name;
-    total += rel.size();
+    total += slot.rel->size();
   }
   return total;
+}
+
+void Database::FreezeViews() const {
+  for (const auto& [name, slot] : relations_) {
+    (void)name;
+    for (size_t arity : slot.rel->Arities()) {
+      const ColumnArena* arena = slot.rel->ArenaOfArity(arity);
+      arena->SortedRows();
+      arena->SortedTuples();
+    }
+  }
 }
 
 }  // namespace rel

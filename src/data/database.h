@@ -1,13 +1,40 @@
-// Database: the persistent store of named base relations.
+// Database: the store of named base relations, redesigned (PR 7) as an
+// immutable-snapshot handle.
 //
 // Rel's control relations (insert/delete, Section 3.4) apply their effects
 // here at transaction commit. Derived relations (those defined by `def`
 // rules) are computed by the evaluator and never stored in the Database.
+//
+// Ownership model — copy-on-write snapshots:
+//
+//   * Each named relation is held through a shared_ptr slot. Copying a
+//     Database copies the slot map (O(#relations) pointer copies), never
+//     the tuples: the copy IS a snapshot, and the serving layer publishes
+//     exactly such copies as `std::shared_ptr<const Database>` for any
+//     number of reader sessions to pin.
+//
+//   * Mutation is copy-on-write at relation granularity. Every slot tracks
+//     whether THIS Database instance created or cloned its relation; the
+//     first mutation of a slot that is (or may be) shared with a copy
+//     clones the relation and mutates the clone. Taking a copy marks every
+//     slot of BOTH sides shared (the source's flags are mutable), so the
+//     classic `Database backup = db; mutate(db);` pattern keeps its deep-
+//     copy semantics at shared-copy cost.
+//
+//   * Thread-safety contract: concurrent const reads of one Database are
+//     safe once FreezeViews() has been called after its last mutation
+//     (lazily-built sorted views are the only mutable read-path state).
+//     COPYING a Database concurrently with other access to the same object
+//     is NOT safe — the copy writes the source's sharing flags. In the
+//     engine only the single writer ever copies (to publish or roll back),
+//     so this never races; see ARCHITECTURE.md "Sessions & snapshot
+//     isolation".
 
 #ifndef REL_DATA_DATABASE_H_
 #define REL_DATA_DATABASE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +46,14 @@ namespace rel {
 /// paper's "there is no need to declare a new base relation" (Section 3.4).
 class Database {
  public:
+  Database() = default;
+  /// Snapshot copy: shares every relation with `other` and marks both
+  /// sides copy-on-write (see the header comment for the contract).
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&&) noexcept = default;
+  Database& operator=(Database&&) noexcept = default;
+
   /// True if a base relation named `name` exists.
   bool Has(const std::string& name) const;
 
@@ -44,11 +79,33 @@ class Database {
   size_t TotalTuples() const;
 
   /// A monotonically increasing counter bumped on every mutation; the
-  /// evaluator uses it to invalidate memoized derived relations.
+  /// evaluator uses it to invalidate memoized derived relations, and the
+  /// serving layer keys cross-transaction demand caches on the version of
+  /// the published snapshot.
   uint64_t version() const { return version_; }
 
+  /// Forces every relation's lazily-built sorted views (row order and the
+  /// materialized-tuple compatibility view) so that subsequent const reads
+  /// are write-free. The commit pipeline calls this before publishing a
+  /// snapshot: afterwards any number of sessions can evaluate against the
+  /// snapshot concurrently without touching a lock. Idempotent; already-
+  /// valid views cost one flag check.
+  void FreezeViews() const;
+
  private:
-  std::map<std::string, Relation> relations_;
+  struct Slot {
+    std::shared_ptr<Relation> rel;
+    /// True iff this Database instance created or cloned `rel` itself and
+    /// no copy has been taken since — the only state in which in-place
+    /// mutation is allowed. Mutable so that taking a snapshot copy can
+    /// mark a const source shared.
+    mutable bool owned = true;
+  };
+
+  /// The mutable relation of `slot`, cloning it first unless owned.
+  Relation& Mutable(Slot& slot);
+
+  std::map<std::string, Slot> relations_;
   uint64_t version_ = 0;
 };
 

@@ -1,0 +1,121 @@
+#include "server/protocol.h"
+
+#include <utility>
+
+#include "base/error.h"
+
+namespace rel {
+namespace server {
+
+std::string EscapeLine(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLine(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      char next = s[i + 1];
+      if (next == 'n') {
+        out += '\n';
+        ++i;
+        continue;
+      }
+      if (next == '\\') {
+        out += '\\';
+        ++i;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+namespace {
+
+/// Splits "command payload" at the first space; payload may be empty.
+void SplitCommand(const std::string& line, std::string* command,
+                  std::string* payload) {
+  size_t space = line.find(' ');
+  if (space == std::string::npos) {
+    *command = line;
+    payload->clear();
+    return;
+  }
+  *command = line.substr(0, space);
+  *payload = line.substr(space + 1);
+}
+
+std::string Ok(const std::string& detail) {
+  return detail.empty() ? "ok" : "ok " + EscapeLine(detail);
+}
+
+std::string Err(const char* kind, const std::string& message) {
+  return std::string("err ") + kind + ": " + EscapeLine(message);
+}
+
+}  // namespace
+
+SessionHandler::SessionHandler(Engine* engine)
+    : session_(engine->OpenSession()) {}
+
+std::string SessionHandler::Handle(const std::string& line) {
+  std::string command, payload;
+  SplitCommand(line, &command, &payload);
+  payload = UnescapeLine(payload);
+  try {
+    if (command == "ping") return Ok("pong");
+    if (command == "quit") {
+      closed_ = true;
+      return Ok("bye");
+    }
+    if (command == "eval") return Ok(session_->Eval(payload).ToString());
+    if (command == "query") return Ok(session_->Query(payload).ToString());
+    if (command == "exec") {
+      TxnResult txn = session_->Exec(payload);
+      std::string detail = "+" + std::to_string(txn.inserted) + " -" +
+                           std::to_string(txn.deleted) + " v" +
+                           std::to_string(txn.snapshot_version);
+      if (!txn.output.empty()) detail += " " + txn.output.ToString();
+      return Ok(detail);
+    }
+    if (command == "def") {
+      session_->Define(payload);
+      return Ok("defined, " +
+                std::to_string(session_->snapshot().rules->size()) + " rules");
+    }
+    if (command == "base") return Ok(session_->Base(payload).ToString());
+    if (command == "refresh") {
+      session_->Refresh();
+      return Ok("v" + std::to_string(session_->snapshot_version()));
+    }
+    if (command == "snap") {
+      const Snapshot& snap = session_->snapshot();
+      return Ok("v" + std::to_string(snap.version()) + " rules=" +
+                std::to_string(snap.rules->size()) + " txn=" +
+                std::to_string(snap.txn_id));
+    }
+    return Err("proto", "unknown command '" + command + "'");
+  } catch (const RelError& e) {
+    // what() is already "<kind name>: <message>".
+    return "err " + EscapeLine(e.what());
+  } catch (const std::exception& e) {
+    return Err("internal", e.what());
+  }
+}
+
+}  // namespace server
+}  // namespace rel

@@ -1,0 +1,69 @@
+// The Rel line protocol: one request line in, one response line out.
+//
+// SessionHandler is the transport-free half of the server (src/server/
+// server.h provides the TCP half; examples/repl.cpp drives the same handler
+// over stdin). Each handler owns one Session pinned to a snapshot of the
+// shared Engine, so concurrent handlers get snapshot isolation for free —
+// see core/session.h.
+//
+// Requests:   <command> [payload]      Responses:  ok [detail]
+//                                                  err <kind>: <message>
+//
+//   eval <expr>       evaluate an expression against the pinned snapshot
+//   query <rules>     run rules read-only; respond with `output`
+//   exec <rules>      run a full transaction through the commit pipeline;
+//                     respond with "+I -D v<version>" plus `output` if any
+//   def <rules>       install persistent rules engine-wide
+//   base <name>       dump a base relation of the pinned snapshot
+//   refresh           re-pin the newest published snapshot
+//   snap              report the pinned snapshot (version, rules, txn id)
+//   ping              liveness check
+//   quit              close the session
+//
+// Since the protocol is line-oriented, multi-line Rel source is sent with
+// `\n` escapes in the payload (and `\\` for a literal backslash); response
+// details are escaped the same way. Everything else is verbatim UTF-8.
+
+#ifndef REL_SERVER_PROTOCOL_H_
+#define REL_SERVER_PROTOCOL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+
+namespace rel {
+namespace server {
+
+/// Escapes newlines and backslashes so `s` fits one protocol line.
+std::string EscapeLine(const std::string& s);
+
+/// Inverse of EscapeLine (unknown escapes pass through verbatim).
+std::string UnescapeLine(const std::string& s);
+
+/// One client's protocol state: a Session plus the request dispatcher.
+/// Single-threaded, like the Session it owns; the server runs one handler
+/// per connection.
+class SessionHandler {
+ public:
+  explicit SessionHandler(Engine* engine);
+
+  /// Handles one request line (no trailing newline) and returns the
+  /// response line (no trailing newline). Never throws: engine errors
+  /// become `err` responses.
+  std::string Handle(const std::string& line);
+
+  /// True once the client sent `quit`; the transport should close.
+  bool closed() const { return closed_; }
+
+  Session& session() { return *session_; }
+
+ private:
+  std::unique_ptr<Session> session_;
+  bool closed_ = false;
+};
+
+}  // namespace server
+}  // namespace rel
+
+#endif  // REL_SERVER_PROTOCOL_H_

@@ -13,20 +13,19 @@
 namespace rel {
 namespace {
 
-Engine MakeEngineWithConstraints(int num_threads) {
-  Engine engine;
+void SetUpConstraints(Engine& engine, int num_threads) {
   engine.options().num_threads = num_threads;
   engine.Define(
       "ic positive(x) requires R(x) implies x > 0\n"
       "ic small(x) requires R(x) implies x < 100\n"
       "ic named() requires count[R] < 50\n"
       "ic even_pairs(x, y) requires P(x, y) implies x < y");
-  return engine;
 }
 
 TEST(ParallelConstraints, PassingStateAcceptedAcrossThreadCounts) {
   for (int threads : {1, 2, 8}) {
-    Engine engine = MakeEngineWithConstraints(threads);
+    Engine engine;
+    SetUpConstraints(engine, threads);
     engine.Exec("def insert : {(:R, 1); (:R, 2); (:R, 3)}");
     engine.Exec("def insert : {(:P, 1, 2); (:P, 2, 9)}");
     EXPECT_NO_THROW(engine.CheckConstraints()) << "threads=" << threads;
@@ -39,7 +38,8 @@ TEST(ParallelConstraints, FirstViolationInOrderMatchesSequential) {
   // report `positive` (the first in declaration order), like the
   // sequential checker does.
   for (int threads : {1, 2, 8}) {
-    Engine engine = MakeEngineWithConstraints(threads);
+    Engine engine;
+    SetUpConstraints(engine, threads);
     engine.Insert("R", {Tuple({Value::Int(-5)}), Tuple({Value::Int(500)})});
     try {
       engine.CheckConstraints();
@@ -53,7 +53,8 @@ TEST(ParallelConstraints, FirstViolationInOrderMatchesSequential) {
 
 TEST(ParallelConstraints, ViolatingTransactionRollsBack) {
   for (int threads : {1, 4}) {
-    Engine engine = MakeEngineWithConstraints(threads);
+    Engine engine;
+    SetUpConstraints(engine, threads);
     engine.Exec("def insert : {(:R, 7)}");
     EXPECT_THROW(engine.Exec("def insert : {(:R, -1); (:R, 8)}"),
                  ConstraintViolation)
