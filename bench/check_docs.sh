@@ -14,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REQUIRED=(ARCHITECTURE.md src/data/README.md src/datalog/README.md
-          bench/README.md)
+          src/fuzz/README.md bench/README.md)
 DOCS=(ARCHITECTURE.md bench/README.md)
 while IFS= read -r f; do DOCS+=("$f"); done \
   < <(find src -maxdepth 2 -name README.md | sort)

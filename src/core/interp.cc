@@ -330,6 +330,7 @@ datalog::EvalOptions LoweredEvalOptions(const InterpOptions& options) {
   eval_options.strategy = datalog::Strategy::kSemiNaive;
   eval_options.num_threads = options.num_threads;
   eval_options.max_iterations = std::max(options.max_iterations, 1);
+  eval_options.plan_order_seed = options.plan_order_seed;
   return eval_options;
 }
 

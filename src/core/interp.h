@@ -52,6 +52,12 @@ struct InterpOptions {
   /// tuple-at-a-time saturation loop. Semantics-preserving; disable to force
   /// the classic fixpoint (ablation benchmarks, differential tests).
   bool lower_recursion = true;
+  /// Join-order override for lowered recursive components, forwarded to
+  /// datalog::EvalOptions::plan_order_seed (0 = the production greedy
+  /// order; any other value is a reproducible pseudo-random permutation
+  /// per plan). Answer-invariant by contract; the equivalent-query fuzzer
+  /// sweeps it to differential-test the planner through the full Rel path.
+  uint64_t plan_order_seed = 0;
   /// Demand-driven recursive queries: when the solver looks up a recursive
   /// component through an application with bound arguments (tc(0, y)),
   /// rewrite the lowered Datalog program with the magic-set transform

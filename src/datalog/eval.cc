@@ -14,6 +14,7 @@
 
 #include "base/error.h"
 #include "base/hash.h"
+#include "base/rng.h"
 #include "base/thread_pool.h"
 #include "datalog/index.h"
 #include "datalog/magic.h"
@@ -408,12 +409,19 @@ bool LeapfrogEligible(const Rule& rule, int num_vars) {
 /// Compiles the join plan for one (rule, delta-occurrence) pair: delta atom
 /// first, filters/bindings/assignments/negations hoisted as early as their
 /// variables allow, remaining positive atoms ordered greedily by bound-column
-/// count with estimated cardinality as tie-break. Throws kSafety when the
-/// rule is not range-restricted.
-RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state) {
+/// count with estimated cardinality as tie-break. A nonzero `order_seed`
+/// replaces the greedy order with a seeded pseudo-random permutation of the
+/// positive atoms (and skips the leapfrog routing) — the fuzzer's
+/// plan-order lattice; every permutation is answer-equivalent because
+/// safety is re-checked below and match_row verifies already-bound
+/// variables regardless of which atom bound them first. Throws kSafety
+/// when the rule is not range-restricted.
+RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state,
+                   uint64_t order_seed) {
   RulePlan plan;
   plan.num_vars = MaxVar(rule) + 1;
-  if (delta_index < 0 && LeapfrogEligible(rule, plan.num_vars)) {
+  if (order_seed == 0 && delta_index < 0 &&
+      LeapfrogEligible(rule, plan.num_vars)) {
     plan.leapfrog = true;
     return plan;
   }
@@ -510,21 +518,45 @@ RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state) {
   }
   hoist();
 
+  Rng order_rng(order_seed);
   for (;;) {
     int best = -1;
-    size_t best_bound = 0;
-    size_t best_rows = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (done[i] || rule.body[i].kind != Literal::Kind::kPositive) continue;
-      const Atom& atom = rule.body[i].atom;
-      size_t nb = 0;
-      for (const Term& t : atom.terms) nb += term_known(t);
-      size_t rows = state.Full(atom.pred).CountOfArity(atom.terms.size());
-      if (best < 0 || nb > best_bound ||
-          (nb == best_bound && rows < best_rows)) {
-        best = static_cast<int>(i);
-        best_bound = nb;
-        best_rows = rows;
+    if (order_seed != 0) {
+      // Seeded permutation: pick uniformly among the not-yet-planned
+      // positive atoms. Deterministic in (seed, rule, delta occurrence).
+      size_t candidates = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!done[i] && rule.body[i].kind == Literal::Kind::kPositive) {
+          ++candidates;
+        }
+      }
+      if (candidates > 0) {
+        size_t pick = order_rng.NextBelow(candidates);
+        for (size_t i = 0; i < n; ++i) {
+          if (done[i] || rule.body[i].kind != Literal::Kind::kPositive) {
+            continue;
+          }
+          if (pick-- == 0) {
+            best = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+    } else {
+      size_t best_bound = 0;
+      size_t best_rows = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (done[i] || rule.body[i].kind != Literal::Kind::kPositive) continue;
+        const Atom& atom = rule.body[i].atom;
+        size_t nb = 0;
+        for (const Term& t : atom.terms) nb += term_known(t);
+        size_t rows = state.Full(atom.pred).CountOfArity(atom.terms.size());
+        if (best < 0 || nb > best_bound ||
+            (nb == best_bound && rows < best_rows)) {
+          best = static_cast<int>(i);
+          best_bound = nb;
+          best_rows = rows;
+        }
       }
     }
     if (best < 0) break;
@@ -934,9 +966,14 @@ constexpr size_t kMinChunkRows = 64;
 /// and the staging buffers merge into the canonical state at the round
 /// barrier — the single-writer discipline that keeps every concurrent read
 /// lock-free. Counter totals land in `out_stats` under `stats_mu`.
+/// `plan_seed` is EvalOptions::plan_order_seed; `rules_base` is the start
+/// of the program's rule vector, giving every rule a stable index so the
+/// per-(rule, delta) permutation sub-seed is identical across runs (rule
+/// POINTERS vary run to run and must never feed the seed).
 void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
-              int max_iterations, State* state, IndexCache* cache,
-              ThreadPool* pool, EvalStats* out_stats, std::mutex* stats_mu) {
+              int max_iterations, uint64_t plan_seed, const Rule* rules_base,
+              State* state, IndexCache* cache, ThreadPool* pool,
+              EvalStats* out_stats, std::mutex* stats_mu) {
   EvalStats local;
   // Fires when max_iterations > 0 and this unit's fixpoint exceeds it — the
   // guard against value-generating recursion that never converges.
@@ -961,7 +998,18 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
     auto key = std::make_pair(rule, delta_index);
     auto it = plans.find(key);
     if (it == plans.end()) {
-      it = plans.emplace(key, BuildPlan(*rule, delta_index, *state)).first;
+      uint64_t sub_seed = plan_seed;
+      if (sub_seed != 0) {
+        // SplitMix-style mix of (seed, rule index, delta occurrence) so
+        // every plan draws an independent, reproducible permutation.
+        sub_seed ^= static_cast<uint64_t>(rule - rules_base) *
+                    0x9E3779B97F4A7C15ULL;
+        sub_seed ^= static_cast<uint64_t>(delta_index + 2) *
+                    0xBF58476D1CE4E5B9ULL;
+        if (sub_seed == 0) sub_seed = 1;
+      }
+      it = plans.emplace(key, BuildPlan(*rule, delta_index, *state, sub_seed))
+               .first;
     }
     return it->second;
   };
@@ -1192,10 +1240,12 @@ std::map<std::string, Relation> Evaluate(const Program& program,
   s->threads = parallel ? num_threads : 1;
   std::mutex stats_mu;
 
+  const Rule* rules_base = program.rules().data();
   if (!parallel) {
     for (int u : TopoOrder(units)) {
-      EvalUnit(units[u], indexed, semi_naive, options.max_iterations, &state,
-               &index_cache, /*pool=*/nullptr, s, &stats_mu);
+      EvalUnit(units[u], indexed, semi_naive, options.max_iterations,
+               options.plan_order_seed, rules_base, &state, &index_cache,
+               /*pool=*/nullptr, s, &stats_mu);
     }
     return state.full;
   }
@@ -1215,7 +1265,8 @@ std::map<std::string, Relation> Evaluate(const Program& program,
       try {
         if (!failed.load(std::memory_order_acquire)) {
           EvalUnit(units[u], indexed, semi_naive, options.max_iterations,
-                   &state, &index_cache, &pool, s, &stats_mu);
+                   options.plan_order_seed, rules_base, &state, &index_cache,
+                   &pool, s, &stats_mu);
         }
       } catch (...) {
         // Successors are never launched; Wait() rethrows this.

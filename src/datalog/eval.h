@@ -99,6 +99,20 @@ struct EvalOptions {
   /// need the same guard the Rel interpreter has. Exceeding the cap throws
   /// kNonConvergent naming the unit's head predicates.
   int max_iterations = 0;
+  /// Deterministic join-order override for the planned strategy. 0 (the
+  /// default) keeps the production order — greedy by bound-column count
+  /// with estimated cardinality as tie-break. Any other value permutes the
+  /// positive-atom order of every plan pseudo-randomly instead (seeded per
+  /// (rule, delta occurrence) so the permutation is reproducible across
+  /// runs and platforms) and bypasses the leapfrog routing, so rules that
+  /// would take the worst-case-optimal path run through ordinary binary
+  /// join pipelines as well. Every seed computes the identical fixpoint,
+  /// the same number of rounds, and the same tuples_derived (the count of
+  /// satisfying body assignments is order-independent); only the access-
+  /// path counters (index_probes, driver_scans, index_builds) may differ.
+  /// The equivalent-query fuzzer (src/fuzz) sweeps this knob to
+  /// differential-test the planner; the scan strategies ignore it.
+  uint64_t plan_order_seed = 0;
   /// Demand-driven evaluation: when set, the program is rewritten by the
   /// magic-set transform (datalog/magic.h) before unit scheduling, so the
   /// fixpoint derives only the cone relevant to this goal. The returned

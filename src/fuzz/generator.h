@@ -1,0 +1,86 @@
+// Seeded random program generator for the equivalent-query fuzzer.
+//
+// Emits well-formed classical Datalog programs covering the lowered
+// fragment — recursion (including mutual recursion), negation in stratified
+// positions, mixed arities, repeated variables, constants in atoms and
+// comparisons, and optional point-query goals — plus random EDB extents
+// built from benchutil/generators. Every program is constructed so that
+// ALL evaluation configurations accept it:
+//
+//   * stratified by construction: each IDB predicate gets a level; positive
+//     body atoms reference predicates at the same level or below (same
+//     level = recursion), negative atoms reference strictly lower levels
+//     or EDB predicates only;
+//   * scan-strategy safe: body literals are ordered positive atoms first,
+//     then comparisons, then negations, and comparisons/negations use only
+//     variables bound by the preceding atoms — so the syntactic-order scan
+//     evaluators and the order-independent planner agree on safety;
+//   * terminating everywhere: no arithmetic assignments (the one source of
+//     value-generating divergence), all constants drawn from a small
+//     integer domain.
+//
+// Generation is deterministic in the seed (SplitMix64 via base/rng.h): the
+// same (seed, options) pair yields a byte-identical case on every platform,
+// which is what makes the committed corpus replayable.
+
+#ifndef REL_FUZZ_GENERATOR_H_
+#define REL_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datalog/program.h"
+
+namespace rel {
+namespace fuzz {
+
+/// Grammar dials. The defaults keep cases small enough that the full config
+/// lattice runs in milliseconds while still reaching every production.
+struct GeneratorOptions {
+  int num_edb = 2;           // EDB predicates e0..e{n-1}
+  int num_idb = 3;           // IDB predicates p0..p{n-1}
+  int max_rules_per_idb = 2; // 1..max rules per IDB predicate
+  int max_body_atoms = 3;    // 1..max positive atoms per rule body
+  int max_arity = 3;         // predicate arities drawn from [1, max]
+  int value_domain = 12;     // constants and EDB values in [0, domain)
+  int edb_rows = 24;         // target rows per EDB predicate
+  bool allow_negation = true;
+  bool allow_comparisons = true;
+  bool allow_constants = true;
+  /// Probability that the case carries a DemandGoal (point query). The
+  /// pattern itself may still come out all-free — that degenerate goal is
+  /// a production of the grammar, not an accident.
+  double goal_probability = 0.6;
+};
+
+/// One generated (or corpus-loaded) fuzz case.
+struct FuzzCase {
+  uint64_t seed = 0;
+  datalog::Program program;
+  /// Rule-head predicates, sorted — the extents every configuration must
+  /// agree on.
+  std::vector<std::string> idb_preds;
+  /// Optional point-query goal; bound positions may name values outside
+  /// every extent (the empty-cone edge case is deliberate).
+  std::optional<datalog::DemandGoal> goal;
+};
+
+/// Generates the case for `seed`. Pure function of (seed, options).
+FuzzCase GenerateCase(uint64_t seed, const GeneratorOptions& options = {});
+
+/// Renders a case as classical Datalog text plus `% fuzz:` directive
+/// comments (seed, goal) — the committed corpus format. Deterministic:
+/// facts render in sorted order, rules in program order.
+std::string CaseToText(const FuzzCase& c);
+
+/// Parses CaseToText output (directives + ParseDatalog). Inverse of
+/// CaseToText up to rule-variable naming; throws RelError(kParse) on
+/// malformed directives or program text.
+FuzzCase CaseFromText(const std::string& text);
+
+}  // namespace fuzz
+}  // namespace rel
+
+#endif  // REL_FUZZ_GENERATOR_H_

@@ -1,0 +1,142 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+
+namespace rel {
+namespace fuzz {
+
+namespace {
+
+using datalog::Program;
+using datalog::Rule;
+
+/// Rebuilds the bookkeeping a shrink move may have invalidated: idb_preds
+/// is re-derived from the surviving rule heads.
+void Refresh(FuzzCase* c) {
+  std::vector<std::string> idb;
+  for (const Rule& rule : c->program.rules()) idb.push_back(rule.head.pred);
+  std::sort(idb.begin(), idb.end());
+  idb.erase(std::unique(idb.begin(), idb.end()), idb.end());
+  c->idb_preds = std::move(idb);
+}
+
+/// Copy of `c` with rule `skip_rule` removed, or — when `skip_literal` is
+/// non-negative — with only that body literal of the rule removed.
+FuzzCase WithoutRulePart(const FuzzCase& c, size_t skip_rule,
+                         int skip_literal) {
+  FuzzCase out;
+  out.seed = c.seed;
+  out.goal = c.goal;
+  for (const auto& [pred, facts] : c.program.facts()) {
+    out.program.AddFacts(pred, facts);
+  }
+  const auto& rules = c.program.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i == skip_rule && skip_literal < 0) continue;
+    Rule rule = rules[i];
+    if (i == skip_rule) {
+      rule.body.erase(rule.body.begin() + skip_literal);
+    }
+    out.program.AddRule(std::move(rule));
+  }
+  Refresh(&out);
+  return out;
+}
+
+/// Copy of `c` with one fact of `pred` removed (the `skip`-th in sorted
+/// order — sorted so the move is deterministic).
+FuzzCase WithoutFact(const FuzzCase& c, const std::string& pred,
+                     size_t skip) {
+  FuzzCase out;
+  out.seed = c.seed;
+  out.goal = c.goal;
+  out.idb_preds = c.idb_preds;
+  for (const auto& [p, facts] : c.program.facts()) {
+    if (p != pred) {
+      out.program.AddFacts(p, facts);
+      continue;
+    }
+    std::vector<Tuple> tuples = facts.SortedTuples();
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      if (i != skip) out.program.AddFact(p, tuples[i]);
+    }
+  }
+  for (const Rule& rule : c.program.rules()) {
+    out.program.AddRule(rule);
+  }
+  return out;
+}
+
+bool StillFails(const FuzzCase& c, const RunnerOptions& options) {
+  return !RunCase(c, options).ok();
+}
+
+}  // namespace
+
+FuzzCase Minimize(const FuzzCase& c, const RunnerOptions& options) {
+  if (!StillFails(c, options)) return c;
+  FuzzCase current = c;
+
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+
+    if (current.goal) {
+      FuzzCase candidate = current;
+      candidate.goal.reset();
+      if (StillFails(candidate, options)) {
+        current = std::move(candidate);
+        shrunk = true;
+      }
+    }
+
+    for (size_t i = 0; i < current.program.rules().size();) {
+      FuzzCase candidate = WithoutRulePart(current, i, -1);
+      if (StillFails(candidate, options)) {
+        current = std::move(candidate);
+        shrunk = true;
+        // The rule list shifted down; retry the same index.
+      } else {
+        ++i;
+      }
+    }
+
+    for (size_t i = 0; i < current.program.rules().size(); ++i) {
+      for (size_t j = 0; j < current.program.rules()[i].body.size();) {
+        if (current.program.rules()[i].body.size() <= 1) break;
+        FuzzCase candidate = WithoutRulePart(current, i, static_cast<int>(j));
+        if (StillFails(candidate, options)) {
+          current = std::move(candidate);
+          shrunk = true;
+        } else {
+          ++j;
+        }
+      }
+    }
+
+    std::vector<std::string> fact_preds;
+    for (const auto& [pred, facts] : current.program.facts()) {
+      (void)facts;
+      fact_preds.push_back(pred);
+    }
+    for (const std::string& pred : fact_preds) {
+      size_t count = current.program.facts().count(pred)
+                         ? current.program.facts().at(pred).size()
+                         : 0;
+      for (size_t i = 0; i < count;) {
+        FuzzCase candidate = WithoutFact(current, pred, i);
+        if (StillFails(candidate, options)) {
+          current = std::move(candidate);
+          shrunk = true;
+          --count;
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace fuzz
+}  // namespace rel

@@ -440,6 +440,98 @@ TEST(MagicFilter, FilterByPatternMatchesTypeExactly) {
   EXPECT_EQ(got.ToString(), "{(1, 2)}");
 }
 
+// --- edge cases surfaced while building the equivalent-query fuzzer ------
+
+// A goal over an EDB predicate (facts, no rules): nothing to chase, so the
+// transform degenerates to the identity — and demanded evaluation still
+// returns exactly the goal-filtered facts.
+TEST(MagicEdgeCases, GoalOverEdbPredicateIsIdentity) {
+  Program p = ParseDatalog(kTCRight);
+  std::vector<Tuple> edges = benchutil::RandomGraph(12, 30, 3);
+  for (const Tuple& e : edges) p.AddFact("edge", e);
+
+  MagicProgram magic =
+      MagicTransform(p, DemandGoal{"edge", {I(0), std::nullopt}});
+  EXPECT_FALSE(magic.transformed);
+  EXPECT_EQ(magic.goal_pred, "edge");
+  EXPECT_EQ(magic.adorned_rules, 0);
+  EXPECT_EQ(magic.magic_rules, 0);
+
+  // Differential: demanded == goal-filtered, for bound, all-bound and
+  // all-free patterns over the EDB predicate.
+  const Pattern patterns[] = {
+      {I(0), std::nullopt},
+      {std::nullopt, I(3)},
+      {edges[0][0], edges[0][1]},        // all-bound, known present
+      {I(999), I(999)},                  // all-bound, absent
+      {std::nullopt, std::nullopt},      // all-free
+  };
+  for (const Pattern& pattern : patterns) {
+    Case c{kTCRight, &edges, "edge", "edge", pattern};
+    ExpectDemandEqualsFiltered(c, "edge/edb-goal");
+  }
+}
+
+// Repeated variables: in the rule heads (tc(X, X) diagonal), in body atoms
+// (self-join positions), and as repeated constants in the goal pattern.
+// The sideways-information-passing walk must not double-bind or drop the
+// duplicated positions.
+TEST(MagicEdgeCases, RepeatedVariablesAndRepeatedGoalConstants) {
+  const char kDiag[] =
+      "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z)."
+      "loop(X) :- tc(X, X)."
+      "diag(X, X) :- loop(X)."
+      "meet(X, Y) :- tc(X, Z), tc(Y, Z), edge(X, X).";
+  std::vector<Tuple> edges = benchutil::CycleGraph(9);
+  edges.push_back(Tuple({I(2), I(2)}));  // a self-loop feeds edge(X, X)
+  edges.push_back(Tuple({I(4), I(4)}));
+
+  const char* preds[] = {"loop", "diag", "meet"};
+  for (const char* pred : preds) {
+    std::vector<Pattern> patterns;
+    if (std::string(pred) == "loop") {
+      patterns = {{I(2)}, {I(3)}, {std::nullopt}};
+    } else {
+      patterns = {{I(2), I(2)},  // repeated constant, on the diagonal
+                  {I(2), I(3)},  // off-diagonal: diag must answer empty
+                  {I(2), std::nullopt},
+                  {std::nullopt, I(4)},
+                  {std::nullopt, std::nullopt}};
+    }
+    for (const Pattern& pattern : patterns) {
+      Case c{kDiag, &edges, "edge", pred, pattern};
+      ExpectDemandEqualsFiltered(c, "diag/repeated-vars");
+    }
+  }
+}
+
+// All-free goals across every predicate of a stratified program: each must
+// be the identity (transformed == false) AND the demanded answers must
+// equal the full fixpoint for that predicate.
+TEST(MagicEdgeCases, AllFreeGoalsAcrossAllPredicates) {
+  const char kStratified[] =
+      "tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z)."
+      "unreach(X, Y) :- node(X), node(Y), !tc(X, Y).";
+  std::vector<Tuple> edges = benchutil::ChainGraph(8);
+  Program shape = ParseDatalog(kStratified);
+  for (const Tuple& e : edges) shape.AddFact("edge", e);
+  for (int i = 0; i < 8; ++i) shape.AddFact("node", Tuple({I(i)}));
+
+  for (const char* pred : {"tc", "unreach"}) {
+    MagicProgram magic =
+        MagicTransform(shape, DemandGoal{pred, {std::nullopt, std::nullopt}});
+    EXPECT_FALSE(magic.transformed) << pred;
+    EXPECT_EQ(magic.goal_pred, pred);
+
+    Relation full = EvaluatePredicate(shape, pred, EvalOptions{});
+    EvalOptions demand;
+    demand.demand_goal = DemandGoal{pred, {std::nullopt, std::nullopt}};
+    Relation demanded = EvaluatePredicate(shape, pred, demand);
+    EXPECT_EQ(demanded, full) << pred;
+    EXPECT_EQ(demanded.ToString(), full.ToString()) << pred;
+  }
+}
+
 }  // namespace
 }  // namespace datalog
 }  // namespace rel

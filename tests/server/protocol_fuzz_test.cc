@@ -1,0 +1,78 @@
+// Property test for the line-protocol escaping (src/server/protocol.h):
+// UnescapeLine(EscapeLine(s)) == s for arbitrary strings, and EscapeLine
+// output never contains a raw newline (the framing invariant the
+// line-oriented transport depends on). Strings are fuzz-generated with the
+// same deterministic Rng the equivalent-query fuzzer uses — heavy on the
+// characters the escaper must handle: '\n', '\\', escape-lookalike pairs
+// ("\\n"), and embedded NULs.
+
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.h"
+
+namespace rel {
+namespace server {
+namespace {
+
+/// A random string biased toward escaping hazards. Length 0..63.
+std::string HazardString(Rng& rng) {
+  static const char kHazards[] = {'\n', '\\', 'n', '\r', '\t', '\0', '"'};
+  size_t len = rng.NextBelow(64);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    if (rng.NextBool(0.4)) {
+      s += kHazards[rng.NextBelow(sizeof(kHazards))];
+    } else {
+      s += static_cast<char>(32 + rng.NextBelow(95));  // printable ASCII
+    }
+  }
+  return s;
+}
+
+TEST(ProtocolEscape, RoundTripsFuzzedStrings) {
+  Rng rng(0xE5CA9E5EEDull);
+  for (int i = 0; i < 2000; ++i) {
+    std::string s = HazardString(rng);
+    std::string escaped = EscapeLine(s);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos)
+        << "raw newline survives escaping in case " << i;
+    EXPECT_EQ(UnescapeLine(escaped), s)
+        << "round trip lost case " << i << ": [" << escaped << "]";
+  }
+}
+
+TEST(ProtocolEscape, RoundTripsTheNastyCorners) {
+  const std::string cases[] = {
+      "",
+      "\n",
+      "\\",
+      "\\n",          // literal backslash + n, must NOT become a newline
+      "\\\n",         // literal backslash then a real newline
+      "\\\\n",        // two backslashes then n
+      "a\nb\nc",
+      std::string("nul\0nul", 7),
+      "trailing backslash \\",
+      "def output(x) :\n  edge(x, _)",  // multi-line Rel source
+  };
+  for (const std::string& s : cases) {
+    EXPECT_EQ(UnescapeLine(EscapeLine(s)), s);
+    EXPECT_EQ(EscapeLine(s).find('\n'), std::string::npos);
+  }
+}
+
+TEST(ProtocolEscape, UnknownEscapesPassThroughVerbatim) {
+  // Documented contract: UnescapeLine leaves escapes it does not know
+  // alone, so hand-typed client input degrades gracefully.
+  EXPECT_EQ(UnescapeLine("\\t"), "\\t");
+  EXPECT_EQ(UnescapeLine("a\\qb"), "a\\qb");
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace rel
