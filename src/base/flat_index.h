@@ -37,6 +37,25 @@ class FlatHashIndex {
     for (; lo != entries_.end() && lo->hash == h; ++lo) fn(lo->row);
   }
 
+  /// Appends rows [begin_row, end_row) to an already-built index, keeping
+  /// the hash order: the new entries are sorted among themselves and merged
+  /// into the existing run. O(new log new + total) — the incremental path
+  /// when a caller knows the underlying storage only grew.
+  template <typename HashFn>
+  void Append(size_t begin_row, size_t end_row, HashFn&& hash_of) {
+    size_t old_size = entries_.size();
+    entries_.reserve(entries_.size() + (end_row - begin_row));
+    for (size_t i = begin_row; i < end_row; ++i) {
+      entries_.push_back(Entry{hash_of(i), static_cast<uint32_t>(i)});
+    }
+    auto mid = entries_.begin() + static_cast<ptrdiff_t>(old_size);
+    auto by_hash = [](const Entry& a, const Entry& b) {
+      return a.hash < b.hash;
+    };
+    std::sort(mid, entries_.end(), by_hash);
+    std::inplace_merge(entries_.begin(), mid, entries_.end(), by_hash);
+  }
+
   void Clear() { entries_.clear(); }
   size_t size() const { return entries_.size(); }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <memory>
 
 #include "base/error.h"
 
@@ -32,6 +34,42 @@ uint64_t ThreadPool::Stats::TotalSteals() const {
 int ThreadPool::HardwareThreads() {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool& ThreadPool::Shared(int num_threads) {
+  int n = std::max(1, num_threads);
+  // Heap-allocated and never destroyed: worker threads must not be joined
+  // during static destruction (a task could still reference other statics),
+  // and the registry stays reachable so leak checkers don't flag it.
+  static std::mutex* mu = new std::mutex();
+  static auto* pools = new std::map<int, std::unique_ptr<ThreadPool>>();
+  std::lock_guard<std::mutex> lock(*mu);
+  std::unique_ptr<ThreadPool>& pool = (*pools)[n];
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(n);
+  return *pool;
+}
+
+bool ThreadPool::TryClaimHelper() {
+  std::lock_guard<std::mutex> lock(helper_mu_);
+  std::thread::id self = std::this_thread::get_id();
+  if (helper_depth_ == 0) {
+    helper_id_ = self;
+    helper_depth_ = 1;
+    return true;
+  }
+  if (helper_id_ == self) {
+    ++helper_depth_;
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::ReleaseHelper() {
+  std::lock_guard<std::mutex> lock(helper_mu_);
+  InternalCheck(helper_depth_ > 0 &&
+                    helper_id_ == std::this_thread::get_id(),
+                "ReleaseHelper without a matching TryClaimHelper");
+  if (--helper_depth_ == 0) helper_id_ = std::thread::id();
 }
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -150,15 +188,13 @@ void ThreadPool::Execute(const TaskPtr& task, int slot, bool stolen) {
   } else {
     std::lock_guard<std::mutex> lock(helper_mu_);
     // The helper slot's single-writer guarantee (per-thread staging relies
-    // on it) holds only if one outside thread ever executes tasks; turn a
-    // violation into an immediate failure instead of a silent data race.
-    if (helper_id_ == std::thread::id()) {
-      helper_id_ = std::this_thread::get_id();
-    } else {
-      InternalCheck(helper_id_ == std::this_thread::get_id(),
-                    "more than one non-worker thread is executing tasks of "
-                    "this pool (helper slot is single-writer)");
-    }
+    // on it) holds only while exactly one outside thread executes tasks;
+    // Wait() acquires the claim before executing, so a violation here is an
+    // internal bug — fail fast instead of racing silently.
+    InternalCheck(helper_depth_ > 0 &&
+                      helper_id_ == std::this_thread::get_id(),
+                  "non-worker thread executing pool tasks without holding "
+                  "the helper claim (helper slot is single-writer)");
     ++helper_executed_;
     if (stolen) ++helper_steals_;
   }
@@ -224,17 +260,27 @@ ThreadPool::TaskPtr ThreadPool::TaskGroup::ClaimOwn() {
 
 void ThreadPool::TaskGroup::Wait() {
   const int slot = pool_->CurrentSlot();
+  const bool outside = slot == pool_->num_threads();
+  // An outside thread may execute tasks only while holding the helper
+  // claim: the shared pool can have several outside waiters at once, and
+  // they would otherwise all write the same staging slot. A waiter that
+  // loses the claim parks instead (its tasks still progress on the
+  // workers) and retries each wakeup — the holder releases on Wait exit.
+  bool helper = false;
   while (pending_.load(std::memory_order_acquire) > 0) {
-    // This group's work first: a round barrier should never be extended by
-    // an unrelated long task while its own chunks sit queued.
-    if (TaskPtr task = ClaimOwn()) {
-      pool_->Execute(task, slot, /*stolen=*/false);
-      continue;
-    }
-    bool stolen = false;
-    if (TaskPtr task = pool_->TryClaim(slot, &stolen)) {
-      pool_->Execute(task, slot, stolen);
-      continue;
+    if (outside && !helper) helper = pool_->TryClaimHelper();
+    if (!outside || helper) {
+      // This group's work first: a round barrier should never be extended
+      // by an unrelated long task while its own chunks sit queued.
+      if (TaskPtr task = ClaimOwn()) {
+        pool_->Execute(task, slot, /*stolen=*/false);
+        continue;
+      }
+      bool stolen = false;
+      if (TaskPtr task = pool_->TryClaim(slot, &stolen)) {
+        pool_->Execute(task, slot, stolen);
+        continue;
+      }
     }
     // Nothing claimable: our remaining tasks are running on other threads.
     // Park until the count drops (bounded, so newly stealable foreign work
@@ -244,6 +290,7 @@ void ThreadPool::TaskGroup::Wait() {
       return pending_.load(std::memory_order_acquire) == 0;
     });
   }
+  if (helper) pool_->ReleaseHelper();
   // Settle the final completer: it decremented under wait_mu_, so once we
   // re-acquire the lock its Execute epilogue has fully released the group.
   { std::lock_guard<std::mutex> lock(wait_mu_); }

@@ -100,6 +100,26 @@ class ThreadPool {
   /// The machine's hardware thread count (>= 1).
   static int HardwareThreads();
 
+  /// The process-wide shared pool for this thread count, created on first
+  /// use and kept alive for the process lifetime (so repeated Evaluate
+  /// calls stop paying thread spawn/join per call). One pool per distinct
+  /// count; concurrent users of the same pool interleave their tasks —
+  /// safe, because fork-join waiting always makes progress and per-slot
+  /// staging is protected by the helper claim below.
+  static ThreadPool& Shared(int num_threads);
+
+  /// Claims the helper slot (the slot CurrentSlot() returns for non-worker
+  /// threads) for the calling thread. Per-thread staging indexed by slot is
+  /// single-writer only if at most one outside thread executes tasks at a
+  /// time; with a shared pool several outside threads can Wait()
+  /// concurrently, so execution rights are claimed instead of assumed.
+  /// Reentrant for the holder (nested fork-join on the same thread).
+  /// Returns false when another thread holds the claim — the caller parks
+  /// without executing instead.
+  bool TryClaimHelper();
+  /// Releases one level of the calling thread's helper claim.
+  void ReleaseHelper();
+
   /// A fork-join scope: Run() submits, Wait() helps until all submitted
   /// tasks completed, rethrowing the first captured task exception.
   class TaskGroup {
@@ -162,11 +182,12 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerState>> queues_;
   std::vector<std::thread> workers_;
   // Helper-slot counters (the outside thread has no WorkerState), plus the
-  // identity of the one non-worker thread allowed to execute tasks — a
-  // second one would silently share the helper staging slot, so Execute
-  // checks and fails fast instead.
+  // claim state naming the one non-worker thread currently allowed to
+  // execute tasks — a second one would silently share the helper staging
+  // slot, so Execute asserts the claim is held by the caller.
   mutable std::mutex helper_mu_;
   std::thread::id helper_id_;
+  int helper_depth_ = 0;
   uint64_t helper_executed_ = 0;
   uint64_t helper_steals_ = 0;
 

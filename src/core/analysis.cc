@@ -23,10 +23,33 @@ void AddLocals(const std::vector<Binding>& bindings,
 
 }  // namespace
 
+ProgramAnalysis::ProgramAnalysis(const std::vector<std::shared_ptr<Def>>& defs)
+    : ProgramAnalysis(nullptr, 0, defs) {}
+
 ProgramAnalysis::ProgramAnalysis(
+    const ProgramAnalysis* prefix, size_t prefix_size,
     const std::vector<std::shared_ptr<Def>>& defs) {
+  // Extension safety: every appended non-ic def must name a relation the
+  // prefix neither defines nor references. Then all new dependency edges
+  // run from appended names to prefix names (never back), so no prefix
+  // component, signature, or monotonicity verdict can change.
+  size_t begin = 0;
+  if (prefix != nullptr && prefix_size <= defs.size()) {
+    bool safe = true;
+    for (size_t i = prefix_size; i < defs.size() && safe; ++i) {
+      const Def& def = *defs[i];
+      if (def.is_ic) continue;  // ics take no part in the dependency graph
+      safe = !prefix->HasRules(def.name) && !prefix->IsReferenced(def.name);
+    }
+    if (safe) {
+      base_ = prefix;
+      begin = prefix_size;
+    }
+  }
+
   // Pass 1: signatures (leading relation-variable parameter counts).
-  for (const auto& def : defs) {
+  for (size_t i = begin; i < defs.size(); ++i) {
+    const auto& def = defs[i];
     if (def->is_ic) continue;
     size_t so = 0;
     while (so < def->params.size() &&
@@ -38,7 +61,8 @@ ProgramAnalysis::ProgramAnalysis(
   }
 
   // Pass 2: references.
-  for (const auto& def : defs) {
+  for (size_t i = begin; i < defs.size(); ++i) {
+    const auto& def = defs[i];
     if (def->is_ic) continue;
     std::set<std::string> locals;
     AddLocals(def->params, &locals);
@@ -47,14 +71,18 @@ ProgramAnalysis::ProgramAnalysis(
       if (b.domain) CollectRefs(b.domain, /*non_monotone=*/false, &locals, &refs);
     }
     CollectRefs(def->body, /*non_monotone=*/false, &locals, &refs);
+    for (const Ref& ref : refs) referenced_.insert(ref.target);
   }
 
-  // Pass 3: Tarjan SCC over names with rules.
+  // Pass 3: Tarjan SCC over names with local rules. In extension mode the
+  // graph is the appended slice only: an edge into a prefix-ruled name
+  // cannot close a cycle (the prefix never references appended names, by
+  // the safety check), so those targets are skipped like base relations.
   std::map<std::string, int> index, low;
   std::vector<std::string> stack;
   std::set<std::string> on_stack;
   int next_index = 0;
-  int next_component = 0;
+  int next_component = base_ == nullptr ? 0 : base_->component_limit_;
 
   std::function<void(const std::string&)> strongconnect =
       [&](const std::string& v) {
@@ -89,8 +117,10 @@ ProgramAnalysis::ProgramAnalysis(
     (void)refs;
     if (!index.count(name)) strongconnect(name);
   }
+  component_limit_ = next_component;
 
-  // Pass 4: classify components.
+  // Pass 4: classify components. Local maps only: a local edge into a
+  // prefix component is cross-component by construction.
   for (const auto& [name, refs] : edges_) {
     int comp = component_[name];
     for (const Ref& ref : refs) {
@@ -103,9 +133,20 @@ ProgramAnalysis::ProgramAnalysis(
   }
 }
 
+bool ProgramAnalysis::HasRules(const std::string& name) const {
+  if (edges_.count(name)) return true;
+  return base_ != nullptr && base_->HasRules(name);
+}
+
+bool ProgramAnalysis::IsReferenced(const std::string& name) const {
+  if (referenced_.count(name)) return true;
+  return base_ != nullptr && base_->IsReferenced(name);
+}
+
 size_t ProgramAnalysis::SigOf(const std::string& name) const {
   auto it = max_sig_.find(name);
-  return it == max_sig_.end() ? 0 : it->second;
+  if (it != max_sig_.end()) return it->second;
+  return base_ == nullptr ? 0 : base_->SigOf(name);
 }
 
 void ProgramAnalysis::CollectRefs(const ExprPtr& expr, bool non_monotone,
@@ -184,37 +225,64 @@ void ProgramAnalysis::CollectRefs(const ExprPtr& expr, bool non_monotone,
 
 bool ProgramAnalysis::UsesReplacement(const std::string& name) const {
   auto it = component_.find(name);
-  if (it == component_.end()) return false;
+  if (it == component_.end()) {
+    return base_ != nullptr && base_->UsesReplacement(name);
+  }
   return replacement_components_.count(it->second) > 0;
 }
 
 bool ProgramAnalysis::IsRecursive(const std::string& name) const {
   auto it = component_.find(name);
-  if (it == component_.end()) return false;
+  if (it == component_.end()) {
+    return base_ != nullptr && base_->IsRecursive(name);
+  }
   return recursive_components_.count(it->second) > 0;
 }
 
 int ProgramAnalysis::ComponentOf(const std::string& name) const {
   auto it = component_.find(name);
-  return it == component_.end() ? -1 : it->second;
+  if (it == component_.end()) {
+    return base_ == nullptr ? -1 : base_->ComponentOf(name);
+  }
+  return it->second;
 }
 
 std::vector<std::string> ProgramAnalysis::ComponentMembers(
     const std::string& name) const {
   std::vector<std::string> out;
   auto it = component_.find(name);
-  if (it == component_.end()) return out;
+  if (it == component_.end()) {
+    // A component lives entirely on one side: appended names never join a
+    // prefix component (extension safety), so delegate whole.
+    return base_ == nullptr ? out : base_->ComponentMembers(name);
+  }
   for (const auto& [member, comp] : component_) {
     if (comp == it->second) out.push_back(member);
   }
   return out;  // std::map iteration is already sorted
 }
 
+std::set<std::string> ProgramAnalysis::DefReferences(const Def& def) const {
+  std::set<std::string> locals;
+  AddLocals(def.params, &locals);
+  std::vector<Ref> refs;
+  for (const Binding& b : def.params) {
+    if (b.domain) CollectRefs(b.domain, /*non_monotone=*/false, &locals, &refs);
+  }
+  CollectRefs(def.body, /*non_monotone=*/false, &locals, &refs);
+  std::set<std::string> out;
+  for (const Ref& ref : refs) out.insert(ref.target);
+  return out;
+}
+
 std::set<std::string> ProgramAnalysis::References(
     const std::string& name) const {
-  std::set<std::string> out;
   auto it = edges_.find(name);
-  if (it == edges_.end()) return out;
+  if (it == edges_.end()) {
+    return base_ == nullptr ? std::set<std::string>{}
+                            : base_->References(name);
+  }
+  std::set<std::string> out;
   for (const Ref& ref : it->second) out.insert(ref.target);
   return out;
 }

@@ -22,9 +22,26 @@
 namespace rel {
 
 /// Dependency/SCC analysis over a fixed rule set.
+///
+/// Construction is the dominant fixed cost of every transaction and query
+/// (each Interp analyzes the stdlib prelude plus the session's rules anew),
+/// so the three-argument constructor can *extend* a cached analysis of the
+/// shared def prefix instead: when every appended def names a relation the
+/// prefix neither defines nor references, the appended defs cannot change
+/// any prefix component (all new edges point from new names into old ones),
+/// and the analysis only runs over the appended slice, delegating prefix
+/// lookups to `prefix`. Otherwise it falls back to analyzing the whole
+/// list. The prefix analysis must outlive this one (the Engine keeps it on
+/// the published snapshot, so any Interp over that snapshot is covered).
 class ProgramAnalysis {
  public:
   explicit ProgramAnalysis(const std::vector<std::shared_ptr<Def>>& defs);
+
+  /// Extends `prefix` — the analysis of defs[0..prefix_size) — with the
+  /// remaining defs where safe (see class comment); analyzes all of `defs`
+  /// from scratch where not, or when `prefix` is null.
+  ProgramAnalysis(const ProgramAnalysis* prefix, size_t prefix_size,
+                  const std::vector<std::shared_ptr<Def>>& defs);
 
   /// True if `name` belongs to a recursive component with a non-monotone
   /// internal edge (must use replacement iteration).
@@ -45,6 +62,17 @@ class ProgramAnalysis {
   /// Names that `name`'s rules reference (for documentation/tests).
   std::set<std::string> References(const std::string& name) const;
 
+  /// Names referenced by one def's parameter domains and body. Unlike the
+  /// constructor's passes this does NOT skip integrity constraints — it is
+  /// how the engine computes an ic's read set for delta-specialized
+  /// checking (Decker-style: an ic whose reference closure misses every
+  /// changed relation cannot have changed its verdict).
+  std::set<std::string> DefReferences(const Def& def) const;
+
+  /// True when this analysis reused a prefix analysis and only processed
+  /// the appended defs (observability for tests and counters).
+  bool extended() const { return base_ != nullptr; }
+
  private:
   struct Ref {
     std::string target;
@@ -54,12 +82,25 @@ class ProgramAnalysis {
   void CollectRefs(const ExprPtr& expr, bool non_monotone,
                    std::set<std::string>* locals, std::vector<Ref>* out) const;
   size_t SigOf(const std::string& name) const;
+  /// `name` has rules in this analysis or (transitively) its base.
+  bool HasRules(const std::string& name) const;
+  /// Some def of this analysis or its base references `name`.
+  bool IsReferenced(const std::string& name) const;
 
+  /// The prefix analysis this one extends; lookups that miss the local maps
+  /// delegate here. Null for a from-scratch analysis.
+  const ProgramAnalysis* base_ = nullptr;
   std::map<std::string, std::vector<Ref>> edges_;
   std::map<std::string, size_t> max_sig_;
   std::map<std::string, int> component_;
   std::set<int> recursive_components_;
   std::set<int> replacement_components_;
+  /// Every name referenced by some local def (the extension-safety check:
+  /// an appended def must not redefine anything the prefix can read).
+  std::set<std::string> referenced_;
+  /// One past the largest component id in use, including the base's
+  /// (extension components must not collide with prefix component ids).
+  int component_limit_ = 0;
 };
 
 }  // namespace rel

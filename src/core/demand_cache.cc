@@ -1,0 +1,62 @@
+#include "core/demand_cache.h"
+
+#include <utility>
+
+#include "datalog/magic.h"
+
+namespace rel {
+
+void DemandCache::Maintain(const DatabaseDelta& delta,
+                           const datalog::EvalOptions& opts) {
+  // Two phases: decide and extract first, re-insert after. Re-keyed nodes
+  // sort after every from_version node (db_version leads the key order), so
+  // inserting them mid-iteration would revisit them as stale and drop them.
+  std::vector<std::map<Key, Entry>::node_type> keep;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.db_version != delta.from_version ||
+        it->second.payload == nullptr) {
+      it = entries_.erase(it);
+      continue;
+    }
+    MaintainResult result = MaintainExtents(it->second.payload.get(), delta,
+                                            opts, &maintain_stats_);
+    if (result == MaintainResult::kUnsupported) {
+      it = entries_.erase(it);
+      continue;
+    }
+    if (result == MaintainResult::kMaintained) {
+      // The cone is a pure function of the maintained extents: re-filter.
+      Entry& entry = it->second;
+      auto goal = entry.payload->extents.find(entry.goal_pred);
+      entry.cone = goal == entry.payload->extents.end()
+                       ? Relation()
+                       : datalog::FilterByPattern(goal->second, entry.pattern);
+      ++maintained_;
+    } else {
+      ++restamped_;
+    }
+    auto next = std::next(it);
+    auto node = entries_.extract(it);
+    node.key().db_version = delta.to_version;
+    keep.push_back(std::move(node));
+    it = next;
+  }
+  for (auto& node : keep) entries_.insert(std::move(node));
+}
+
+void DemandCache::ClearAffected(const std::set<std::string>& names) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool affected = it->second.payload == nullptr;
+    if (!affected) {
+      for (const std::string& n : it->second.payload->closure) {
+        if (names.count(n)) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    it = affected ? entries_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace rel

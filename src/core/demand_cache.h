@@ -14,24 +14,39 @@
 //   * the Interp only consults the cache for predicates whose transitive
 //     rule dependencies contain no transaction-local def (a query-source
 //     `def` extending a relation the cone reads would change the answer);
-//   * the owner must Clear() when the persistent rule set changes
-//     (Session watches Snapshot::rules_version) and should Retain() the
-//     pinned version on re-pin so entries from abandoned snapshots do not
-//     accumulate.
+//   * the owner must invalidate on persistent rule-set changes — wholesale
+//     Clear(), or ClearAffected() with the new defs' names when the change
+//     is a pure extension (entries whose closure cannot read a new name
+//     survive; see Session::Adopt) — and should Retain() the pinned version
+//     on re-pin so entries from abandoned snapshots do not accumulate.
 // The commit pipeline never attaches a cache to writer-side Interps: an
 // aborted transaction's working versions can be re-issued by a later
 // commit with different content, so only published snapshot versions are
 // ever used as keys.
+//
+// Incremental maintenance (PR 9): entries stored by the cacheable demand
+// path carry the full fixpoint of the magic-transformed program as a
+// MaintainableExtents payload (core/extent_cache.h). On re-pin across a
+// chain of commit deltas the Session calls Maintain() instead of dropping
+// everything: each cone is moved to the new version in O(|delta cone|) —
+// deltas outside its closure just re-stamp the key; relevant deltas run
+// datalog::EvaluateDelta over the transformed program (magic seed facts
+// never change under base-relation deltas, so the transformed program's
+// EDB delta IS the database delta) and re-filter the goal extent.
 
 #ifndef REL_CORE_DEMAND_CACHE_H_
 #define REL_CORE_DEMAND_CACHE_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/extent_cache.h"
 #include "data/relation.h"
 #include "data/value.h"
 
@@ -62,14 +77,36 @@ class DemandCache {
       return nullptr;
     }
     ++hits_;
-    return &it->second;
+    return &it->second.cone;
   }
 
   /// Stores (or overwrites) an entry; the returned reference is stable for
-  /// the cache's lifetime (map nodes do not move).
-  const Relation& Store(Key key, Relation cone) {
-    return entries_[std::move(key)] = std::move(cone);
+  /// the cache's lifetime (map nodes do not move, re-keying included).
+  /// `goal_pred`/`pattern`/`payload` make the cone maintainable: the
+  /// payload holds the transformed program's full fixpoint and the cone is
+  /// FilterByPattern(payload->extents[goal_pred], pattern). Entries stored
+  /// without a payload are dropped by the first Maintain()/ClearAffected().
+  const Relation& Store(Key key, Relation cone, std::string goal_pred = {},
+                        std::vector<std::optional<Value>> pattern = {},
+                        std::unique_ptr<MaintainableExtents> payload = nullptr) {
+    Entry& entry = entries_[std::move(key)];
+    entry.cone = std::move(cone);
+    entry.goal_pred = std::move(goal_pred);
+    entry.pattern = std::move(pattern);
+    entry.payload = std::move(payload);
+    return entry.cone;
   }
+
+  /// Moves every entry at delta.from_version to delta.to_version — cones
+  /// whose closure the delta misses are re-stamped; relevant cones are
+  /// maintained incrementally and re-filtered. Entries that cannot follow
+  /// (stale version, no payload, unmaintainable shape) are dropped.
+  void Maintain(const DatabaseDelta& delta, const datalog::EvalOptions& opts);
+
+  /// Drops every entry whose closure intersects `names` (and every entry
+  /// without a payload) — the rule-extension hook: a new def only kills
+  /// the cones that can read it.
+  void ClearAffected(const std::set<std::string>& names);
 
   /// Drops every entry whose version differs from `db_version` — called on
   /// re-pin, so the cache holds cones for the pinned snapshot only.
@@ -85,11 +122,28 @@ class DemandCache {
   size_t size() const { return entries_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t maintained() const { return maintained_; }
+  uint64_t restamped() const { return restamped_; }
+  /// Accumulated counters of the incremental cone evaluations.
+  const datalog::EvalStats& maintain_stats() const { return maintain_stats_; }
 
  private:
-  std::map<Key, Relation> entries_;
+  struct Entry {
+    Relation cone;
+    std::string goal_pred;
+    std::vector<std::optional<Value>> pattern;
+    /// The transformed program's fixpoint; null for cones stored by the
+    /// non-cacheable/internal demand path (those never reach this cache)
+    /// or legacy stores — dropped on the first maintenance pass.
+    std::unique_ptr<MaintainableExtents> payload;
+  };
+
+  std::map<Key, Entry> entries_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t maintained_ = 0;
+  uint64_t restamped_ = 0;
+  datalog::EvalStats maintain_stats_;
 };
 
 }  // namespace rel

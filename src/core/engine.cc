@@ -33,6 +33,21 @@ std::string ViolationDetail(const Relation& violations) {
              : std::to_string(violations.size()) + " violating bindings";
 }
 
+/// How many commit deltas each snapshot carries. Sessions more than this
+/// many commits behind fall back to dropping their caches on re-pin.
+constexpr size_t kRecentDeltaWindow = 8;
+
+/// EvalOptions for incremental cache maintenance, mirroring the lowering
+/// path's mapping (LoweredEvalOptions in interp.cc): same thread count and
+/// seed so maintained extents are byte-identical to recomputation.
+datalog::EvalOptions MaintainEvalOptions(const InterpOptions& options) {
+  datalog::EvalOptions eval_options;
+  eval_options.num_threads = options.num_threads;
+  eval_options.max_iterations = std::max(options.max_iterations, 1);
+  eval_options.plan_order_seed = options.plan_order_seed;
+  return eval_options;
+}
+
 /// insert/delete control tuples are (:RName, v1, ..., vk).
 bool SplitControlTuple(const Tuple& t, std::string* name, Tuple* payload) {
   if (t.arity() == 0) return false;
@@ -48,7 +63,8 @@ bool SplitControlTuple(const Tuple& t, std::string* name, Tuple* payload) {
 Engine::Engine() : Engine(/*load_stdlib=*/true) {}
 
 Engine::Engine(bool load_stdlib)
-    : rules_(std::make_shared<std::vector<std::shared_ptr<Def>>>()) {
+    : rules_(std::make_shared<std::vector<std::shared_ptr<Def>>>()),
+      rules_analysis_(std::make_shared<const ProgramAnalysis>(*rules_)) {
   std::lock_guard<std::mutex> writer(writer_mu_);
   if (load_stdlib) DefineLocked(StdlibSource(), /*internal=*/true);
   Publish();
@@ -75,8 +91,11 @@ std::shared_ptr<const Snapshot> Engine::Publish() {
   auto snap = std::make_shared<Snapshot>();
   snap->db = std::make_shared<const Database>(db_);
   snap->rules = rules_;
+  snap->rules_analysis = rules_analysis_;
   snap->rules_version = rules_version_;
   snap->txn_id = last_txn_id_;
+  snap->db_epoch = db_epoch_;
+  snap->recent_deltas.assign(recent_deltas_.begin(), recent_deltas_.end());
   std::shared_ptr<const Snapshot> out = std::move(snap);
   std::lock_guard<std::mutex> lock(head_mu_);
   head_ = out;
@@ -91,6 +110,11 @@ void Engine::RollbackToHead() {
   }
   // A copy-on-write re-copy: O(#relations) pointer copies, no tuple data.
   db_ = *head->db;
+  // Discard writer-cache entries born of the aborted transaction. Maintain()
+  // re-keys every surviving entry to the transaction's post-version, so
+  // everything above the head version belongs to the abort; entries at the
+  // head version describe the state we just rolled back to and stay.
+  writer_cache_.DropAbove(head->version());
 }
 
 // --- model installation ---
@@ -124,6 +148,18 @@ void Engine::DefineLocked(const std::string& source, bool internal) {
   rules_ = std::move(next);
   ++rules_version_;
   if (!internal) model_sources_.push_back(source);
+  // New rules can extend relations cached extents were computed from — drop
+  // exactly the components that can read one of the new names. New
+  // constraints see pre-existing data, so the next commit must run a full
+  // integrity pass before delta specialization resumes.
+  std::set<std::string> defined;
+  for (const auto& def : defs) defined.insert(def->name);
+  writer_cache_.ClearAffected(defined);
+  ic_full_pass_needed_ = true;
+  // Re-analyze the (immutable) rule set once per Define; every transaction
+  // and query extends this analysis with its own defs instead of paying a
+  // full prelude analysis per Interp.
+  rules_analysis_ = std::make_shared<const ProgramAnalysis>(*rules_);
 }
 
 // --- the single-session facade ---
@@ -179,10 +215,13 @@ TxnResult Engine::ExecTxn(const std::string& source, const InterpOptions& opts,
   // Writer-side Interps never use the session's demand cache: an aborted
   // transaction's working database versions can be re-issued by a later
   // commit with different content, so only published snapshot versions may
-  // become cache keys (see core/demand_cache.h).
+  // become cache keys (see core/demand_cache.h). The writer's own extent
+  // cache is safe because RollbackToHead() drops every above-head entry.
   InterpOptions writer_opts = opts;
   writer_opts.demand_cache = nullptr;
-  writer_opts.shared_defs = 0;
+  writer_opts.shared_defs = rules_->size();
+  writer_opts.extent_cache = &writer_cache_;
+  writer_opts.shared_analysis = rules_analysis_.get();
 
   Interp interp(&db_, combined, writer_opts);
   TxnResult result;
@@ -198,9 +237,14 @@ TxnResult Engine::ExecTxn(const std::string& source, const InterpOptions& opts,
 
   if (inserts.empty() && deletes.empty()) {
     // Still check constraints: the transaction's ic rules apply to the
-    // current state. Nothing changed, so nothing is published — the caller
+    // current state. Nothing changed, so the delta is empty — persistent
+    // constraints validated for the head carry over; only the
+    // transaction's own ic rules run. Nothing is published — the caller
     // re-pins the current head.
-    CheckConstraintsWith(&interp, writer_opts);
+    const std::set<std::string> no_changes;
+    bool full_pass = CheckConstraintsWith(&interp, writer_opts, &no_changes,
+                                          writer_opts.shared_defs);
+    if (full_pass) ic_full_pass_needed_ = false;
     result.snapshot_version = db_.version();
     if (published != nullptr) *published = SnapshotNow();
     return result;
@@ -212,6 +256,9 @@ TxnResult Engine::ExecTxn(const std::string& source, const InterpOptions& opts,
   // are collected as WAL ops so the transaction can be logged after it
   // passes constraint checking.
   std::vector<storage::WalRecord> ops;
+  auto delta = std::make_shared<DatabaseDelta>();
+  delta->from_version = db_.version();
+  delta->db_epoch = db_epoch_;
   for (const Tuple& t : deletes.SortedTuples()) {
     std::string name;
     Tuple payload;
@@ -220,7 +267,7 @@ TxnResult Engine::ExecTxn(const std::string& source, const InterpOptions& opts,
       throw RelError(ErrorKind::kType,
                      "delete tuples must start with a :RelationName");
     }
-    db_.Delete(name, payload);
+    if (db_.Delete(name, payload)) delta->RecordDelete(name, payload);
     if (store_ != nullptr) {
       ops.push_back(storage::WalRecord::Retract(name, payload));
     }
@@ -234,16 +281,35 @@ TxnResult Engine::ExecTxn(const std::string& source, const InterpOptions& opts,
       throw RelError(ErrorKind::kType,
                      "insert tuples must start with a :RelationName");
     }
-    db_.Insert(name, payload);
+    if (db_.Insert(name, payload)) delta->RecordInsert(name, payload);
     if (store_ != nullptr) {
       ops.push_back(storage::WalRecord::Fact(name, payload));
     }
     ++result.inserted;
   }
+  delta->to_version = db_.version();
 
+  // The maintain step: carry cached lowered-component fixpoints across the
+  // commit instead of recomputing them — the post-state constraint check
+  // (and every later transaction) resumes semi-naive evaluation from the
+  // delta (insert) or runs DRed (delete); see core/extent_cache.h.
+  writer_cache_.Maintain(*delta, MaintainEvalOptions(writer_opts));
+
+  // The effective net change, for Decker-style constraint specialization:
+  // only constraints whose transitive read set intersects these relations
+  // (or the transaction's own defs) can have changed their verdict.
+  std::set<std::string> net_changed;
+  for (const auto& [name, change] : delta->changes) {
+    if (!change.inserted.empty() || !change.deleted.empty()) {
+      net_changed.insert(name);
+    }
+  }
+
+  bool full_pass = false;
   try {
     Interp post(&db_, combined, writer_opts);
-    CheckConstraintsWith(&post, writer_opts);
+    full_pass = CheckConstraintsWith(&post, writer_opts, &net_changed,
+                                     writer_opts.shared_defs);
   } catch (...) {
     RollbackToHead();  // abort: roll back the transaction
     throw;
@@ -262,11 +328,21 @@ TxnResult Engine::ExecTxn(const std::string& source, const InterpOptions& opts,
   }
   if (result.txn_id != 0) last_txn_id_ = result.txn_id;
 
+  // Publish the commit's delta alongside the snapshot so sessions can
+  // maintain their demand/extent caches on re-pin instead of dropping them.
+  if (delta->to_version != delta->from_version || !delta->empty()) {
+    recent_deltas_.push_back(std::move(delta));
+    while (recent_deltas_.size() > kRecentDeltaWindow) {
+      recent_deltas_.pop_front();
+    }
+  }
+
   // The ack: atomically publish the post-state. From this point every new
   // pin (and every session that adopts `published`) sees the commit.
   std::shared_ptr<const Snapshot> snap = Publish();
   result.snapshot_version = snap->version();
   if (published != nullptr) *published = std::move(snap);
+  if (full_pass) ic_full_pass_needed_ = false;
   return result;
 }
 
@@ -290,13 +366,27 @@ void Engine::ApplyBulk(const std::string& name,
     }
     last_txn_id_ = txn_id;
   }
+  auto delta = std::make_shared<DatabaseDelta>();
+  delta->from_version = db_.version();
+  delta->db_epoch = db_epoch_;
   for (const Tuple& t : tuples) {
     if (is_insert) {
-      db_.Insert(name, t);
+      if (db_.Insert(name, t)) delta->RecordInsert(name, t);
     } else {
-      db_.Delete(name, t);
+      if (db_.Delete(name, t)) delta->RecordDelete(name, t);
     }
   }
+  delta->to_version = db_.version();
+  writer_cache_.Maintain(*delta, MaintainEvalOptions(options_));
+  if (delta->to_version != delta->from_version || !delta->empty()) {
+    recent_deltas_.push_back(std::move(delta));
+    while (recent_deltas_.size() > kRecentDeltaWindow) {
+      recent_deltas_.pop_front();
+    }
+  }
+  // Bulk loads skip constraint checking by design, so the resulting head
+  // has no verified base for delta-specialized checks.
+  ic_full_pass_needed_ = true;
   std::shared_ptr<const Snapshot> snap = Publish();
   if (published != nullptr) *published = std::move(snap);
 }
@@ -307,25 +397,77 @@ void Engine::CheckConstraints() {
   std::shared_ptr<const Snapshot> snap = SnapshotNow();
   InterpOptions opts = options_;
   opts.demand_cache = nullptr;
+  opts.extent_cache = nullptr;
   opts.shared_defs = 0;
+  opts.shared_analysis = nullptr;
   Interp interp(snap->db.get(), *snap->rules, opts);
   CheckConstraintsWith(&interp, opts);
 }
 
-void Engine::CheckConstraintsWith(Interp* interp, const InterpOptions& opts) {
+bool Engine::CheckConstraintsWith(Interp* interp, const InterpOptions& opts,
+                                  const std::set<std::string>* changed,
+                                  size_t shared_defs) {
   const std::vector<std::shared_ptr<Def>>& ics = interp->ics();
-  if (ics.empty()) return;
+  if (ics.empty()) return true;
+
+  // Decker-style delta specialization (callers passing `changed` hold
+  // writer_mu_, which also guards ic_full_pass_needed_ and ic_stats_): a
+  // constraint is checked iff it is transaction-local, or its transitive
+  // read set reaches a changed relation or a transaction-local def. All
+  // other persistent constraints kept their pre-state verdict — sound only
+  // when the pre-state itself passed a full check since the last rule
+  // change or bulk load, hence the ic_full_pass_needed_ gate.
+  std::vector<size_t> to_check;
+  to_check.reserve(ics.size());
+  const bool prune = changed != nullptr && !ic_full_pass_needed_;
+  if (!prune) {
+    for (size_t i = 0; i < ics.size(); ++i) to_check.push_back(i);
+  } else {
+    const std::vector<std::shared_ptr<Def>>& defs = interp->defs();
+    std::set<const Def*> persistent;
+    for (size_t i = 0; i < shared_defs && i < defs.size(); ++i) {
+      persistent.insert(defs[i].get());
+    }
+    std::set<std::string> txn_local;
+    for (size_t i = shared_defs; i < defs.size(); ++i) {
+      txn_local.insert(defs[i]->name);
+    }
+    for (size_t i = 0; i < ics.size(); ++i) {
+      const Def& ic = *ics[i];
+      bool must_check = persistent.count(&ic) == 0;
+      if (!must_check) {
+        for (const std::string& root : interp->analysis().DefReferences(ic)) {
+          for (const std::string& name : interp->ReferencesClosure(root)) {
+            if (changed->count(name) != 0 || txn_local.count(name) != 0) {
+              must_check = true;
+              break;
+            }
+          }
+          if (must_check) break;
+        }
+      }
+      if (must_check) {
+        to_check.push_back(i);
+      } else {
+        ++ic_stats_.skipped;
+      }
+    }
+  }
+  if (changed != nullptr) ic_stats_.checked += to_check.size();
+  const bool full_pass = to_check.size() == ics.size();
+  if (to_check.empty()) return full_pass;
 
   int num_threads = opts.num_threads == 0 ? ThreadPool::HardwareThreads()
                                           : opts.num_threads;
-  num_threads = std::min<int>(num_threads, static_cast<int>(ics.size()));
+  num_threads = std::min<int>(num_threads, static_cast<int>(to_check.size()));
 
   if (num_threads <= 1) {
     // The solver caches compiled rules by Def address; keep every synthetic
     // violation rule alive until the interp is done with them, or a freed
     // address could be reused by the next rule and hit a stale cache entry.
     std::vector<std::shared_ptr<Def>> keep_alive;
-    for (const auto& ic : ics) {
+    for (size_t i : to_check) {
+      const auto& ic = ics[i];
       keep_alive.push_back(ViolationRule(*ic));
       Relation violations =
           interp->solver().EvalRule(*keep_alive.back(), {}, nullptr);
@@ -334,7 +476,7 @@ void Engine::CheckConstraintsWith(Interp* interp, const InterpOptions& opts) {
                                   "violated by " + ViolationDetail(violations));
       }
     }
-    return;
+    return full_pass;
   }
 
   // Parallel: constraints are independent reads of the same database, so
@@ -362,18 +504,23 @@ void Engine::CheckConstraintsWith(Interp* interp, const InterpOptions& opts) {
     ThreadPool::TaskGroup group(&pool);
     // One task per worker over a strided constraint subset, not one per
     // constraint: each Interp construction re-runs analysis over the whole
-    // def set, so build num_threads of them, not ics.size().
+    // def set, so build num_threads of them, not to_check.size().
     for (int worker = 0; worker < num_threads; ++worker) {
-      group.Run([interp, worker, num_threads, opts, &outcomes] {
+      group.Run([interp, worker, num_threads, opts, &outcomes, &to_check] {
         InterpOptions sequential = opts;
         sequential.num_threads = 1;
+        // Worker Interps never share the writer's extent cache: it is
+        // externally synchronized by writer_mu_, which these tasks do not
+        // hold.
+        sequential.extent_cache = nullptr;
         Interp local(&interp->db(), interp->defs(), sequential);
         // Same Def-address-reuse hazard as the sequential path: the solver
         // caches compiled rules by address, so every synthetic rule this
         // Interp saw must stay alive as long as the Interp does.
         std::vector<std::shared_ptr<Def>> keep_alive;
-        for (size_t i = static_cast<size_t>(worker); i < interp->ics().size();
-             i += static_cast<size_t>(num_threads)) {
+        for (size_t k = static_cast<size_t>(worker); k < to_check.size();
+             k += static_cast<size_t>(num_threads)) {
+          size_t i = to_check[k];
           try {
             keep_alive.push_back(ViolationRule(*interp->ics()[i]));
             Relation violations =
@@ -392,13 +539,14 @@ void Engine::CheckConstraintsWith(Interp* interp, const InterpOptions& opts) {
   }
   // Deterministic report: the first failure in declaration order, exactly
   // what the sequential path would have thrown.
-  for (size_t i = 0; i < ics.size(); ++i) {
+  for (size_t i : to_check) {
     if (outcomes[i].error) std::rethrow_exception(outcomes[i].error);
     if (outcomes[i].violated) {
       throw ConstraintViolation(ics[i]->name,
                                 "violated by " + outcomes[i].detail);
     }
   }
+  return full_pass;
 }
 
 // --- reads over the newest snapshot ---
@@ -446,6 +594,12 @@ storage::RecoveryReport Engine::AttachStorage(
     model_sources_.push_back(source);
   }
   db_ = std::move(data.db);
+  // The recovered database starts a fresh version timeline: no delta ever
+  // leads into it, and no cached extent or constraint verdict survives it.
+  ++db_epoch_;
+  recent_deltas_.clear();
+  writer_cache_.Clear();
+  ic_full_pass_needed_ = true;
   store_ = std::move(store);
   Status log_status = Status::Ok();
   for (const std::string& source : pre_attach) {

@@ -36,12 +36,15 @@
 #ifndef REL_CORE_ENGINE_H_
 #define REL_CORE_ENGINE_H_
 
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/ast.h"
+#include "core/extent_cache.h"
 #include "core/interp.h"
 #include "core/session.h"
 #include "data/database.h"
@@ -174,6 +177,20 @@ class Engine {
   /// Number of installed persistent rules (stdlib + Define'd).
   size_t installed_rules() const;
 
+  /// Counters for delta-specialized integrity checking (Decker-style): a
+  /// committing transaction only re-evaluates constraints whose transitive
+  /// read set intersects the relations it changed (or its own local defs);
+  /// the rest are skipped, their validity carried over from the pre-state.
+  struct IcStats {
+    uint64_t checked = 0;
+    uint64_t skipped = 0;
+  };
+  const IcStats& ic_stats() const { return ic_stats_; }
+
+  /// The writer-side extent cache: lowered-component fixpoints maintained
+  /// across the commit pipeline's pre-state and post-state evaluations.
+  const ExtentCache& writer_extent_cache() const { return writer_cache_; }
+
  private:
   friend class Session;
 
@@ -195,10 +212,18 @@ class Engine {
   void ApplyBulk(const std::string& name, const std::vector<Tuple>& tuples,
                  bool is_insert, std::shared_ptr<const Snapshot>* published);
 
-  /// Runs every integrity constraint known to `interp`, parallelizing per
+  /// Runs integrity constraints known to `interp`, parallelizing per
   /// `opts.num_threads`. Throws ConstraintViolation for the first failing
-  /// constraint in declaration order.
-  void CheckConstraintsWith(Interp* interp, const InterpOptions& opts);
+  /// constraint in declaration order. When `changed` is non-null (and the
+  /// head state has passed a full check since the last rule change), the
+  /// pass is specialized to the delta: a persistent constraint whose
+  /// transitive read set misses both `changed` and the transaction's local
+  /// defs (the first `shared_defs` entries of interp->defs() are
+  /// persistent) is skipped. Returns true iff every constraint was
+  /// evaluated (a full pass).
+  bool CheckConstraintsWith(Interp* interp, const InterpOptions& opts,
+                            const std::set<std::string>* changed = nullptr,
+                            size_t shared_defs = 0);
 
   /// Requires writer_mu_. Parses and installs `source` into the rule
   /// vector; records it in model_sources_ (and WAL-logs it when attached)
@@ -229,12 +254,36 @@ class Engine {
   std::mutex writer_mu_;
   Database db_;
   std::shared_ptr<const std::vector<std::shared_ptr<Def>>> rules_;
+  /// Dependency/SCC analysis of `rules_`, rebuilt on every Define and
+  /// published with each snapshot; Interps extend it with their
+  /// transaction-local defs instead of re-analyzing the prelude per
+  /// transaction (see ProgramAnalysis's extension constructor).
+  std::shared_ptr<const ProgramAnalysis> rules_analysis_;
   uint64_t rules_version_ = 0;
   uint64_t last_txn_id_ = 0;
   std::unique_ptr<storage::Store> store_;
   /// Post-stdlib Define history, in install order — what snapshots persist
   /// so rules and integrity constraints recover with the data.
   std::vector<std::string> model_sources_;
+
+  /// Writer-side extent cache, keyed by working-database versions. Abort
+  /// safety: Maintain() re-keys every surviving entry to the transaction's
+  /// post-version, so RollbackToHead()'s DropAbove(head version) discards
+  /// exactly the aborted transaction's entries while the pre-state's
+  /// survive (see core/extent_cache.h).
+  ExtentCache writer_cache_;
+  /// Bumped whenever db_ is replaced wholesale (AttachStorage recovery):
+  /// deltas from different epochs must never be composed.
+  uint64_t db_epoch_ = 0;
+  /// The last few commit deltas, oldest first, published with each
+  /// snapshot so sessions can maintain their caches across re-pins.
+  std::deque<std::shared_ptr<const DatabaseDelta>> recent_deltas_;
+  /// True until the current head state has passed a full constraint pass:
+  /// set by construction, Define (new constraints see old data), bulk
+  /// loads (unchecked by design), and recovery. While set, delta
+  /// specialization is disabled — Decker's induction needs a verified base.
+  bool ic_full_pass_needed_ = true;
+  IcStats ic_stats_;
 
   InterpOptions options_;
   LoweringStats lowering_stats_;

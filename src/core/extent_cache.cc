@@ -1,0 +1,135 @@
+#include "core/extent_cache.h"
+
+#include <utility>
+
+namespace rel {
+
+namespace {
+
+/// The changed names of `delta` that intersect `names`, or an empty vector.
+std::vector<const std::string*> RelevantChanges(const DatabaseDelta& delta,
+                                                const std::set<std::string>& names) {
+  std::vector<const std::string*> out;
+  for (const auto& [name, change] : delta.changes) {
+    if (change.inserted.empty() && change.deleted.empty()) continue;
+    if (names.count(name)) out.push_back(&name);
+  }
+  return out;
+}
+
+}  // namespace
+
+MaintainResult MaintainExtents(MaintainableExtents* e,
+                               const DatabaseDelta& delta,
+                               const datalog::EvalOptions& opts,
+                               datalog::EvalStats* stats) {
+  if (delta.wholesale) return MaintainResult::kUnsupported;
+  std::vector<const std::string*> relevant =
+      RelevantChanges(delta, e->closure);
+  if (relevant.empty()) return MaintainResult::kUntouched;
+  if (!e->maintainable) return MaintainResult::kUnsupported;
+
+  datalog::EdbDelta edb;
+  for (const std::string* name : relevant) {
+    const DatabaseDelta::Change& change = delta.changes.at(*name);
+    if (!change.inserted.empty()) edb.inserts[*name] = change.inserted;
+    if (!change.deleted.empty()) edb.deletes[*name] = change.deleted;
+    // Head predicates double as EDB carriers: their base facts are the
+    // re-derivation support set and must track the database exactly.
+    if (e->head_preds.count(*name)) {
+      Relation& base = e->base_facts[*name];
+      base.InsertAll(change.inserted);
+      change.deleted.ForEach([&](const TupleRef& t) { base.Erase(t.ToTuple()); });
+    }
+  }
+
+  datalog::DeltaResult result = datalog::EvaluateDelta(
+      e->program, e->base_facts, edb, &e->extents, opts, stats, e->cache.get());
+  return result.supported ? MaintainResult::kMaintained
+                          : MaintainResult::kUnsupported;
+}
+
+std::string ExtentCache::KeyFor(const std::vector<std::string>& members) {
+  std::string key;
+  for (const std::string& m : members) {
+    key += m;
+    key += '\x1f';  // cannot occur in source-level names
+  }
+  return key;
+}
+
+const ExtentCache::Entry* ExtentCache::Lookup(const std::string& key,
+                                              uint64_t db_version) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second->db_version != db_version) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second.get();
+}
+
+ExtentCache::Entry& ExtentCache::Store(std::string key, Entry entry) {
+  std::unique_ptr<Entry>& slot = entries_[std::move(key)];
+  slot = std::make_unique<Entry>(std::move(entry));
+  return *slot;
+}
+
+void ExtentCache::Maintain(const DatabaseDelta& delta,
+                           const datalog::EvalOptions& opts) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = *it->second;
+    if (entry.db_version != delta.from_version) {
+      ++dropped_;
+      it = entries_.erase(it);
+      continue;
+    }
+    switch (MaintainExtents(&entry.ext, delta, opts, &maintain_stats_)) {
+      case MaintainResult::kUntouched:
+        ++restamped_;
+        entry.db_version = delta.to_version;
+        ++it;
+        break;
+      case MaintainResult::kMaintained:
+        ++maintained_;
+        entry.db_version = delta.to_version;
+        ++it;
+        break;
+      case MaintainResult::kUnsupported:
+        ++dropped_;
+        it = entries_.erase(it);
+        break;
+    }
+  }
+}
+
+void ExtentCache::DropAbove(uint64_t db_version) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second->db_version > db_version) {
+      ++dropped_;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ExtentCache::ClearAffected(const std::set<std::string>& names) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool affected = false;
+    for (const std::string& n : it->second->ext.closure) {
+      if (names.count(n)) {
+        affected = true;
+        break;
+      }
+    }
+    if (affected) {
+      ++dropped_;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rel

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "base/error.h"
+#include "core/extent_cache.h"
 #include "core/lowering.h"
 #include "datalog/eval.h"
+#include "datalog/magic.h"
 
 namespace rel {
 
@@ -92,7 +94,7 @@ Interp::Interp(const Database* db, std::vector<std::shared_ptr<Def>> defs,
                InterpOptions options)
     : db_(db),
       all_defs_(std::move(defs)),
-      analysis_(all_defs_),
+      analysis_(options.shared_analysis, options.shared_defs, all_defs_),
       options_(options),
       solver_(this) {
   for (const auto& def : all_defs_) {
@@ -111,9 +113,12 @@ Interp::Interp(const Database* db, std::vector<std::shared_ptr<Def>> defs,
 }
 
 bool Interp::DemandCacheable(const std::string& name) {
-  if (options_.demand_cache == nullptr) return false;
-  auto memo = demand_cacheable_.find(name);
-  if (memo != demand_cacheable_.end()) return memo->second;
+  return options_.demand_cache != nullptr && SharedRulesOnly(name);
+}
+
+bool Interp::SharedRulesOnly(const std::string& name) {
+  auto memo = shared_rules_only_.find(name);
+  if (memo != shared_rules_only_.end()) return memo->second;
   // Reachability over the name-level dependency graph: `name` and every
   // def it can read must come from the shared rule prefix. Base relations
   // (names with no rules) are covered by the version key itself.
@@ -131,8 +136,39 @@ bool Interp::DemandCacheable(const std::string& name) {
       if (seen.insert(ref).second) work.push_back(ref);
     }
   }
-  demand_cacheable_[name] = cacheable;
+  shared_rules_only_[name] = cacheable;
   return cacheable;
+}
+
+std::set<std::string> Interp::ReferencesClosure(const std::string& name) const {
+  std::set<std::string> seen{name};
+  std::vector<std::string> work{name};
+  while (!work.empty()) {
+    std::string cur = std::move(work.back());
+    work.pop_back();
+    for (const std::string& ref : analysis_.References(cur)) {
+      if (seen.insert(ref).second) work.push_back(ref);
+    }
+  }
+  return seen;
+}
+
+void Interp::FillMaintainInfo(const LoweredComponent& lowered,
+                              const std::string& name,
+                              MaintainableExtents* out) {
+  // Members are one SCC (mutually reachable), so the closure from any one
+  // of them covers them all plus everything their rules can read.
+  out->closure = ReferencesClosure(name);
+  out->maintainable = true;
+  for (const std::string& ext : lowered.externals) {
+    out->base_names.insert(ext);
+    if (HasDefs(ext)) out->maintainable = false;
+  }
+  for (const std::string& member : lowered.members) {
+    out->base_names.insert(member);
+    out->head_preds.insert(member);
+    if (db_->Has(member)) out->base_facts[member] = db_->Get(member);
+  }
 }
 
 bool Interp::HasDefs(const std::string& name) const {
@@ -387,6 +423,41 @@ bool Interp::TryLowerComponent(const std::string& name) {
     return false;
   };
 
+  // Splices one member's finished extent into the instance table.
+  auto splice = [&](const std::string& member, Relation value) {
+    Instance& inst = instances_[InstanceKey{member, 0, {}}];
+    // No member can be mid-saturation here: reaching a member's fixpoint at
+    // all means an earlier lowering attempt for this component failed, and
+    // failed components never retry.
+    InternalCheck(!inst.in_progress, "lowering into an in-progress instance");
+    inst.value = std::move(value);
+    inst.done = true;
+    inst.provisional = false;
+    lowering_stats_.lowered_tuples += inst.value.size();
+    lowering_stats_.lowered_names.push_back(member);
+  };
+
+  // Cross-transaction fast path: the owner of the extent cache maintains
+  // component fixpoints forward under commit deltas, so a component built
+  // from shared rules may already have its extents for this exact database
+  // version — splice copies and skip the evaluator entirely.
+  const bool cacheable =
+      options_.extent_cache != nullptr && SharedRulesOnly(name);
+  std::string cache_key;
+  if (cacheable) {
+    cache_key = ExtentCache::KeyFor(analysis_.ComponentMembers(name));
+    if (const ExtentCache::Entry* hit =
+            options_.extent_cache->Lookup(cache_key, db_->version())) {
+      for (const std::string& member : analysis_.ComponentMembers(name)) {
+        auto it = hit->ext.extents.find(member);
+        splice(member, it == hit->ext.extents.end() ? Relation() : it->second);
+      }
+      ++lowering_stats_.components_lowered;
+      ++lowering_stats_.extent_cache_hits;
+      return true;
+    }
+  }
+
   std::optional<LoweredComponent> lowered = BuildLoweredProgram(name);
   if (!lowered) return false;
 
@@ -405,19 +476,21 @@ bool Interp::TryLowerComponent(const std::string& name) {
   }
 
   for (const std::string& member : lowered->members) {
-    Instance& inst = instances_[InstanceKey{member, 0, {}}];
-    // No member can be mid-saturation here: reaching a member's fixpoint at
-    // all means an earlier lowering attempt for this component failed, and
-    // failed components never retry.
-    InternalCheck(!inst.in_progress, "lowering into an in-progress instance");
     auto it = extents.find(member);
-    inst.value = it == extents.end() ? Relation() : std::move(it->second);
-    inst.done = true;
-    inst.provisional = false;
-    lowering_stats_.lowered_tuples += inst.value.size();
-    lowering_stats_.lowered_names.push_back(member);
+    // Copy when the cache keeps the authoritative extents, move otherwise.
+    Relation value;
+    if (it != extents.end()) value = cacheable ? it->second : std::move(it->second);
+    splice(member, std::move(value));
   }
   ++lowering_stats_.components_lowered;
+  if (cacheable) {
+    ExtentCache::Entry entry;
+    entry.db_version = db_->version();
+    entry.ext.extents = std::move(extents);
+    FillMaintainInfo(*lowered, name, &entry.ext);
+    entry.ext.program = std::move(lowered->program);
+    options_.extent_cache->Store(std::move(cache_key), std::move(entry));
+  }
   return true;
 }
 
@@ -490,6 +563,41 @@ const Relation& Interp::EvalInstanceDemand(
       DemandGoalFor(*dc.lowered, name, pattern);
   if (!goal) return EvalInstance(name, 0, {});
 
+  if (cacheable) {
+    // Cacheable cones run the magic transform explicitly and keep the
+    // transformed program's FULL fixpoint as the entry's maintenance
+    // payload: on later commits the session moves it forward with
+    // datalog::EvaluateDelta (the magic seed facts never change under
+    // base-relation deltas) and re-filters the goal extent, instead of
+    // re-running the cone from scratch.
+    datalog::MagicProgram magic =
+        datalog::MagicTransform(dc.lowered->program, *goal);
+    const datalog::Program& prog =
+        magic.transformed ? magic.program : dc.lowered->program;
+    std::map<std::string, Relation> extents;
+    try {
+      extents = datalog::Evaluate(prog, LoweredEvalOptions(options_));
+    } catch (const RelError&) {
+      return EvalInstance(name, 0, {});
+    }
+    ++dc.patterns;
+    Relation cone;
+    auto it = extents.find(magic.goal_pred);
+    if (it != extents.end()) {
+      cone = datalog::FilterByPattern(it->second, goal->pattern);
+    }
+    ++lowering_stats_.components_demanded;
+    lowering_stats_.demanded_tuples += cone.size();
+    auto payload = std::make_unique<MaintainableExtents>();
+    payload->extents = std::move(extents);
+    FillMaintainInfo(*dc.lowered, name, payload.get());
+    payload->program =
+        magic.transformed ? std::move(magic.program) : dc.lowered->program;
+    return options_.demand_cache->Store(std::move(cache_key), std::move(cone),
+                                        magic.goal_pred, goal->pattern,
+                                        std::move(payload));
+  }
+
   datalog::EvalOptions eval_options = LoweredEvalOptions(options_);
   eval_options.demand_goal = std::move(goal);
   std::map<std::string, Relation> extents;
@@ -507,10 +615,6 @@ const Relation& Interp::EvalInstanceDemand(
   if (it != extents.end()) cone = std::move(it->second);
   ++lowering_stats_.components_demanded;
   lowering_stats_.demanded_tuples += cone.size();
-  if (cacheable) {
-    return options_.demand_cache->Store(std::move(cache_key),
-                                        std::move(cone));
-  }
   return demand_memo_[key] = std::move(cone);
 }
 

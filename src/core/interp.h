@@ -33,6 +33,8 @@
 
 namespace rel {
 
+class ExtentCache;
+
 /// Evaluation limits; exceeded limits raise kNonConvergent.
 struct InterpOptions {
   /// Cap on fixpoint iterations per relation instance.
@@ -83,6 +85,22 @@ struct InterpOptions {
   /// externally synchronized, so no locks on the read path. nullptr keeps
   /// the per-Interp memo only (cones die with the transaction).
   DemandCache* demand_cache = nullptr;
+  /// Cross-transaction cache of lowered-component fixpoints (see
+  /// core/extent_cache.h). Owned by the Engine's writer side or by a
+  /// Session, externally synchronized, maintained under database deltas by
+  /// the owner. The same shared_defs gate as the demand cache applies: a
+  /// component whose closure touches a transaction-local def never enters.
+  /// nullptr recomputes every lowered fixpoint per transaction (pre-PR-9
+  /// behavior).
+  ExtentCache* extent_cache = nullptr;
+  /// Dependency/SCC analysis of the first `shared_defs` defs, owned by the
+  /// Engine and published with each snapshot. When set, the Interp extends
+  /// it with the transaction-local defs instead of re-analyzing the whole
+  /// prelude per transaction (ProgramAnalysis falls back to a full analysis
+  /// when an appended def could perturb prefix components). Must outlive
+  /// the Interp; internal plumbing — callers outside Engine/Session leave
+  /// it null.
+  const ProgramAnalysis* shared_analysis = nullptr;
 };
 
 /// Counters for the recursion-lowering pass, exposed per Interp (and copied
@@ -92,6 +110,7 @@ struct LoweringStats {
   int components_rejected = 0;  // monotone SCCs outside the Datalog fragment
   int components_demanded = 0;  // demand-transformed (magic-set) evaluations
   int demand_cache_hits = 0;    // cones served from the session DemandCache
+  int extent_cache_hits = 0;    // components served from the ExtentCache
   uint64_t lowered_tuples = 0;  // tuples spliced back into instances
   uint64_t demanded_tuples = 0; // tuples in demanded extents handed out
   std::vector<std::string> lowered_names;    // members, evaluation order
@@ -184,6 +203,14 @@ class Interp {
   /// iteration (non-monotone self-reference).
   bool UsesReplacement(const std::string& name) const;
 
+  /// The name-level dependency analysis over this context's rule set.
+  const ProgramAnalysis& analysis() const { return analysis_; }
+
+  /// Every name transitively reachable from `name` through rule references,
+  /// `name` included — the relevance set cache maintenance filters deltas
+  /// and rule changes against.
+  std::set<std::string> ReferencesClosure(const std::string& name) const;
+
   /// Fresh integer for internal variable naming (shared with the solver).
   int FreshId() { return ++fresh_counter_; }
 
@@ -237,6 +264,21 @@ class Interp {
   /// demand cache. Memoized per name.
   bool DemandCacheable(const std::string& name);
 
+  /// The shared gate behind DemandCacheable and the extent-cache path: true
+  /// iff no def reachable from `name` (itself included) is
+  /// transaction-local. Memoized per name.
+  bool SharedRulesOnly(const std::string& name);
+
+  /// Fills a cache entry's maintenance metadata for the component `lowered`
+  /// rooted at `name`: the name closure, the database relations feeding the
+  /// EDB, the members' base facts, and the maintainable verdict (false when
+  /// any external has rules — its EDB snapshot is a derived value a base
+  /// delta changes opaquely). Program-agnostic: valid for both the plain
+  /// lowered program and its magic transform (whose synthetic predicates
+  /// never appear in a DatabaseDelta).
+  void FillMaintainInfo(const LoweredComponent& lowered,
+                        const std::string& name, MaintainableExtents* out);
+
   /// Shared front half of TryLowerComponent and EvalInstanceDemand:
   /// translates the component of `name` and materializes its EDB (external
   /// extents via EvalInstance, members' base facts from the database).
@@ -266,9 +308,9 @@ class Interp {
            Relation>
       demand_memo_;
   /// Names defined by transaction-local defs (index >= options.shared_defs)
-  /// and the per-name DemandCacheable verdicts.
+  /// and the per-name SharedRulesOnly verdicts.
   std::set<std::string> txn_local_names_;
-  std::map<std::string, bool> demand_cacheable_;
+  std::map<std::string, bool> shared_rules_only_;
   /// Per-component demand bookkeeping: the translation + materialized EDB
   /// (built once, reused across patterns) and the distinct-pattern count
   /// driving the kMaxDemandPatterns cutoff.

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/demand_cache.h"
+#include "core/extent_cache.h"
 #include "core/interp.h"
 #include "data/database.h"
 
@@ -42,11 +43,24 @@ struct TxnResult;
 struct Snapshot {
   std::shared_ptr<const Database> db;
   std::shared_ptr<const std::vector<std::shared_ptr<Def>>> rules;
+  /// Dependency/SCC analysis of `rules`, computed once by the writer;
+  /// readers extend it with their query-local defs (InterpOptions::
+  /// shared_analysis) instead of re-analyzing the prelude per query.
+  std::shared_ptr<const ProgramAnalysis> rules_analysis;
   /// Bumped on every Define; demand caches keyed per rule era.
   uint64_t rules_version = 0;
   /// WAL id of the last durable transaction included (0 when the engine is
   /// not attached to storage or nothing has committed durably yet).
   uint64_t txn_id = 0;
+  /// Bumped when the database is replaced wholesale (AttachStorage recovery)
+  /// rather than mutated — guards sessions against composing deltas across
+  /// unrelated version timelines.
+  uint64_t db_epoch = 0;
+  /// The most recent commit deltas (oldest first), ending at this snapshot.
+  /// A session re-pinning from version V finds the suffix starting at V and
+  /// maintains its caches delta-by-delta instead of discarding them; if V
+  /// has already scrolled out of the window it falls back to dropping.
+  std::vector<std::shared_ptr<const DatabaseDelta>> recent_deltas;
 
   uint64_t version() const { return db->version(); }
 };
@@ -113,6 +127,10 @@ class Session {
   /// The session's cross-transaction demand-cone cache (hits/misses/size).
   const DemandCache& demand_cache() const { return demand_cache_; }
 
+  /// The session's whole-extent cache for fully-derived components
+  /// (maintained across re-pins just like the demand cache).
+  const ExtentCache& extent_cache() const { return extent_cache_; }
+
  private:
   friend class Engine;
 
@@ -126,6 +144,7 @@ class Session {
   std::shared_ptr<const Snapshot> snap_;
   InterpOptions options_;
   DemandCache demand_cache_;
+  ExtentCache extent_cache_;
   LoweringStats lowering_stats_;
 };
 

@@ -2,6 +2,35 @@
 
 namespace rel {
 
+bool DatabaseDelta::empty() const {
+  if (wholesale) return false;
+  for (const auto& [name, change] : changes) {
+    (void)name;
+    if (!change.inserted.empty() || !change.deleted.empty()) return false;
+  }
+  return true;
+}
+
+void DatabaseDelta::RecordInsert(const std::string& name, const Tuple& t) {
+  Change& change = changes[name];
+  // A delete recorded earlier in the same span cancels against this insert:
+  // the tuple is present at both endpoints, so the net delta drops it.
+  if (change.deleted.Contains(t)) {
+    change.deleted.Erase(t);
+    return;
+  }
+  change.inserted.Insert(t);
+}
+
+void DatabaseDelta::RecordDelete(const std::string& name, const Tuple& t) {
+  Change& change = changes[name];
+  if (change.inserted.Contains(t)) {
+    change.inserted.Erase(t);
+    return;
+  }
+  change.deleted.Insert(t);
+}
+
 Database::Database(const Database& other)
     : relations_(other.relations_), version_(other.version_) {
   // Both sides now share every relation: the next mutation on either side
@@ -52,24 +81,27 @@ const Relation& Database::Get(const std::string& name) const {
   return *it->second.rel;
 }
 
-void Database::Insert(const std::string& name, Tuple t) {
+bool Database::Insert(const std::string& name, Tuple t) {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     it = relations_.emplace(name, Slot{std::make_shared<Relation>(), true})
              .first;
   } else if (it->second.rel->Contains(t)) {
-    return;  // no-op inserts must not clone a shared relation
+    return false;  // no-op inserts must not clone a shared relation
   }
-  if (Mutable(it->second).Insert(std::move(t))) ++version_;
+  if (!Mutable(it->second).Insert(std::move(t))) return false;
+  ++version_;
+  return true;
 }
 
-void Database::Delete(const std::string& name, const Tuple& t) {
+bool Database::Delete(const std::string& name, const Tuple& t) {
   auto it = relations_.find(name);
-  if (it == relations_.end()) return;
-  if (!it->second.rel->Contains(t)) return;
+  if (it == relations_.end()) return false;
+  if (!it->second.rel->Contains(t)) return false;
   Mutable(it->second).Erase(t);
   ++version_;
   if (it->second.rel->empty()) relations_.erase(it);
+  return true;
 }
 
 void Database::Put(const std::string& name, Relation r) {

@@ -42,6 +42,36 @@
 
 namespace rel {
 
+/// The net, effect-free difference between two Database versions, recorded
+/// by the single-writer commit pipeline as it applies a transaction:
+/// `inserted` holds tuples absent at `from_version` and present at
+/// `to_version`, `deleted` the reverse; an insert-then-delete of the same
+/// tuple within the span cancels out of both. Snapshots carry a bounded
+/// chain of recent deltas so sessions can maintain cached derived state
+/// forward instead of recomputing (src/core/extent_cache.h).
+struct DatabaseDelta {
+  struct Change {
+    Relation inserted;
+    Relation deleted;
+  };
+  uint64_t from_version = 0;
+  uint64_t to_version = 0;
+  /// Guards against version-counter aliasing across recovery: deltas only
+  /// compose between snapshots of the same storage epoch (Engine bumps the
+  /// epoch when AttachStorage rebuilds the Database from disk).
+  uint64_t db_epoch = 0;
+  std::map<std::string, Change> changes;
+
+  bool empty() const;
+  /// Records one effective insert (cancelling a pending delete first).
+  void RecordInsert(const std::string& name, const Tuple& t);
+  /// Records one effective delete (cancelling a pending insert first).
+  void RecordDelete(const std::string& name, const Tuple& t);
+  /// True when the whole relation changed in a way tuple deltas don't
+  /// capture (Put/Drop); maintenance consumers must fall back.
+  bool wholesale = false;
+};
+
 /// Named base relations. Creating a relation on first insert mirrors the
 /// paper's "there is no need to declare a new base relation" (Section 3.4).
 class Database {
@@ -61,10 +91,13 @@ class Database {
   const Relation& Get(const std::string& name) const;
 
   /// Inserts `t` into relation `name`, creating the relation if needed.
-  void Insert(const std::string& name, Tuple t);
+  /// Returns true iff the tuple was actually added (false: duplicate) —
+  /// the commit pipeline builds its maintenance delta from these results.
+  bool Insert(const std::string& name, Tuple t);
 
-  /// Removes `t` from relation `name` if present.
-  void Delete(const std::string& name, const Tuple& t);
+  /// Removes `t` from relation `name` if present. Returns true iff a tuple
+  /// was actually removed.
+  bool Delete(const std::string& name, const Tuple& t);
 
   /// Replaces the whole contents of `name`.
   void Put(const std::string& name, Relation r);

@@ -156,12 +156,14 @@ int MaxVar(const Rule& rule) {
 /// their own without synchronization — relation entries never move and each
 /// is written by exactly one unit, only at its round barriers.
 struct State {
-  std::map<std::string, Relation> full;
+  /// Not owned. Evaluate points this at a local map; EvaluateDelta points it
+  /// at the caller's cached extents so maintenance mutates them in place.
+  std::map<std::string, Relation>* full = nullptr;
 
   const Relation& Full(const std::string& pred) const {
     static const Relation* empty = new Relation();
-    auto it = full.find(pred);
-    return it == full.end() ? *empty : it->second;
+    auto it = full->find(pred);
+    return it == full->end() ? *empty : it->second;
   }
 };
 
@@ -417,10 +419,11 @@ bool LeapfrogEligible(const Rule& rule, int num_vars) {
 /// variables regardless of which atom bound them first. Throws kSafety
 /// when the rule is not range-restricted.
 RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state,
-                   uint64_t order_seed) {
+                   uint64_t order_seed,
+                   const std::vector<bool>* prebound = nullptr) {
   RulePlan plan;
   plan.num_vars = MaxVar(rule) + 1;
-  if (order_seed == 0 && delta_index < 0 &&
+  if (order_seed == 0 && delta_index < 0 && prebound == nullptr &&
       LeapfrogEligible(rule, plan.num_vars)) {
     plan.leapfrog = true;
     return plan;
@@ -428,7 +431,11 @@ RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state,
 
   size_t n = rule.body.size();
   std::vector<bool> done(n, false);
+  // `prebound` marks variables the caller will bind before execution (the
+  // DRed re-derivation point probes pre-bind every head variable), so the
+  // planner can key probes on them from the first atom.
   std::vector<bool> bound(plan.num_vars, false);
+  if (prebound != nullptr) bound = *prebound;
   auto term_known = [&](const Term& t) { return !t.is_var() || bound[t.var]; };
   auto bind_atom_vars = [&](const Atom& atom) {
     for (const Term& t : atom.terms) {
@@ -654,12 +661,15 @@ void ExecLeapfrog(const Rule& rule, const RulePlan& plan, const State& state,
 void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
               const Relation* delta_rel, IndexCache* cache, Relation* out,
               EvalStats* stats, const Relation* dedup_against,
-              size_t drv_begin, size_t drv_end) {
+              size_t drv_begin, size_t drv_end,
+              const Bindings* initial = nullptr) {
   if (plan.leapfrog) {
     ExecLeapfrog(rule, plan, state, cache, out, stats, dedup_against);
     return;
   }
-  Bindings bindings(static_cast<size_t>(plan.num_vars));
+  Bindings bindings = initial != nullptr
+                          ? *initial
+                          : Bindings(static_cast<size_t>(plan.num_vars));
   // Reusable head-emission buffer: values stream from here straight into the
   // output relation's column arena, so no Tuple is allocated per derivation.
   std::vector<Value> head_buf;
@@ -737,7 +747,8 @@ void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
         if (!step_index[si]) {
           step_index[si] = &cache->Get(
               lit.atom.pred, state.Full(lit.atom.pred), lit.atom.terms.size(),
-              ps.key_positions, stats ? &stats->index_builds : nullptr);
+              ps.key_positions, stats ? &stats->index_builds : nullptr,
+              stats ? &stats->index_appends : nullptr);
         }
         const HashIndex& index = *step_index[si];
         std::vector<Value>& key = key_bufs[si];
@@ -943,6 +954,7 @@ void AccumulateCounters(EvalStats* into, const EvalStats& from) {
   into->iterations += from.iterations;
   into->tuples_derived += from.tuples_derived;
   into->index_builds += from.index_builds;
+  into->index_appends += from.index_appends;
   into->sorted_builds += from.sorted_builds;
   into->index_probes += from.index_probes;
   into->full_scans += from.full_scans;
@@ -952,6 +964,9 @@ void AccumulateCounters(EvalStats* into, const EvalStats& from) {
   into->par_tasks += from.par_tasks;
   into->par_steals += from.par_steals;
   into->par_merges += from.par_merges;
+  into->delta_inserts += from.delta_inserts;
+  into->delta_deletes += from.delta_deletes;
+  into->rederived += from.rederived;
 }
 
 /// Driver scans shorter than this run as one task; longer ones split into
@@ -970,10 +985,20 @@ constexpr size_t kMinChunkRows = 64;
 /// of the program's rule vector, giving every rule a stable index so the
 /// per-(rule, delta) permutation sub-seed is identical across runs (rule
 /// POINTERS vary run to run and must never feed the seed).
+/// `seed`, when non-null, switches the unit into *maintenance* mode: the
+/// initial full round is skipped and the fixpoint resumes with `*seed` as
+/// the first delta (tuples already merged into the full extents by the
+/// caller — the delta ⊆ full invariant semi-naive relies on). The first
+/// round runs one delta-variant per positive occurrence of ANY seeded
+/// predicate (EDB or lower-unit preds included, not just this unit's
+/// heads); later rounds revert to the standard heads-only filter. `collect`,
+/// when non-null, accumulates every tuple the unit newly added to the full
+/// extents — the downstream delta for units that depend on this one.
 void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
               int max_iterations, uint64_t plan_seed, const Rule* rules_base,
               State* state, IndexCache* cache, ThreadPool* pool,
-              EvalStats* out_stats, std::mutex* stats_mu) {
+              EvalStats* out_stats, std::mutex* stats_mu,
+              const DeltaMap* seed = nullptr, DeltaMap* collect = nullptr) {
   EvalStats local;
   // Fires when max_iterations > 0 and this unit's fixpoint exceeds it — the
   // guard against value-generating recursion that never converges.
@@ -1021,7 +1046,7 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
   auto run_round = [&](const std::vector<Pair>& pairs, DeltaMap* added) {
     if (!indexed) {
       for (const auto& [rule, di] : pairs) {
-        const Relation& full = state->full.at(rule->head.pred);
+        const Relation& full = state->full->at(rule->head.pred);
         Relation derived;
         EvalRuleScan(*rule, *state, delta, di, &derived, &local);
         derived.ForEach([&](const TupleRef& t) {
@@ -1075,7 +1100,7 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
       for (const Task& t : tasks) {
         ExecPlan(*t.rule, *t.plan, *state, t.delta_rel, cache,
                  &(*added)[t.rule->head.pred], &local,
-                 &state->full.at(t.rule->head.pred), t.begin, t.end);
+                 &state->full->at(t.rule->head.pred), t.begin, t.end);
       }
       return;
     }
@@ -1092,12 +1117,13 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
       SlotStage& stage = staging[pool->CurrentSlot()];
       ExecPlan(*t.rule, *t.plan, *state, t.delta_rel, cache,
                &stage.rels[t.rule->head.pred], &stage.stats,
-               &state->full.at(t.rule->head.pred), t.begin, t.end);
+               &state->full->at(t.rule->head.pred), t.begin, t.end);
     };
     if (tasks.size() == 1) {
       // A single task gains nothing from dispatch; run it right here.
       exec_task(tasks[0]);
     } else {
+      local.par_tasks += tasks.size();
       ThreadPool::TaskGroup group(pool);
       for (const Task& t : tasks) {
         group.Run([&exec_task, t] { exec_task(t); });
@@ -1117,16 +1143,24 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
     }
   };
 
-  // Initial round: evaluate every rule of the unit fully.
-  std::vector<Pair> init_pairs;
-  init_pairs.reserve(unit.rules.size());
-  for (const Rule* rule : unit.rules) init_pairs.emplace_back(rule, -1);
-  DeltaMap added;
-  run_round(init_pairs, &added);
-  for (auto& [pred, rel] : added) state->full.at(pred).InsertAll(rel);
-  delta = std::move(added);
-  ++local.iterations;
-  check_cap();
+  bool seeded_round = seed != nullptr;
+  if (seed == nullptr) {
+    // Initial round: evaluate every rule of the unit fully.
+    std::vector<Pair> init_pairs;
+    init_pairs.reserve(unit.rules.size());
+    for (const Rule* rule : unit.rules) init_pairs.emplace_back(rule, -1);
+    DeltaMap added;
+    run_round(init_pairs, &added);
+    for (auto& [pred, rel] : added) {
+      state->full->at(pred).InsertAll(rel);
+      if (collect) (*collect)[pred].InsertAll(rel);
+    }
+    delta = std::move(added);
+    ++local.iterations;
+    check_cap();
+  } else {
+    delta = *seed;
+  }
 
   // Iterate to fixpoint within the unit.
   for (;;) {
@@ -1142,20 +1176,31 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
     for (const Rule* rule : unit.rules) {
       if (semi_naive) {
         // One pass per recursive-atom occurrence, with that occurrence
-        // restricted to the delta.
+        // restricted to the delta. The first maintenance round widens the
+        // filter to every seeded predicate (the seed can live on EDB or
+        // lower-unit preds no regular round would treat as a delta).
         for (size_t li = 0; li < rule->body.size(); ++li) {
           const Literal& lit = rule->body[li];
           if (lit.kind != Literal::Kind::kPositive) continue;
-          if (unit.heads.count(lit.atom.pred) == 0) continue;
+          if (seeded_round) {
+            const Relation* d = FindDelta(delta, lit.atom.pred);
+            if (d == nullptr || d->empty()) continue;
+          } else if (unit.heads.count(lit.atom.pred) == 0) {
+            continue;
+          }
           pairs.emplace_back(rule, static_cast<int>(li));
         }
       } else {
         pairs.emplace_back(rule, -1);
       }
     }
+    seeded_round = false;
     DeltaMap next_added;
     run_round(pairs, &next_added);
-    for (auto& [pred, rel] : next_added) state->full.at(pred).InsertAll(rel);
+    for (auto& [pred, rel] : next_added) {
+      state->full->at(pred).InsertAll(rel);
+      if (collect) (*collect)[pred].InsertAll(rel);
+    }
     delta = std::move(next_added);
   }
 
@@ -1169,11 +1214,14 @@ std::string EvalStats::ToString() const {
   std::ostringstream os;
   os << "strata=" << strata << " units=" << units << " threads=" << threads
      << " iterations=" << iterations << " tuples_derived=" << tuples_derived
-     << " index_builds=" << index_builds << " sorted_builds=" << sorted_builds
+     << " index_builds=" << index_builds << " index_appends=" << index_appends
+     << " sorted_builds=" << sorted_builds
      << " index_probes=" << index_probes << " full_scans=" << full_scans
      << " driver_scans=" << driver_scans << " delta_scans=" << delta_scans
      << " leapfrog_joins=" << leapfrog_joins << " par_tasks=" << par_tasks
      << " par_steals=" << par_steals << " par_merges=" << par_merges
+     << " delta_inserts=" << delta_inserts << " delta_deletes=" << delta_deletes
+     << " rederived=" << rederived
      << " adorned_rules=" << adorned_rules << " magic_rules=" << magic_rules
      << " magic_facts=" << magic_facts;
   return os.str();
@@ -1227,12 +1275,13 @@ std::map<std::string, Relation> Evaluate(const Program& program,
   // The scan ablation strategies are sequential by definition.
   const bool parallel = indexed && num_threads > 1;
 
-  State state;
-  state.full = program.facts();
+  std::map<std::string, Relation> extents = program.facts();
   // Freeze the extent map's structure before anything runs: every head
   // predicate gets its entry now, so concurrent units never mutate the map
   // itself — only the relation each owns exclusively.
-  for (const Rule& rule : program.rules()) state.full[rule.head.pred];
+  for (const Rule& rule : program.rules()) extents[rule.head.pred];
+  State state;
+  state.full = &extents;
   IndexCache index_cache;
 
   std::vector<Unit> units = BuildUnits(program);
@@ -1247,20 +1296,26 @@ std::map<std::string, Relation> Evaluate(const Program& program,
                options.plan_order_seed, rules_base, &state, &index_cache,
                /*pool=*/nullptr, s, &stats_mu);
     }
-    return state.full;
+    return extents;
   }
 
   // Topologically schedule the unit DAG on the pool: a unit launches as
   // soon as its last dependency completes; independent units (and their
-  // inner chunk tasks) interleave freely across the workers.
-  ThreadPool pool(num_threads);
+  // inner chunk tasks) interleave freely across the workers. The pool is
+  // the process-wide shared one for this thread count — spawning (and
+  // joining) a fresh pool per Evaluate call was pure overhead on small
+  // fixpoints and is the first thing incremental maintenance would feel.
+  ThreadPool& pool = ThreadPool::Shared(num_threads);
+  ThreadPool::Stats pool_before = pool.stats();
   std::vector<std::atomic<int>> remaining(units.size());
   for (size_t u = 0; u < units.size(); ++u) {
     remaining[u].store(units[u].num_deps, std::memory_order_relaxed);
   }
   std::atomic<bool> failed{false};
+  std::atomic<uint64_t> launched{0};
   ThreadPool::TaskGroup group(&pool);
   std::function<void(int)> launch = [&](int u) {
+    launched.fetch_add(1, std::memory_order_relaxed);
     group.Run([&, u] {
       try {
         if (!failed.load(std::memory_order_acquire)) {
@@ -1285,10 +1340,343 @@ std::map<std::string, Relation> Evaluate(const Program& program,
   }
   group.Wait();
 
-  ThreadPool::Stats pool_stats = pool.stats();
-  s->par_tasks += pool_stats.TotalTasks();
-  s->par_steals += pool_stats.TotalSteals();
-  return state.full;
+  // Unit-launch tasks counted here, chunk tasks locally in EvalUnit — the
+  // same population a per-call pool used to report. Steals come from the
+  // shared pool's cumulative counters, so the delta is approximate when
+  // other evaluations overlap on the same pool (par_* counters are
+  // documented as scheduling-dependent and excluded from the fuzzer's
+  // equality invariants).
+  s->par_tasks += launched.load(std::memory_order_relaxed);
+  ThreadPool::Stats pool_after = pool.stats();
+  s->par_steals += pool_after.TotalSteals() - pool_before.TotalSteals();
+  return extents;
+}
+
+bool EdbDelta::empty() const {
+  for (const auto& [pred, rel] : inserts) {
+    (void)pred;
+    if (!rel.empty()) return false;
+  }
+  for (const auto& [pred, rel] : deletes) {
+    (void)pred;
+    if (!rel.empty()) return false;
+  }
+  return true;
+}
+
+DeltaResult EvaluateDelta(const Program& program,
+                          const std::map<std::string, Relation>& base_facts,
+                          const EdbDelta& delta,
+                          std::map<std::string, Relation>* extents,
+                          const EvalOptions& options, EvalStats* stats,
+                          IndexCache* cache) {
+  DeltaResult result;
+  if (options.demand_goal) {
+    result.supported = false;
+    result.unsupported_reason =
+        "demand_goal set: maintain the transformed program instead";
+    return result;
+  }
+
+  // Predicates the delta can possibly touch: the changed predicates closed
+  // over rule dependencies (positive and negative edges alike).
+  std::set<std::string> affected;
+  for (const auto& [pred, rel] : delta.inserts) {
+    if (!rel.empty()) affected.insert(pred);
+  }
+  for (const auto& [pred, rel] : delta.deletes) {
+    if (!rel.empty()) affected.insert(pred);
+  }
+  if (affected.empty()) return result;
+  for (bool grew = true; grew;) {
+    grew = false;
+    for (const Rule& rule : program.rules()) {
+      if (affected.count(rule.head.pred)) continue;
+      for (const Literal& lit : rule.body) {
+        if (lit.kind != Literal::Kind::kPositive &&
+            lit.kind != Literal::Kind::kNegative) {
+          continue;
+        }
+        if (affected.count(lit.atom.pred)) {
+          affected.insert(rule.head.pred);
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  // Negation over an affected predicate is non-monotone under the delta —
+  // an insert-only update can then both create and destroy derived tuples,
+  // which neither the resumed semi-naive pass nor DRed models. Punt to a
+  // full recompute (the caller's contract).
+  for (const Rule& rule : program.rules()) {
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kNegative &&
+          affected.count(lit.atom.pred)) {
+        result.supported = false;
+        result.unsupported_reason =
+            "negation over delta-affected predicate '" + lit.atom.pred + "'";
+        return result;
+      }
+    }
+  }
+
+  EvalStats scratch;
+  EvalStats* s = stats ? stats : &scratch;
+  std::map<std::string, int> stratum = Stratify(program);
+  int max_stratum = 0;
+  for (const auto& [pred, st] : stratum) {
+    (void)pred;
+    max_stratum = std::max(max_stratum, st);
+  }
+  s->strata = max_stratum + 1;
+  int num_threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                             : options.num_threads;
+  ThreadPool* pool =
+      num_threads > 1 ? &ThreadPool::Shared(num_threads) : nullptr;
+  IndexCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+  std::mutex stats_mu;
+
+  // Freeze the extent map's structure up front, same discipline as
+  // Evaluate: every rule head and every delta predicate has its entry
+  // before anything runs.
+  for (const Rule& rule : program.rules()) (*extents)[rule.head.pred];
+  for (const auto& [pred, rel] : delta.inserts) {
+    (void)rel;
+    (*extents)[pred];
+  }
+  for (const auto& [pred, rel] : delta.deletes) {
+    (void)rel;
+    (*extents)[pred];
+  }
+
+  State state;
+  state.full = extents;
+  std::vector<Unit> units = BuildUnits(program);
+  std::vector<int> order = TopoOrder(units);
+  s->units = static_cast<int>(units.size());
+  s->threads = pool != nullptr ? num_threads : 1;
+  const Rule* rules_base = program.rules().data();
+
+  EvalStats local;  // the sequential delete phases' counters
+
+  // ---- Deletes: DRed. Phase 1, over-delete — everything with a derivation
+  // through a deleted tuple, computed semi-naive style against the OLD
+  // state (extents are not touched until the over-delete set is complete).
+  DeltaMap del;
+  for (const auto& [pred, rel] : delta.deletes) {
+    const Relation& target = extents->at(pred);
+    rel.ForEach([&](const TupleRef& t) {
+      if (target.Contains(t)) del[pred].Insert(t);
+    });
+  }
+  bool any_del = false;
+  for (const auto& [pred, rel] : del) {
+    (void)pred;
+    if (!rel.empty()) any_del = true;
+  }
+
+  if (any_del) {
+    std::map<std::pair<const Rule*, int>, RulePlan> od_plans;
+    auto od_plan = [&](const Rule* rule, int li) -> const RulePlan& {
+      auto key = std::make_pair(rule, li);
+      auto it = od_plans.find(key);
+      if (it == od_plans.end()) {
+        it = od_plans.emplace(key, BuildPlan(*rule, li, state, 0)).first;
+      }
+      return it->second;
+    };
+    DeltaMap frontier = del;
+    for (;;) {
+      bool any = false;
+      for (const auto& [pred, rel] : frontier) {
+        (void)pred;
+        if (!rel.empty()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) break;
+      ++local.iterations;
+      DeltaMap newly;
+      for (const Rule& rule : program.rules()) {
+        for (size_t li = 0; li < rule.body.size(); ++li) {
+          const Literal& lit = rule.body[li];
+          if (lit.kind != Literal::Kind::kPositive) continue;
+          const Relation* fr = FindDelta(frontier, lit.atom.pred);
+          if (fr == nullptr || fr->empty()) continue;
+          Relation cand;
+          ExecPlan(rule, od_plan(&rule, static_cast<int>(li)), state, fr,
+                   cache, &cand, &local, /*dedup_against=*/nullptr, 0,
+                   static_cast<size_t>(-1));
+          const Relation& head_ext = extents->at(rule.head.pred);
+          Relation& head_del = del[rule.head.pred];
+          Relation& head_new = newly[rule.head.pred];
+          cand.ForEach([&](const TupleRef& t) {
+            if (head_ext.Contains(t) && !head_del.Contains(t)) {
+              head_new.Insert(t);
+            }
+          });
+        }
+      }
+      for (auto& [pred, rel] : newly) del[pred].InsertAll(rel);
+      frontier = std::move(newly);
+    }
+
+    // Phase 2, removal: erase the whole over-delete set at once.
+    for (const auto& [pred, rel] : del) {
+      Relation& target = extents->at(pred);
+      std::vector<Tuple> doomed;
+      doomed.reserve(rel.size());
+      rel.ForEach([&](const TupleRef& t) { doomed.push_back(t.ToTuple()); });
+      for (const Tuple& t : doomed) target.Erase(t);
+    }
+
+    // Phase 3, re-derivation: restore over-deleted tuples with a surviving
+    // alternative proof. Units go in topo order so a tuple's supporting
+    // predicates are already settled when it is probed; within a unit a
+    // worklist loop handles mutual recursion (restoring one tuple can
+    // re-support another). Probes pre-bind every head variable, so each
+    // check is a point lookup, not a fixpoint. Re-derived tuples need no
+    // downstream *insert* propagation: deletion never creates tuples, so
+    // anything downstream of a restored tuple was only over-deleted via
+    // this tuple and gets restored by its own unit's pass.
+    for (int u : order) {
+      const Unit& unit = units[u];
+      struct PendingDel {
+        const std::string* pred;
+        Tuple t;
+      };
+      std::vector<PendingDel> pend;
+      for (const std::string& pred : unit.heads) {
+        const Relation* d = FindDelta(del, pred);
+        if (d == nullptr) continue;
+        d->ForEach(
+            [&](const TupleRef& t) { pend.push_back({&pred, t.ToTuple()}); });
+      }
+      if (pend.empty()) continue;
+
+      std::map<const Rule*, RulePlan> rd_plans;
+      auto rd_plan = [&](const Rule* rule) -> const RulePlan& {
+        auto it = rd_plans.find(rule);
+        if (it == rd_plans.end()) {
+          std::vector<bool> prebound(static_cast<size_t>(MaxVar(*rule) + 1),
+                                     false);
+          for (const Term& t : rule->head.terms) {
+            if (t.is_var()) prebound[t.var] = true;
+          }
+          it = rd_plans.emplace(rule, BuildPlan(*rule, -1, state, 0, &prebound))
+                   .first;
+        }
+        return it->second;
+      };
+      auto is_supported = [&](const std::string& pred, const Tuple& t) {
+        auto bf = base_facts.find(pred);
+        if (bf != base_facts.end() && bf->second.Contains(t)) return true;
+        for (const Rule* rule : unit.rules) {
+          if (rule->head.pred != pred) continue;
+          if (rule->head.terms.size() != t.arity()) continue;
+          const RulePlan& plan = rd_plan(rule);
+          Bindings init(static_cast<size_t>(plan.num_vars));
+          bool ok = true;
+          for (size_t i = 0; i < rule->head.terms.size() && ok; ++i) {
+            const Term& ht = rule->head.terms[i];
+            if (!ht.is_var()) {
+              ok = ht.constant == t[i];
+            } else if (init[ht.var]) {
+              ok = *init[ht.var] == t[i];
+            } else {
+              init[ht.var] = t[i];
+            }
+          }
+          if (!ok) continue;
+          Relation out;
+          ExecPlan(*rule, plan, state, /*delta_rel=*/nullptr, cache, &out,
+                   &local, /*dedup_against=*/nullptr, 0,
+                   static_cast<size_t>(-1), &init);
+          if (!out.empty()) return true;
+        }
+        return false;
+      };
+
+      for (bool changed = true; changed;) {
+        changed = false;
+        for (auto it = pend.begin(); it != pend.end();) {
+          if (is_supported(*it->pred, it->t)) {
+            extents->at(*it->pred).Insert(it->t);
+            ++local.rederived;
+            changed = true;
+            it = pend.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+
+    uint64_t total_del = 0;
+    for (const auto& [pred, rel] : del) {
+      (void)pred;
+      total_del += rel.size();
+    }
+    local.delta_deletes += total_del - local.rederived;
+  }
+
+  // ---- Inserts: resume semi-naive with the inserted tuples as the delta
+  // against the (post-delete) fixpoint. `pending` carries the not-yet-
+  // propagated new tuples per predicate; each unit seeds from the pending
+  // entries its bodies reference and contributes its newly derived tuples
+  // back for the units downstream.
+  DeltaMap pending;
+  for (const auto& [pred, rel] : delta.inserts) {
+    Relation& ext = extents->at(pred);
+    Relation& pen = pending[pred];
+    rel.ForEach([&](const TupleRef& t) {
+      if (!ext.Contains(t)) pen.Insert(t);
+    });
+  }
+  for (auto& [pred, rel] : pending) {
+    if (rel.empty()) continue;
+    extents->at(pred).InsertAll(rel);
+    local.delta_inserts += rel.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    AccumulateCounters(s, local);
+  }
+
+  bool any_ins = false;
+  for (const auto& [pred, rel] : pending) {
+    (void)pred;
+    if (!rel.empty()) any_ins = true;
+  }
+  if (any_ins) {
+    for (int u : order) {
+      const Unit& unit = units[u];
+      DeltaMap seedmap;
+      for (const Rule* rule : unit.rules) {
+        for (const Literal& lit : rule->body) {
+          if (lit.kind != Literal::Kind::kPositive) continue;
+          if (seedmap.count(lit.atom.pred)) continue;
+          const Relation* p = FindDelta(pending, lit.atom.pred);
+          if (p == nullptr || p->empty()) continue;
+          seedmap[lit.atom.pred] = *p;
+        }
+      }
+      if (seedmap.empty()) continue;
+      DeltaMap collected;
+      EvalUnit(unit, /*indexed=*/true, /*semi_naive=*/true,
+               options.max_iterations, options.plan_order_seed, rules_base,
+               &state, cache, pool, s, &stats_mu, &seedmap, &collected);
+      for (auto& [pred, rel] : collected) {
+        if (rel.empty()) continue;
+        s->delta_inserts += rel.size();
+        pending[pred].InsertAll(rel);
+      }
+    }
+  }
+  return result;
 }
 
 namespace {

@@ -75,6 +75,8 @@
 namespace rel {
 namespace datalog {
 
+class IndexCache;  // datalog/index.h
+
 /// Evaluation strategy. kSemiNaive (the default) uses planned, indexed
 /// joins; the other two are scan-based ablation baselines for benchmarks:
 /// kNaive re-derives everything each round, kSemiNaiveScan is the pre-index
@@ -137,7 +139,11 @@ struct EvalStats {
   int threads = 1;              // workers the evaluation actually used
   int iterations = 0;           // total fixpoint iterations across units
   uint64_t tuples_derived = 0;  // insertions attempted (incl. duplicates)
-  uint64_t index_builds = 0;    // hash indexes (re)built by the cache
+  uint64_t index_builds = 0;    // hash indexes fully (re)built by the cache
+  uint64_t index_appends = 0;   // hash indexes extended in place after
+                                // provably append-only arena growth (the
+                                // incremental fast path; a fresh evaluation
+                                // with a fresh cache never takes it)
   uint64_t sorted_builds = 0;   // column-permuted sorted copies (re)built
                                 // by the cache for LeapfrogJoin
   uint64_t index_probes = 0;    // indexed lookups of bound-column literals
@@ -149,6 +155,13 @@ struct EvalStats {
   uint64_t par_tasks = 0;       // pool tasks executed (0 when sequential)
   uint64_t par_steals = 0;      // tasks taken from another worker's queue
   uint64_t par_merges = 0;      // staging relations merged at round barriers
+  // Incremental maintenance (EvaluateDelta only; all 0 under Evaluate):
+  uint64_t delta_inserts = 0;   // tuples newly added to maintained extents
+  uint64_t delta_deletes = 0;   // tuples removed from maintained extents
+                                // (over-deleted tuples that survived
+                                // re-derivation are in neither counter)
+  uint64_t rederived = 0;       // over-deleted tuples restored by the DRed
+                                // re-derivation phase
   // Demand transformation (all 0 unless EvalOptions::demand_goal is set
   // and the rewrite actually fired; set once at the top level, like strata):
   int adorned_rules = 0;        // rule variants specialized to an adornment
@@ -173,6 +186,60 @@ std::map<std::string, Relation> Evaluate(const Program& program,
 std::map<std::string, Relation> Evaluate(const Program& program,
                                          Strategy strategy,
                                          EvalStats* stats = nullptr);
+
+/// A set-semantics update to the EDB, already split into effect-free parts:
+/// `inserts` holds tuples absent from the pre-update EDB, `deletes` tuples
+/// present in it (callers cancel insert-then-delete pairs; Engine builds
+/// this from Database mutation results). Predicates not mentioned are
+/// unchanged.
+struct EdbDelta {
+  std::map<std::string, Relation> inserts;
+  std::map<std::string, Relation> deletes;
+  bool empty() const;
+};
+
+/// Outcome of EvaluateDelta. When `supported` is false the extents were
+/// left untouched and the caller must fall back to a full Evaluate;
+/// `unsupported_reason` says why (for logs and tests).
+struct DeltaResult {
+  bool supported = true;
+  std::string unsupported_reason;
+};
+
+/// Incrementally maintains a previously computed fixpoint under an EDB
+/// delta, in place:
+///
+///   * `extents` holds the full fixpoint of `program` over the *pre-update*
+///     EDB (exactly what Evaluate returned, including the EDB predicates'
+///     own extents). On success it is mutated to the fixpoint over the
+///     post-update EDB — byte-identical (per SortedTuples) to re-running
+///     Evaluate from scratch under any strategy and thread count.
+///   * `program.facts()` is ignored; `base_facts` must instead hold the
+///     post-update EDB extents of every predicate that is BOTH a rule head
+///     and an EDB fact carrier (their base tuples are not derivable and the
+///     delete path needs to know they survive). Pure-EDB predicates need
+///     no entry — their extents are maintained directly from the delta.
+///
+/// Inserts resume semi-naive evaluation with the inserted tuples as the
+/// delta against the cached fixpoint, reusing the planned, indexed,
+/// parallel machinery (options.num_threads honored). Deletes run DRed:
+/// over-delete everything derivable from a deleted tuple, then re-derive
+/// what has an alternative proof (point probes with pre-bound head
+/// variables); the delete phases run sequentially — deletions shrink cones,
+/// they are never the bulk cost. Unsupported shapes — a negative literal
+/// on a predicate transitively affected by the delta, or a demand_goal in
+/// `options` — return supported=false without touching anything.
+/// options.strategy is ignored (the planned engine is the only maintained
+/// path). Pass a persistent `cache` keyed to these extents to amortize
+/// index builds across updates (indexes extend in place on append-only
+/// growth; see index_appends).
+DeltaResult EvaluateDelta(const Program& program,
+                          const std::map<std::string, Relation>& base_facts,
+                          const EdbDelta& delta,
+                          std::map<std::string, Relation>* extents,
+                          const EvalOptions& options = {},
+                          EvalStats* stats = nullptr,
+                          IndexCache* cache = nullptr);
 
 /// Convenience: evaluates and returns one predicate's extent.
 Relation EvaluatePredicate(const Program& program, const std::string& pred,

@@ -54,6 +54,11 @@ class HashIndex {
   /// must outlive the index and keep its rows stable while the index is in
   /// use (the cache rebuilds whenever the arena's version moves).
   void Build(const ColumnArena* arena, std::vector<size_t> key_positions);
+  /// Extends a built index over rows the arena gained since Build/Append —
+  /// callers must have proven the growth was append-only (no erase touched
+  /// the rows already indexed; see IndexCache::Get for the version
+  /// arithmetic that certifies this). Same key positions, same arena id.
+  void Append(const ColumnArena* arena);
   /// Resets to the unbuilt state (used when the indexed arity vanishes).
   void Clear();
 
@@ -61,6 +66,7 @@ class HashIndex {
   const ColumnArena* arena() const { return arena_; }
   uint64_t built_id() const { return built_id_; }
   uint64_t built_version() const { return built_version_; }
+  size_t built_size() const { return built_size_; }
   const std::vector<size_t>& key_positions() const { return keys_; }
 
   /// Invokes fn(TupleRef) for every row whose key columns equal `key`; `key`
@@ -84,6 +90,7 @@ class HashIndex {
   const ColumnArena* arena_ = nullptr;
   uint64_t built_id_ = 0;
   uint64_t built_version_ = 0;
+  size_t built_size_ = 0;
   std::vector<size_t> keys_;
   FlatHashIndex entries_;
 };
@@ -96,11 +103,22 @@ class IndexCache {
  public:
   /// Returns the (built) index over `rel`'s tuples of `arity` keyed on
   /// `key_positions`, building or rebuilding it first when needed.
-  /// Increments *build_counter on every (re)build when non-null (the
+  /// Increments *build_counter on every full (re)build when non-null (the
   /// counter is incremented under the entry latch).
+  ///
+  /// Incremental fast path: when the arena is the same storage the entry
+  /// was built over and has only *grown by appends* since, the stale index
+  /// is extended instead of rebuilt — O(new) instead of O(total). The arena
+  /// version counter advances exactly once per effective insert or erase
+  /// (data/relation.cc), so `version_delta == size_delta` with a grown size
+  /// certifies that every version tick was an insert — append-only growth.
+  /// Such extensions increment *append_counter (when non-null) rather than
+  /// build_counter, keeping the documented cross-config equality of
+  /// index_builds intact for evaluations that never take the fast path.
   const HashIndex& Get(const std::string& pred, const Relation& rel,
                        size_t arity, const std::vector<size_t>& key_positions,
-                       uint64_t* build_counter);
+                       uint64_t* build_counter,
+                       uint64_t* append_counter = nullptr);
 
   /// Returns `rel`'s tuples of `arity` with columns permuted into
   /// `col_order` (output column k = stored column col_order[k]) and rows

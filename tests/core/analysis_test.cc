@@ -108,5 +108,100 @@ TEST(Analysis, DomainBindingsCreateEdges) {
   EXPECT_TRUE(a.References("a").count("dom"));
 }
 
+// --- prefix extension (the per-transaction analysis fast path) ---
+
+std::vector<std::shared_ptr<Def>> ParseDefs(const std::string& source) {
+  Program program = ParseProgram(source);
+  std::vector<std::shared_ptr<Def>> defs;
+  for (Def& def : program.defs) {
+    defs.push_back(std::make_shared<Def>(std::move(def)));
+  }
+  return defs;
+}
+
+/// Appends `txn` to `shared` and analyzes, reusing `prefix`; `extended`
+/// receives whether the fast path was taken.
+ProgramAnalysis Extend(const ProgramAnalysis& prefix,
+                       const std::vector<std::shared_ptr<Def>>& shared,
+                       const std::string& txn) {
+  std::vector<std::shared_ptr<Def>> combined = shared;
+  for (auto& def : ParseDefs(txn)) combined.push_back(std::move(def));
+  return ProgramAnalysis(&prefix, shared.size(), combined);
+}
+
+constexpr char kSharedRules[] =
+    "def tc(x,y) : edge(x,y)\n"
+    "def tc(x,y) : exists((z) | edge(x,z) and tc(z,y))\n"
+    "def lc(x) : label(x) and not tc(x, x)";
+
+TEST(Analysis, ExtensionMatchesFullAnalysisOnFreshNames) {
+  std::vector<std::shared_ptr<Def>> shared = ParseDefs(kSharedRules);
+  ProgramAnalysis prefix(shared);
+  const std::string txn = "def output(y) : tc(0, y)\n"
+                          "def helper(x) : output(x) and helper(x)";
+  ProgramAnalysis ext = Extend(prefix, shared, txn);
+  EXPECT_TRUE(ext.extended());
+
+  std::vector<std::shared_ptr<Def>> combined = shared;
+  for (auto& def : ParseDefs(txn)) combined.push_back(std::move(def));
+  ProgramAnalysis full(combined);
+  for (const char* name : {"tc", "lc", "output", "helper", "edge"}) {
+    EXPECT_EQ(ext.IsRecursive(name), full.IsRecursive(name)) << name;
+    EXPECT_EQ(ext.UsesReplacement(name), full.UsesReplacement(name)) << name;
+    EXPECT_EQ(ext.ComponentMembers(name), full.ComponentMembers(name)) << name;
+    EXPECT_EQ(ext.References(name), full.References(name)) << name;
+  }
+  // Component ids must not collide across the prefix boundary.
+  EXPECT_NE(ext.ComponentOf("output"), ext.ComponentOf("tc"));
+  EXPECT_NE(ext.ComponentOf("helper"), ext.ComponentOf("lc"));
+}
+
+TEST(Analysis, ExtensionFallsBackWhenTxnRedefinesSharedName) {
+  // An extra tc rule changes tc's own component; the fast path must refuse.
+  std::vector<std::shared_ptr<Def>> shared = ParseDefs(kSharedRules);
+  ProgramAnalysis prefix(shared);
+  ProgramAnalysis ext =
+      Extend(prefix, shared, "def tc(x,y) : extra(x,y)");
+  EXPECT_FALSE(ext.extended());
+  EXPECT_TRUE(ext.References("tc").count("extra"));
+}
+
+TEST(Analysis, ExtensionFallsBackWhenTxnDefinesReferencedBase) {
+  // `edge` was a base relation the prefix reads; giving it rules can create
+  // cycles through prefix defs, so the fast path must refuse.
+  std::vector<std::shared_ptr<Def>> shared = ParseDefs(kSharedRules);
+  ProgramAnalysis prefix(shared);
+  ProgramAnalysis ext = Extend(prefix, shared, "def edge(x,y) : tc(x,y)");
+  EXPECT_FALSE(ext.extended());
+  // The full analysis sees the new cycle edge <-> tc.
+  EXPECT_EQ(ext.ComponentOf("edge"), ext.ComponentOf("tc"));
+}
+
+TEST(Analysis, ExtensionKeepsPrefixVerdictsAndSigLookups) {
+  std::vector<std::shared_ptr<Def>> shared = ParseDefs(
+      "def min[{A}] : reduce[rel_primitive_minimum, A]\n"
+      "def apsp(x,y,i) : i = min[(j) : apsp(x,y,j)]");
+  ProgramAnalysis prefix(shared);
+  // The txn def applies the shared second-order `min`; its signature must
+  // resolve through the prefix so the argument is seen as non-monotone.
+  ProgramAnalysis ext = Extend(
+      prefix, shared, "def best(i) : i = min[(j) : best(j)]");
+  EXPECT_TRUE(ext.extended());
+  EXPECT_TRUE(ext.UsesReplacement("apsp"));
+  EXPECT_TRUE(ext.UsesReplacement("best"));
+}
+
+TEST(Analysis, ExtensionIcsNeverForceFallback) {
+  std::vector<std::shared_ptr<Def>> shared = ParseDefs(kSharedRules);
+  ProgramAnalysis prefix(shared);
+  std::vector<std::shared_ptr<Def>> combined = shared;
+  for (auto& def :
+       ParseDefs("ic no_self() requires forall((x) | label(x) implies x > 0)"))
+    combined.push_back(std::move(def));
+  ProgramAnalysis ext(&prefix, shared.size(), combined);
+  EXPECT_TRUE(ext.extended());
+  EXPECT_TRUE(ext.DefReferences(*combined.back()).count("label"));
+}
+
 }  // namespace
 }  // namespace rel

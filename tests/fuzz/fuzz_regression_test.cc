@@ -25,6 +25,7 @@
 #include "fuzz/generator.h"
 #include "fuzz/minimize.h"
 #include "fuzz/runner.h"
+#include "fuzz/update_stream.h"
 
 namespace rel {
 namespace fuzz {
@@ -165,6 +166,45 @@ TEST(FuzzSweep, PinnedSeedsAreDiscrepancyFree) {
     RunResult result = RunCase(c);
     EXPECT_TRUE(result.ok()) << FormatResult(c, result);
   }
+}
+
+// --- update streams (the incremental-maintenance differential arm) ---
+
+TEST(FuzzUpdateStream, DeterministicInSeedAndTextRoundTrips) {
+  for (uint64_t seed : {0u, 7u, 42u, 321u}) {
+    UpdateStream a = GenerateUpdateStream(seed);
+    UpdateStream b = GenerateUpdateStream(seed);
+    EXPECT_EQ(StreamToText(a), StreamToText(b)) << "seed " << seed;
+    // The corpus format carries everything the runner consumes: one
+    // normalizing round trip reaches a byte-stable fixpoint (rule-variable
+    // renumbering, as for plain cases), and the steps survive exactly.
+    UpdateStream back = StreamFromText(StreamToText(a));
+    EXPECT_EQ(StreamToText(StreamFromText(StreamToText(back))),
+              StreamToText(back))
+        << "seed " << seed;
+    ASSERT_EQ(back.steps.size(), a.steps.size()) << "seed " << seed;
+    for (size_t i = 0; i < a.steps.size(); ++i) {
+      EXPECT_EQ(back.steps[i].is_insert, a.steps[i].is_insert);
+      EXPECT_EQ(back.steps[i].pred, a.steps[i].pred);
+      EXPECT_EQ(back.steps[i].tuple, a.steps[i].tuple);
+    }
+  }
+}
+
+// Pinned update-stream seeds through the full lattice: the incremental arm
+// (EvaluateDelta + DRed with a persistent IndexCache) against the
+// recompute oracle after every step. The CLI (examples/fuzz.cpp
+// --updates) runs hundreds; this slice keeps every CI configuration —
+// including TSan with REL_EVAL_THREADS — honest on every run, and asserts
+// the delta path is actually exercised (not all-fallback).
+TEST(FuzzUpdateStream, PinnedStreamsAreDiscrepancyFree) {
+  uint64_t incremental = 0, fallback = 0;
+  for (uint64_t seed = 42; seed < 54; ++seed) {
+    UpdateStream s = GenerateUpdateStream(seed);
+    RunResult result = RunUpdateStream(s, {}, &incremental, &fallback);
+    EXPECT_TRUE(result.ok()) << FormatStreamResult(s, result);
+  }
+  EXPECT_GT(incremental, 0u) << "no stream step took the EvaluateDelta path";
 }
 
 // A second profile with different dials (tiny dense domain, no
