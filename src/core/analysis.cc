@@ -1,6 +1,7 @@
 #include "core/analysis.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 
 #include "core/builtins.h"
@@ -19,6 +20,17 @@ void AddLocals(const std::vector<Binding>& bindings,
       locals->insert(b.name);
     }
   }
+}
+
+/// The stdlib aggregation combinators whose single second-order argument is
+/// an aggregation input. Name-based, so a user redefinition of e.g. `min`
+/// could mislabel an edge — which is why the lowering pass re-verifies each
+/// aggregate use structurally (canonical `reduce[rel_primitive_*, A]` body)
+/// before acting on an aggregation-recursive verdict. The interpreter never
+/// consumes the split (UsesReplacement treats both non-monotone polarities
+/// alike), so a mislabel can only cost a rejected lowering attempt.
+bool IsAggregationCombinator(const std::string& name) {
+  return name == "min" || name == "max" || name == "sum" || name == "count";
 }
 
 }  // namespace
@@ -68,10 +80,25 @@ ProgramAnalysis::ProgramAnalysis(
     AddLocals(def->params, &locals);
     std::vector<Ref>& refs = edges_[def->name];
     for (const Binding& b : def->params) {
-      if (b.domain) CollectRefs(b.domain, /*non_monotone=*/false, &locals, &refs);
+      if (b.domain) CollectRefs(b.domain, Polarity::kMonotone, &locals, &refs);
     }
-    CollectRefs(def->body, /*non_monotone=*/false, &locals, &refs);
-    for (const Ref& ref : refs) referenced_.insert(ref.target);
+    CollectRefs(def->body, Polarity::kMonotone, &locals, &refs);
+    for (const Ref& ref : refs) {
+      referenced_.insert(ref.target);
+      // A def uses aggregation when some reference flows through an
+      // aggregation input, or when it applies one of the combinators
+      // directly (the callee ident is itself a ref). The second clause
+      // matters when the aggregation input names no relation at all —
+      // `sum[(v) : range(0, n, 1, v)]` reads only a builtin generator, so
+      // the input produces no refs, yet the def still qualifies for the
+      // aggregate lowering. False positives (a combinator applied in some
+      // non-canonical way) are harmless: the lowering validates structure
+      // and falls back to the interpreter.
+      if (ref.polarity == Polarity::kAggregation ||
+          IsAggregationCombinator(ref.target)) {
+        aggregation_users_.insert(def->name);
+      }
+    }
   }
 
   // Pass 3: Tarjan SCC over names with local rules. In extension mode the
@@ -128,7 +155,14 @@ ProgramAnalysis::ProgramAnalysis(
       if (it == component_.end()) continue;
       if (it->second != comp) continue;
       recursive_components_.insert(comp);
-      if (ref.non_monotone) replacement_components_.insert(comp);
+      if (ref.polarity != Polarity::kMonotone) {
+        replacement_components_.insert(comp);
+        if (ref.polarity == Polarity::kAggregation) {
+          aggregation_components_.insert(comp);
+        } else {
+          nonmonotone_components_.insert(comp);
+        }
+      }
     }
   }
 }
@@ -149,14 +183,14 @@ size_t ProgramAnalysis::SigOf(const std::string& name) const {
   return base_ == nullptr ? 0 : base_->SigOf(name);
 }
 
-void ProgramAnalysis::CollectRefs(const ExprPtr& expr, bool non_monotone,
+void ProgramAnalysis::CollectRefs(const ExprPtr& expr, Polarity polarity,
                                   std::set<std::string>* locals,
                                   std::vector<Ref>* out) const {
   if (!expr) return;
   switch (expr->kind) {
     case ExprKind::kIdent:
       if (!locals->count(expr->name) && !FindBuiltin(expr->name)) {
-        out->push_back({expr->name, non_monotone});
+        out->push_back({expr->name, polarity});
       }
       return;
     case ExprKind::kLiteral:
@@ -168,16 +202,21 @@ void ProgramAnalysis::CollectRefs(const ExprPtr& expr, bool non_monotone,
     case ExprKind::kFalseLit:
       return;
     case ExprKind::kNot:
-      // Polarity flips: an even number of negations is monotone again.
-      CollectRefs(expr->children[0], !non_monotone, locals, out);
+      // Polarity flips: an even number of negations is monotone again. A
+      // negation inside an aggregation input is no longer aggregation-shaped
+      // (and keeps the historical parity verdict: non-monotone -> monotone).
+      CollectRefs(expr->children[0],
+                  polarity == Polarity::kMonotone ? Polarity::kNonMonotone
+                                                  : Polarity::kMonotone,
+                  locals, out);
       return;
     case ExprKind::kForall: {
       std::set<std::string> inner = *locals;
       AddLocals(expr->bindings, &inner);
       for (const Binding& b : expr->bindings) {
-        if (b.domain) CollectRefs(b.domain, non_monotone, locals, out);
+        if (b.domain) CollectRefs(b.domain, polarity, locals, out);
       }
-      CollectRefs(expr->body, /*non_monotone=*/true, &inner, out);
+      CollectRefs(expr->body, Polarity::kNonMonotone, &inner, out);
       return;
     }
     case ExprKind::kExists:
@@ -185,21 +224,29 @@ void ProgramAnalysis::CollectRefs(const ExprPtr& expr, bool non_monotone,
       std::set<std::string> inner = *locals;
       AddLocals(expr->bindings, &inner);
       for (const Binding& b : expr->bindings) {
-        if (b.domain) CollectRefs(b.domain, non_monotone, locals, out);
+        if (b.domain) CollectRefs(b.domain, polarity, locals, out);
       }
-      CollectRefs(expr->body, non_monotone, &inner, out);
+      CollectRefs(expr->body, polarity, &inner, out);
       return;
     }
     case ExprKind::kApplication: {
-      CollectRefs(expr->target, non_monotone, locals, out);
-      // Which leading arguments are second-order?
+      CollectRefs(expr->target, polarity, locals, out);
+      // Which leading arguments are second-order, and does the callee make
+      // them aggregation inputs? `reduce`'s second operand and the single
+      // relation argument of the stdlib combinators min/max/sum/count are
+      // aggregation-shaped; every other second-order position (including
+      // reduce's fold operator) is conservatively kNonMonotone.
       size_t sig = 0;
+      bool aggregation_callee = false;
+      size_t reduce_input = SIZE_MAX;  // arg index of reduce's input, if any
       if (expr->target->kind == ExprKind::kIdent) {
         const std::string& callee = expr->target->name;
         if (callee == builtin_names::kReduce) {
           sig = 2;
+          reduce_input = 1;
         } else if (!locals->count(callee)) {
           sig = SigOf(callee);
+          aggregation_callee = IsAggregationCombinator(callee);
         }
       }
       for (size_t i = 0; i < expr->args.size(); ++i) {
@@ -208,17 +255,26 @@ void ProgramAnalysis::CollectRefs(const ExprPtr& expr, bool non_monotone,
         bool so = i < sig || arg.annotation == Annotation::kSecondOrder;
         // References inside second-order arguments are conservatively
         // non-monotone: aggregation, emptiness tests and higher-order
-        // operators may all invert polarity.
-        CollectRefs(arg.expr, non_monotone || so, locals, out);
+        // operators may all invert polarity. Aggregation inputs get the
+        // kAggregation refinement — unless the surrounding context is
+        // already non-monotone for a non-aggregation reason.
+        Polarity child = polarity;
+        if (so) {
+          bool agg_input = aggregation_callee || i == reduce_input;
+          child = agg_input && polarity != Polarity::kNonMonotone
+                      ? Polarity::kAggregation
+                      : Polarity::kNonMonotone;
+        }
+        CollectRefs(arg.expr, child, locals, out);
       }
       return;
     }
     default:
       for (const ExprPtr& child : expr->children) {
-        CollectRefs(child, non_monotone, locals, out);
+        CollectRefs(child, polarity, locals, out);
       }
-      if (expr->body) CollectRefs(expr->body, non_monotone, locals, out);
-      if (expr->target) CollectRefs(expr->target, non_monotone, locals, out);
+      if (expr->body) CollectRefs(expr->body, polarity, locals, out);
+      if (expr->target) CollectRefs(expr->target, polarity, locals, out);
       return;
   }
 }
@@ -229,6 +285,24 @@ bool ProgramAnalysis::UsesReplacement(const std::string& name) const {
     return base_ != nullptr && base_->UsesReplacement(name);
   }
   return replacement_components_.count(it->second) > 0;
+}
+
+bool ProgramAnalysis::AggregationRecursive(const std::string& name) const {
+  auto it = component_.find(name);
+  if (it == component_.end()) {
+    return base_ != nullptr && base_->AggregationRecursive(name);
+  }
+  return recursive_components_.count(it->second) > 0 &&
+         aggregation_components_.count(it->second) > 0 &&
+         nonmonotone_components_.count(it->second) == 0;
+}
+
+bool ProgramAnalysis::UsesAggregation(const std::string& name) const {
+  if (aggregation_users_.count(name)) return true;
+  // Names with local edges never delegate (an appended def fully shadows
+  // lookups for its name); names without rules here may live in the base.
+  if (edges_.count(name)) return false;
+  return base_ != nullptr && base_->UsesAggregation(name);
 }
 
 bool ProgramAnalysis::IsRecursive(const std::string& name) const {
@@ -267,9 +341,9 @@ std::set<std::string> ProgramAnalysis::DefReferences(const Def& def) const {
   AddLocals(def.params, &locals);
   std::vector<Ref> refs;
   for (const Binding& b : def.params) {
-    if (b.domain) CollectRefs(b.domain, /*non_monotone=*/false, &locals, &refs);
+    if (b.domain) CollectRefs(b.domain, Polarity::kMonotone, &locals, &refs);
   }
-  CollectRefs(def.body, /*non_monotone=*/false, &locals, &refs);
+  CollectRefs(def.body, Polarity::kMonotone, &locals, &refs);
   std::set<std::string> out;
   for (const Ref& ref : refs) out.insert(ref.target);
   return out;

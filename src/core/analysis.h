@@ -7,6 +7,17 @@
 // relation passed to a higher-order operator — conservative, per
 // Section 3.3's stratification discussion). A component with an internal
 // non-monotone edge is evaluated with replacement iteration (see interp.h).
+//
+// Non-monotone edges are further split by *polarity*: an edge that sits in
+// the input of one of the stdlib aggregation combinators (min/max/sum/count,
+// or the second operand of `reduce`) with no intervening negation, forall or
+// other higher-order operator is kAggregation; every other non-monotone
+// edge is kNonMonotone. A recursive component whose non-monotone internal
+// edges are all kAggregation is *aggregation-recursive*: its replacement
+// fixpoint coincides with the monotone aggregate semantics of the Datalog
+// engine (the semiring view of Section 5.2), so it is a candidate for the
+// lowering fast path. The split never changes UsesReplacement: both
+// non-monotone polarities keep replacement iteration on the interpreter.
 
 #ifndef REL_CORE_ANALYSIS_H_
 #define REL_CORE_ANALYSIS_H_
@@ -47,6 +58,20 @@ class ProgramAnalysis {
   /// internal edge (must use replacement iteration).
   bool UsesReplacement(const std::string& name) const;
 
+  /// True if `name` belongs to a recursive component that has internal
+  /// aggregation edges and no strictly non-monotone internal edge: every
+  /// recursive reference either is monotone or flows through an aggregation
+  /// input. Such components qualify for the Datalog engine's monotone
+  /// aggregate semi-naive evaluation (core/lowering.h); the lowering pass
+  /// independently validates that each aggregate use is structurally the
+  /// canonical stdlib form before trusting this name-level verdict.
+  bool AggregationRecursive(const std::string& name) const;
+
+  /// True if some rule of `name` references a relation through an
+  /// aggregation input (kAggregation polarity) — the gate for lowering
+  /// non-recursive aggregate definitions onto the planned engine.
+  bool UsesAggregation(const std::string& name) const;
+
   /// True if `name` is in a recursive component at all (including self
   /// loops).
   bool IsRecursive(const std::string& name) const;
@@ -74,12 +99,18 @@ class ProgramAnalysis {
   bool extended() const { return base_ != nullptr; }
 
  private:
+  /// Reference polarity, ordered by how much it constrains evaluation. The
+  /// old boolean non_monotone is (polarity != kMonotone); kAggregation is
+  /// the refinement that separates "non-monotone because it feeds an
+  /// aggregate" from "non-monotone for any other reason".
+  enum class Polarity { kMonotone, kAggregation, kNonMonotone };
+
   struct Ref {
     std::string target;
-    bool non_monotone;
+    Polarity polarity;
   };
 
-  void CollectRefs(const ExprPtr& expr, bool non_monotone,
+  void CollectRefs(const ExprPtr& expr, Polarity polarity,
                    std::set<std::string>* locals, std::vector<Ref>* out) const;
   size_t SigOf(const std::string& name) const;
   /// `name` has rules in this analysis or (transitively) its base.
@@ -95,6 +126,13 @@ class ProgramAnalysis {
   std::map<std::string, int> component_;
   std::set<int> recursive_components_;
   std::set<int> replacement_components_;
+  /// Components with an internal kAggregation edge / an internal
+  /// kNonMonotone edge (a component can be in both; AggregationRecursive
+  /// requires membership in the first set only).
+  std::set<int> aggregation_components_;
+  std::set<int> nonmonotone_components_;
+  /// Names with at least one outgoing kAggregation edge.
+  std::set<std::string> aggregation_users_;
   /// Every name referenced by some local def (the extension-safety check:
   /// an appended def must not redefine anything the prefix can read).
   std::set<std::string> referenced_;

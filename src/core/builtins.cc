@@ -21,21 +21,48 @@ bool BothNumbers(const Value& a, const Value& b) {
 
 // --- arithmetic kernels -----------------------------------------------------
 
+/// Signed-overflow guard for the int lanes of +, -, * and ^: i64 wraparound
+/// is UB, so the checked lanes raise kType instead — the SAME error the
+/// classical engine's CheckedI64 raises (datalog/eval.cc), so the
+/// differential suites see one behavior on both paths instead of two
+/// different wrapped values.
+int64_t CheckedInt(int64_t a, const char* op, int64_t b, bool overflow,
+                   int64_t r) {
+  if (overflow) {
+    throw RelError(ErrorKind::kType,
+                   "integer overflow: " + std::to_string(a) + " " + op + " " +
+                       std::to_string(b) + " exceeds the int64 range");
+  }
+  return r;
+}
+
 std::optional<Value> NumAdd(const Value& a, const Value& b) {
   if (!BothNumbers(a, b)) return std::nullopt;
-  if (a.is_int() && b.is_int()) return Value::Int(a.AsInt() + b.AsInt());
+  if (a.is_int() && b.is_int()) {
+    int64_t r = 0;
+    bool o = __builtin_add_overflow(a.AsInt(), b.AsInt(), &r);
+    return Value::Int(CheckedInt(a.AsInt(), "+", b.AsInt(), o, r));
+  }
   return Value::Float(a.AsDouble() + b.AsDouble());
 }
 
 std::optional<Value> NumSub(const Value& a, const Value& b) {
   if (!BothNumbers(a, b)) return std::nullopt;
-  if (a.is_int() && b.is_int()) return Value::Int(a.AsInt() - b.AsInt());
+  if (a.is_int() && b.is_int()) {
+    int64_t r = 0;
+    bool o = __builtin_sub_overflow(a.AsInt(), b.AsInt(), &r);
+    return Value::Int(CheckedInt(a.AsInt(), "-", b.AsInt(), o, r));
+  }
   return Value::Float(a.AsDouble() - b.AsDouble());
 }
 
 std::optional<Value> NumMul(const Value& a, const Value& b) {
   if (!BothNumbers(a, b)) return std::nullopt;
-  if (a.is_int() && b.is_int()) return Value::Int(a.AsInt() * b.AsInt());
+  if (a.is_int() && b.is_int()) {
+    int64_t r = 0;
+    bool o = __builtin_mul_overflow(a.AsInt(), b.AsInt(), &r);
+    return Value::Int(CheckedInt(a.AsInt(), "*", b.AsInt(), o, r));
+  }
   return Value::Float(a.AsDouble() * b.AsDouble());
 }
 
@@ -46,6 +73,14 @@ std::optional<Value> NumDiv(const Value& a, const Value& b) {
   if (!BothNumbers(a, b)) return std::nullopt;
   if (a.is_int() && b.is_int()) {
     if (b.AsInt() == 0) return std::nullopt;
+    if (b.AsInt() == -1) {
+      // INT64_MIN / -1 overflows (and the % below traps); promote that one
+      // case to float, matching datalog/eval.cc.
+      if (a.AsInt() == INT64_MIN) {
+        return Value::Float(-static_cast<double>(a.AsInt()));
+      }
+      return Value::Int(-a.AsInt());
+    }
     if (a.AsInt() % b.AsInt() == 0) return Value::Int(a.AsInt() / b.AsInt());
     return Value::Float(a.AsDouble() / b.AsDouble());
   }
@@ -55,6 +90,8 @@ std::optional<Value> NumDiv(const Value& a, const Value& b) {
 
 std::optional<Value> NumMod(const Value& a, const Value& b) {
   if (!a.is_int() || !b.is_int() || b.AsInt() == 0) return std::nullopt;
+  // x % -1 is 0 for all x, but the instruction traps on INT64_MIN (UB).
+  if (b.AsInt() == -1) return Value::Int(0);
   return Value::Int(a.AsInt() % b.AsInt());
 }
 
@@ -63,7 +100,10 @@ std::optional<Value> NumPow(const Value& a, const Value& b) {
   if (a.is_int() && b.is_int() && b.AsInt() >= 0) {
     int64_t result = 1;
     int64_t base = a.AsInt();
-    for (int64_t i = 0; i < b.AsInt(); ++i) result *= base;
+    for (int64_t i = 0; i < b.AsInt(); ++i) {
+      bool o = __builtin_mul_overflow(result, base, &result);
+      CheckedInt(a.AsInt(), "^", b.AsInt(), o, result);
+    }
     return Value::Int(result);
   }
   return Value::Float(std::pow(a.AsDouble(), b.AsDouble()));

@@ -159,7 +159,10 @@ void Interp::FillMaintainInfo(const LoweredComponent& lowered,
   // Members are one SCC (mutually reachable), so the closure from any one
   // of them covers them all plus everything their rules can read.
   out->closure = ReferencesClosure(name);
-  out->maintainable = true;
+  // Aggregate-bearing programs are not incrementally maintainable:
+  // datalog::EvaluateDelta refuses them (a delta row can shrink no bucket,
+  // but a deletion can), so the cache owner must recompute instead.
+  out->maintainable = !lowered.program.HasAggregates();
   for (const std::string& ext : lowered.externals) {
     out->base_names.insert(ext);
     if (HasDefs(ext)) out->maintainable = false;
@@ -266,14 +269,24 @@ const Relation& Interp::EvalInstanceImpl(const InstanceKey& key) {
     return inst.value;
   }
 
-  // Fast path: monotone recursive components that fit the classical Datalog
-  // fragment evaluate on the planned, indexed semi-naive engine
-  // (src/core/lowering.h) — same least fixpoint, set-at-a-time. On success
-  // every member of the component (including this instance) is already
-  // finished; on failure fall through to the saturation loop unchanged.
+  // Fast path: components that fit the classical Datalog fragment evaluate
+  // on the planned, indexed semi-naive engine (src/core/lowering.h) — same
+  // least fixpoint, set-at-a-time. Three shapes qualify: monotone recursive
+  // components; aggregation-recursive components (replacement mode whose
+  // non-monotone self-references all flow through aggregation inputs — the
+  // engine's monotone aggregate semi-naive computes the same fixpoint, and
+  // its qualification checks throw the component back here otherwise); and
+  // non-recursive defs that aggregate (so matmul-style sums run planned
+  // too). On success every member of the component (including this
+  // instance) is already finished; on failure fall through to the
+  // saturation loop unchanged.
+  const bool lowerable =
+      analysis_.IsRecursive(key.name)
+          ? (!analysis_.UsesReplacement(key.name) ||
+             analysis_.AggregationRecursive(key.name))
+          : analysis_.UsesAggregation(key.name);
   if (options_.lower_recursion && key.sig == 0 && key.so_args.empty() &&
-      analysis_.IsRecursive(key.name) &&
-      !analysis_.UsesReplacement(key.name) && TryLowerComponent(key.name)) {
+      lowerable && TryLowerComponent(key.name)) {
     InternalCheck(inst.done, "lowered component missing its own instance");
     return inst.value;
   }

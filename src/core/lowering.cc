@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/builtins.h"
+#include "core/parser.h"
 
 namespace rel {
 
@@ -73,6 +74,94 @@ void Flatten(const ExprPtr& expr, ExprPtr* base, std::vector<Arg>* args) {
   args->clear();
 }
 
+/// DNF cap: a body with more or-alternatives than this is left unsplit (and
+/// then rejected by the formula lowerer, falling back to the interpreter).
+constexpr size_t kMaxDnfBranches = 16;
+
+/// Splits a formula into its or-free alternatives, distributing `or` over
+/// `and`/`where`/`exists`. Negations are left intact as leaves (a negated
+/// disjunction stays unsplit and is rejected downstream). Returns false when
+/// the expansion exceeds kMaxDnfBranches; shared subtrees are reused, never
+/// cloned — only fresh connective nodes are allocated.
+bool SplitOr(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (out->size() > kMaxDnfBranches) return false;
+  switch (expr->kind) {
+    case ExprKind::kOr:
+      for (const ExprPtr& c : expr->children) {
+        if (!SplitOr(c, out)) return false;
+      }
+      return true;
+    case ExprKind::kAnd:
+    case ExprKind::kWhere: {
+      std::vector<ExprPtr> left, right;
+      if (!SplitOr(expr->children[0], &left) ||
+          !SplitOr(expr->children[1], &right)) {
+        return false;
+      }
+      if (left.size() == 1 && right.size() == 1) {
+        out->push_back(expr);
+        return true;
+      }
+      if (out->size() + left.size() * right.size() > kMaxDnfBranches + 1) {
+        return false;
+      }
+      for (const ExprPtr& l : left) {
+        for (const ExprPtr& r : right) {
+          ExprPtr e = MakeExpr(expr->kind, expr->line, expr->column);
+          e->children = {l, r};
+          out->push_back(e);
+        }
+      }
+      return true;
+    }
+    case ExprKind::kExists: {
+      std::vector<ExprPtr> subs;
+      if (!SplitOr(expr->body, &subs)) return false;
+      if (subs.size() == 1) {
+        out->push_back(expr);
+        return true;
+      }
+      for (const ExprPtr& s : subs) {
+        ExprPtr e = MakeExpr(ExprKind::kExists, expr->line, expr->column);
+        e->bindings = expr->bindings;
+        e->body = s;
+        out->push_back(e);
+      }
+      return true;
+    }
+    default:
+      out->push_back(expr);
+      return true;
+  }
+}
+
+std::vector<ExprPtr> Alternatives(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  if (!SplitOr(expr, &out) || out.empty()) {
+    out.clear();
+    out.push_back(expr);
+  }
+  return out;
+}
+
+/// Walks a top-level conjunction spine into its conjuncts.
+void FlattenConjunction(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind == ExprKind::kAnd || expr->kind == ExprKind::kWhere) {
+    FlattenConjunction(expr->children[0], out);
+    FlattenConjunction(expr->children[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+std::optional<datalog::AggOp> AggOpOf(const std::string& name) {
+  if (name == "min") return datalog::AggOp::kMin;
+  if (name == "max") return datalog::AggOp::kMax;
+  if (name == "sum") return datalog::AggOp::kSum;
+  if (name == "count") return datalog::AggOp::kCount;
+  return std::nullopt;
+}
+
 /// Per-component translation context, shared by all of its rules.
 struct ComponentContext {
   std::set<std::string> members;
@@ -80,6 +169,231 @@ struct ComponentContext {
   const std::map<std::string, size_t>* max_sig;
   std::set<std::string>* externals;
 };
+
+/// Structurally verifies that every definition of combinator `name` is the
+/// canonical stdlib reduction — `def name[{A}] : reduce[rel_primitive_X, A]`
+/// (for count, `reduce[rel_primitive_add, (A, 1)]`). The name-level analysis
+/// and this translator both key on the names min/max/sum/count; a user
+/// redefinition would make that keying unsound, so a shadowed combinator
+/// rejects the rule (and the interpreter, which resolves names normally,
+/// stays the authority).
+bool IsCanonicalCombinator(const std::string& name, datalog::AggOp op,
+                           const ComponentContext& ctx) {
+  auto it = ctx.defs_by_name->find(name);
+  if (it == ctx.defs_by_name->end() || it->second.empty()) return false;
+  for (const Def* def : it->second) {
+    if (!def->square_head || def->is_ic || def->params.size() != 1 ||
+        def->params[0].kind != Binding::Kind::kRelVar ||
+        def->params[0].domain != nullptr || !def->body) {
+      return false;
+    }
+    const std::string& rel_param = def->params[0].name;
+    ExprPtr base;
+    std::vector<Arg> args;
+    Flatten(def->body, &base, &args);
+    if (base->kind != ExprKind::kIdent ||
+        base->name != builtin_names::kReduce || args.size() != 2 ||
+        !args[0].expr || !args[1].expr) {
+      return false;
+    }
+    if (args[0].expr->kind != ExprKind::kIdent) return false;
+    const std::string prim = CanonicalBuiltin(args[0].expr->name);
+    bool prim_ok = false;
+    switch (op) {
+      case datalog::AggOp::kMin: prim_ok = prim == "minimum"; break;
+      case datalog::AggOp::kMax: prim_ok = prim == "maximum"; break;
+      case datalog::AggOp::kSum:
+      case datalog::AggOp::kCount: prim_ok = prim == "add"; break;
+    }
+    if (!prim_ok) return false;
+    const ExprPtr& input = args[1].expr;
+    if (op == datalog::AggOp::kCount) {
+      if (input->kind != ExprKind::kProduct || input->children.size() != 2 ||
+          input->children[0]->kind != ExprKind::kIdent ||
+          input->children[0]->name != rel_param ||
+          input->children[1]->kind != ExprKind::kLiteral ||
+          !input->children[1]->literal.is_int() ||
+          input->children[1]->literal.AsInt() != 1) {
+        return false;
+      }
+    } else if (input->kind != ExprKind::kIdent || input->name != rel_param) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A matched aggregate head form: the conjunct `r = op[abstraction]` (either
+/// orientation) whose `r` is the def's final parameter.
+struct AggMatch {
+  datalog::AggOp op;
+  const Expr* abstraction;
+};
+
+/// True when the def can carry an aggregate head form at all: a final kVar
+/// parameter, unrepeated and undomained, that names the aggregate result.
+bool HasResultParam(const Def& def) {
+  if (def.params.empty()) return false;
+  const Binding& last = def.params.back();
+  if (last.kind != Binding::Kind::kVar || last.domain) return false;
+  for (size_t i = 0; i + 1 < def.params.size(); ++i) {
+    if (def.params[i].kind == Binding::Kind::kVar &&
+        def.params[i].name == last.name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Matches `result = op[(binders): formula]` / `op[...] = result` where
+/// `result` is def's final parameter. Returns nullopt (without failing) when
+/// the conjunct is anything else; the caller's plain path then rejects the
+/// stray aggregate application with its usual diagnostics.
+std::optional<AggMatch> MatchAggEq(const ExprPtr& conjunct, const Def& def,
+                                   const ComponentContext& ctx) {
+  if (!HasResultParam(def)) return std::nullopt;
+  const std::string& result = def.params.back().name;
+  if (conjunct->kind != ExprKind::kApplication || !conjunct->full) {
+    return std::nullopt;
+  }
+  ExprPtr base;
+  std::vector<Arg> args;
+  Flatten(conjunct, &base, &args);
+  if (base->kind != ExprKind::kIdent || CanonicalBuiltin(base->name) != "eq" ||
+      args.size() != 2 || !args[0].expr || !args[1].expr) {
+    return std::nullopt;
+  }
+  for (int side = 0; side < 2; ++side) {
+    const ExprPtr& r = args[side].expr;
+    const ExprPtr& app = args[1 - side].expr;
+    if (r->kind != ExprKind::kIdent || r->name != result) continue;
+    if (app->kind != ExprKind::kApplication) continue;
+    ExprPtr callee;
+    std::vector<Arg> app_args;
+    Flatten(app, &callee, &app_args);
+    if (callee->kind != ExprKind::kIdent) continue;
+    std::optional<datalog::AggOp> op = AggOpOf(callee->name);
+    if (!op) continue;
+    // The combinator name must not be captured by a def parameter, and must
+    // resolve to the canonical stdlib reduction (see IsCanonicalCombinator).
+    bool shadowed_by_param = false;
+    for (const Binding& b : def.params) shadowed_by_param |= b.name == callee->name;
+    if (shadowed_by_param) continue;
+    if (!IsCanonicalCombinator(callee->name, *op, ctx)) continue;
+    if (app_args.size() != 1 || !app_args[0].expr ||
+        app_args[0].expr->kind != ExprKind::kAbstraction) {
+      continue;
+    }
+    return AggMatch{*op, app_args[0].expr.get()};
+  }
+  return std::nullopt;
+}
+
+/// Fuses `Assign(t, op, a, b)` + `Compare(kEq, v, t)` pairs into a direct
+/// `Assign(v, op, a, b)` when the rewrite is observationally equivalent:
+/// `t` must be a pure lowering temp (its only uses are the assignment target
+/// and this equality) and `v` a variable no generator binds and the head
+/// does not carry. Under those conditions the planner would have turned the
+/// equality into a kBind of `v` to `t`'s value — exactly what the direct
+/// assignment produces — so plans, extents, and error behavior are
+/// unchanged. `v` bound elsewhere keeps the Compare form: equality against
+/// a bound variable is numeric-tolerant (EvalCompare equates Int 1 with
+/// Float 1.0) while a bound Assign target checks exact value identity.
+///
+/// The point of the fusion is the recursive-aggregate monotonicity check
+/// (datalog/eval.cc CheckMonotoneRule): `d = d1 + w` over a changing
+/// aggregate result must reach the aggregated value as a *tainted
+/// assignment* — allowed — rather than a tainted comparison filter, which
+/// is (correctly) rejected. Without it, `min[... j = j1 + j2 ...]` over a
+/// recursive shortest-path atom can never qualify for the fast path.
+void FuseAssignEq(datalog::Rule* rule) {
+  using datalog::Literal;
+  using datalog::Term;
+  // Count every variable occurrence across the rule, and mark variables a
+  // generator (positive atom, range output, assignment target) binds.
+  std::map<int, int> occurrences;
+  std::set<int> generator_bound;
+  std::set<int> head_vars;
+  auto count_term = [&](const Term& t) {
+    if (t.is_var()) ++occurrences[t.var];
+  };
+  for (const Term& t : rule->head.terms) {
+    count_term(t);
+    if (t.is_var()) head_vars.insert(t.var);
+  }
+  for (const Literal& lit : rule->body) {
+    switch (lit.kind) {
+      case Literal::Kind::kPositive:
+      case Literal::Kind::kNegative:
+        for (const Term& t : lit.atom.terms) count_term(t);
+        if (lit.kind == Literal::Kind::kPositive) {
+          for (const Term& t : lit.atom.terms) {
+            if (t.is_var()) generator_bound.insert(t.var);
+          }
+        }
+        break;
+      case Literal::Kind::kCompare:
+        count_term(lit.lhs);
+        count_term(lit.rhs);
+        break;
+      case Literal::Kind::kAssign:
+        ++occurrences[lit.target];
+        generator_bound.insert(lit.target);
+        count_term(lit.lhs);
+        count_term(lit.rhs);
+        break;
+      case Literal::Kind::kRange:
+        for (const Term& t : lit.atom.terms) count_term(t);
+        if (lit.atom.terms[3].is_var()) {
+          generator_bound.insert(lit.atom.terms[3].var);
+        }
+        break;
+    }
+  }
+  if (rule->agg) {
+    count_term(rule->agg->value);
+    for (const Term& t : rule->agg->witness) count_term(t);
+  }
+
+  std::vector<bool> drop(rule->body.size(), false);
+  for (size_t i = 0; i < rule->body.size(); ++i) {
+    const Literal& cmp = rule->body[i];
+    if (cmp.kind != Literal::Kind::kCompare || cmp.negated ||
+        cmp.cmp_op != datalog::CmpOp::kEq) {
+      continue;
+    }
+    for (int side = 0; side < 2; ++side) {
+      const Term& vt = side == 0 ? cmp.lhs : cmp.rhs;
+      const Term& tt = side == 0 ? cmp.rhs : cmp.lhs;
+      if (!vt.is_var() || !tt.is_var() || vt.var == tt.var) continue;
+      // The temp side: target of some assignment, used nowhere else.
+      if (occurrences[tt.var] != 2) continue;
+      // The bindee side: nothing else binds it, and it is not a head
+      // variable (incremental re-derivation pre-binds head variables, which
+      // would reintroduce the exact-identity check).
+      if (generator_bound.count(vt.var) || head_vars.count(vt.var)) continue;
+      Literal* assign = nullptr;
+      for (Literal& cand : rule->body) {
+        if (cand.kind == Literal::Kind::kAssign && cand.target == tt.var) {
+          assign = &cand;
+          break;
+        }
+      }
+      if (assign == nullptr) continue;
+      assign->target = vt.var;
+      generator_bound.insert(vt.var);
+      drop[i] = true;
+      break;
+    }
+  }
+  size_t kept = 0;
+  for (size_t i = 0; i < rule->body.size(); ++i) {
+    if (drop[i]) continue;
+    if (kept != i) rule->body[kept] = std::move(rule->body[i]);
+    ++kept;
+  }
+  rule->body.resize(kept);
+}
 
 /// Translates one `def` into one Datalog rule. Fails (returns nullopt with
 /// *why set) on any construct outside the classical fragment.
@@ -90,11 +404,27 @@ class RuleLowerer {
     scopes_.emplace_back();
   }
 
-  std::optional<datalog::Rule> Lower(const Def& def) {
+  /// Lowers one or-free alternative of `def` into one Datalog rule.
+  /// `conjuncts` is the alternative's conjunction spine; for an aggregate
+  /// head form, `agg` carries the matched combinator (the aggregate-equality
+  /// conjunct itself must already be removed from `conjuncts`) and
+  /// `agg_body` one or-free alternative of its abstraction body — a formula
+  /// for `(binders): f` abstractions, a value expression for `[binders]: e`.
+  std::optional<datalog::Rule> Lower(const Def& def,
+                                     const std::vector<ExprPtr>& conjuncts,
+                                     const AggMatch* agg,
+                                     const ExprPtr& agg_body) {
     if (def.square_head) return Fail("[]-headed rule (expression body)");
     if (CountSOParams(def) > 0) return Fail("relation-variable parameters");
     rule_.head.pred = def.name;
-    for (const Binding& b : def.params) {
+    // For an aggregate head form the final parameter is the result column:
+    // the Datalog head carries the GROUP columns only and the engine appends
+    // the folded result (datalog::Aggregate). The result name is left
+    // undeclared, so any other use of it fails the rule — a filter on the
+    // aggregate result has no classical-fragment equivalent.
+    const size_t head_params = def.params.size() - (agg != nullptr ? 1 : 0);
+    for (size_t i = 0; i < head_params; ++i) {
+      const Binding& b = def.params[i];
       switch (b.kind) {
         case Binding::Kind::kVar: {
           if (scopes_.back().count(b.name)) {
@@ -112,7 +442,11 @@ class RuleLowerer {
           return Fail("non-variable head binding");
       }
     }
-    if (!LowerFormula(def.body, /*positive=*/true)) return std::nullopt;
+    for (const ExprPtr& c : conjuncts) {
+      if (!LowerFormula(c, /*positive=*/true)) return std::nullopt;
+    }
+    if (agg != nullptr && !LowerAggregate(*agg, agg_body)) return std::nullopt;
+    FuseAssignEq(&rule_);
     return std::move(rule_);
   }
 
@@ -211,10 +545,36 @@ class RuleLowerer {
         ExprPtr base;
         std::vector<Arg> args;
         Flatten(e, &base, &args);
-        if (base->kind != ExprKind::kIdent || Lookup(base->name) ||
-            ctx_.defs_by_name->count(base->name) || !FindBuiltin(base->name)) {
+        if (base->kind != ExprKind::kIdent || Lookup(base->name)) {
           if (why_ && why_->empty()) *why_ = "unsupported argument expression";
           return std::nullopt;
+        }
+        const bool is_defined = ctx_.defs_by_name->count(base->name) > 0;
+        if (is_defined || !FindBuiltin(base->name)) {
+          // Relation application used as a value: A[i, k] denotes the set of
+          // last-column continuations of (i, k) — a positive atom with a
+          // fresh result variable. Faithful when A's extent has the uniform
+          // arity |args| + 1 (a Rel relation of mixed arities would also
+          // admit other suffix widths); the Datalog side pins one arity, as
+          // full atom applications already do.
+          std::vector<Term> terms;
+          terms.reserve(args.size() + 1);
+          for (const Arg& arg : args) {
+            if (arg.annotation == Annotation::kSecondOrder) {
+              if (why_ && why_->empty()) *why_ = "second-order argument";
+              return std::nullopt;
+            }
+            std::optional<Term> t = TermOf(arg.expr);
+            if (!t) return std::nullopt;
+            terms.push_back(*t);
+          }
+          int result = next_var_++;
+          terms.push_back(Term::Var(result));
+          if (!EmitRelationAtom(base->name, std::move(terms),
+                                /*positive=*/true)) {
+            return std::nullopt;
+          }
+          return Term::Var(result);
         }
         std::optional<ArithOp> op = ArithOpOf(CanonicalBuiltin(base->name));
         if (!op || args.size() != 2) {
@@ -235,6 +595,76 @@ class RuleLowerer {
         if (why_ && why_->empty()) *why_ = "unsupported argument expression";
         return std::nullopt;
     }
+  }
+
+  /// Translates the matched aggregate combinator into the rule's
+  /// datalog::Aggregate: abstraction binders become witness columns (all but
+  /// the last, which is the folded value — Rel's aggregates fold the last
+  /// column of the deduplicated abstraction extent) and the abstraction body
+  /// joins the rule body. The binders open their own scope, so the
+  /// abstraction can only read the def's group parameters — exactly Rel's
+  /// grouping (a def body has no other named outer variables).
+  bool LowerAggregate(const AggMatch& agg, const ExprPtr& agg_body) {
+    const Expr& abs = *agg.abstraction;
+    scopes_.emplace_back();
+    std::vector<int> binder_ids;
+    for (const Binding& b : abs.bindings) {
+      if (b.kind != Binding::Kind::kVar) {
+        scopes_.pop_back();
+        return FailBool("non-variable aggregate binder");
+      }
+      if (scopes_.back().count(b.name)) {
+        scopes_.pop_back();
+        return FailBool("repeated aggregate binder");
+      }
+      int id = Declare(b.name);
+      binder_ids.push_back(id);
+      if (b.domain && !LowerDomain(b.domain, id)) {
+        scopes_.pop_back();
+        return false;
+      }
+    }
+    datalog::Aggregate out;
+    out.op = agg.op;
+    if (abs.square) {
+      // [binders]: e — the expression computes the folded value; every
+      // binder is a witness column.
+      std::optional<Term> value = TermOf(agg_body);
+      if (!value) {
+        scopes_.pop_back();
+        return false;
+      }
+      for (int id : binder_ids) out.witness.push_back(Term::Var(id));
+      if (agg.op == datalog::AggOp::kCount) {
+        // count[[k]: e] counts distinct (k..., e) rows: the computed value
+        // joins the witness and the contribution value is the constant 1.
+        out.witness.push_back(*value);
+        out.value = Term::Const(Value::Int(1));
+      } else {
+        out.value = *value;
+      }
+    } else {
+      if (!LowerFormula(agg_body, /*positive=*/true)) {
+        scopes_.pop_back();
+        return false;
+      }
+      if (agg.op == datalog::AggOp::kCount) {
+        for (int id : binder_ids) out.witness.push_back(Term::Var(id));
+        out.value = Term::Const(Value::Int(1));
+      } else {
+        if (binder_ids.empty()) {
+          scopes_.pop_back();
+          return FailBool("aggregate abstraction without binders");
+        }
+        for (size_t i = 0; i + 1 < binder_ids.size(); ++i) {
+          out.witness.push_back(Term::Var(binder_ids[i]));
+        }
+        out.value = Term::Var(binder_ids.back());
+      }
+    }
+    scopes_.pop_back();
+    rule_.agg = std::move(out);
+    return true;
   }
 
   /// A full application used as a formula: relation atom, comparison, or
@@ -271,9 +701,24 @@ class RuleLowerer {
                                  : Literal::NegatedCompare(*cmp, *a, *b));
         return true;
       }
-      // Other negated builtins (arithmetic equation forms) are rejected:
-      // their auxiliary assignment cannot be emitted under the negation.
+      // Other negated builtins (arithmetic equation forms, range) are
+      // rejected: their auxiliary assignment cannot be emitted under the
+      // negation.
       if (!positive) return FailBool("negated builtin application");
+      if (canonical == "range") {
+        // range(lo, hi, step, x): same generator semantics as the Datalog
+        // kRange literal (program.h), so this is a direct translation.
+        if (args.size() != 4) return FailBool("range arity");
+        std::vector<Term> terms;
+        for (const Arg& arg : args) {
+          std::optional<Term> t = TermOf(arg.expr);
+          if (!t) return false;
+          terms.push_back(*t);
+        }
+        rule_.body.push_back(
+            Literal::Range(terms[0], terms[1], terms[2], terms[3]));
+        return true;
+      }
       if (std::optional<ArithOp> op = ArithOpOf(canonical)) {
         // add(a, b, c): compute into a fresh variable, then equate with the
         // result term — numeric-tolerant, matching the builtin's semantics.
@@ -352,6 +797,54 @@ class RuleLowerer {
   datalog::Rule rule_;
 };
 
+/// Lowers one def into one or more Datalog rules: disjunctive bodies split
+/// into or-free alternatives (one rule each), and an aggregate head form
+/// additionally splits its abstraction body — the engine folds one merged
+/// bucket per group across a predicate's aggregate rules, which is exactly
+/// the aggregate of the alternatives' union. Appends to `out`; false (with
+/// *why set) on any construct outside the fragment.
+bool LowerDef(const Def& def, const ComponentContext& ctx,
+              std::vector<datalog::Rule>* out, std::string* why) {
+  auto fail = [&](const std::string& reason) {
+    if (why && why->empty()) *why = reason;
+    return false;
+  };
+  if (!def.body) return fail("def without a body");
+  for (const ExprPtr& branch : Alternatives(def.body)) {
+    std::vector<ExprPtr> conjuncts;
+    FlattenConjunction(branch, &conjuncts);
+    std::optional<AggMatch> agg;
+    size_t agg_index = 0;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      std::optional<AggMatch> m = MatchAggEq(conjuncts[i], def, ctx);
+      if (!m) continue;
+      if (agg) return fail("multiple aggregates in one rule");
+      agg = m;
+      agg_index = i;
+    }
+    if (!agg) {
+      RuleLowerer lowerer(ctx, why);
+      std::optional<datalog::Rule> rule =
+          lowerer.Lower(def, conjuncts, nullptr, nullptr);
+      if (!rule) return false;
+      out->push_back(std::move(*rule));
+      continue;
+    }
+    conjuncts.erase(conjuncts.begin() + agg_index);
+    const Expr& abs = *agg->abstraction;
+    std::vector<ExprPtr> agg_bodies =
+        abs.square ? std::vector<ExprPtr>{abs.body} : Alternatives(abs.body);
+    for (const ExprPtr& agg_body : agg_bodies) {
+      RuleLowerer lowerer(ctx, why);
+      std::optional<datalog::Rule> rule =
+          lowerer.Lower(def, conjuncts, &*agg, agg_body);
+      if (!rule) return false;
+      out->push_back(std::move(*rule));
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 std::optional<LoweredComponent> LowerComponent(
@@ -387,10 +880,11 @@ std::optional<LoweredComponent> LowerComponent(
       return std::nullopt;
     }
     for (const Def* def : by_name[member]) {
-      RuleLowerer lowerer(ctx, why);
-      std::optional<datalog::Rule> rule = lowerer.Lower(*def);
-      if (!rule) return std::nullopt;
-      out.program.AddRule(std::move(*rule));
+      std::vector<datalog::Rule> rules;
+      if (!LowerDef(*def, ctx, &rules, why)) return std::nullopt;
+      for (datalog::Rule& rule : rules) {
+        out.program.AddRule(std::move(rule));
+      }
     }
   }
   out.members = std::move(members);
@@ -404,6 +898,11 @@ std::optional<datalog::DemandGoal> DemandGoalFor(
   bool member = false;
   for (const std::string& m : lowered.members) member |= (m == name);
   if (!member) return std::nullopt;
+  // Aggregates are demand-opaque: folding a partial bucket would be wrong,
+  // so the magic transform degenerates to the identity and a demanded cone
+  // buys nothing over the memoized full extent. Decline the goal so callers
+  // evaluate (and memoize) the component whole.
+  if (lowered.program.HasAggregates()) return std::nullopt;
   datalog::DemandGoal goal;
   goal.pred = name;
   goal.pattern = pattern;

@@ -2,16 +2,23 @@
 // of datalog/to_rel.h, and the "meet in the middle" step the ROADMAP's
 // "Rel-engine recursion via the Datalog planner" item asked for.
 //
-// A recursive component found by core/analysis qualifies for lowering when
-// its fixpoint is expressible as classical stratified Datalog:
+// A component found by core/analysis qualifies for lowering when its
+// fixpoint is expressible in the Datalog engine's fragment — classical
+// stratified Datalog plus aggregate rule heads (datalog::Aggregate):
 //
-//   * accumulate mode only — no replacement semantics (no non-monotone
-//     self-reference: negation, aggregation or second-order use inside the
-//     SCC; ProgramAnalysis::UsesReplacement already decides this);
+//   * monotone recursion (no replacement semantics;
+//     ProgramAnalysis::UsesReplacement decides), OR a recursive component
+//     whose only non-monotone internal edges flow through aggregation
+//     inputs (ProgramAnalysis::AggregationRecursive — the semiring
+//     semi-naive path), OR a non-recursive def that applies one of the
+//     stdlib combinators min/max/sum/count
+//     (ProgramAnalysis::UsesAggregation);
 //   * every rule of every member is first-order (`def name(params): body`
 //     with no relation-variable parameters and no []-head producing
 //     expression outputs) over variable/literal parameters;
-//   * every body is a conjunction (possibly under `exists`) of
+//   * every body is a conjunction (possibly under `exists`, and possibly
+//     disjunctive: `or` bodies split into one Datalog rule per DNF branch,
+//     up to 16 branches) of
 //       - full applications of named relations over variables, literals and
 //         wildcards (the member predicates themselves, or SCC-external
 //         names whose extents are materialized as EDB facts),
@@ -20,14 +27,27 @@
 //         negated comparison lowers to a kUnordered-faithful complement
 //         (datalog::Literal::NegatedCompare), never to a flipped operator —
 //         and arithmetic equalities (v = a + b, minimum/maximum and the
-//         ternary builtin forms), and
-//       - `true` / `e where f` conjunctions.
+//         ternary builtin forms),
+//       - `range(lo, hi, step, x)` generator applications (positive only),
+//       - relation applications used as values (`A[i, k] * B[k, j]`), and
+//       - `true` / `e where f` conjunctions;
+//   * an aggregate def takes the head form
+//     `def p(group..., r) : conjuncts and r = op[abstraction]` where `op`
+//     is a canonical stdlib combinator, `r` is the final parameter and is
+//     used nowhere else (a filter on the aggregate result has no
+//     classical-fragment equivalent), and the abstraction's binders supply
+//     the witness columns and aggregated value. A predicate must be all
+//     aggregate rules or all plain rules — the engine refuses mixed
+//     predicates (so a plain base def + aggregate recursive def pair does
+//     NOT lower; write a single disjunctive aggregate def instead).
 //
-// Everything else — disjunction, tuple variables, string builtins, `range`,
-// partial applications, relation-valued arguments — rejects the component,
-// and the interpreter falls back to its tuple-at-a-time fixpoint unchanged.
-// Rejection is always safe: lowering only changes how the extent is
-// computed, never what it is.
+// Everything else — tuple variables, string builtins, partial
+// applications, relation-valued arguments, DNF overflow — rejects the
+// component, and the interpreter falls back to its tuple-at-a-time
+// fixpoint unchanged. So does every aggregate shape the engine's
+// monotonicity qualification refuses (datalog/eval.cc CheckMonotoneRule
+// and the emit-once guard for recursive sums). Rejection is always safe:
+// lowering only changes how the extent is computed, never what it is.
 
 #ifndef REL_CORE_LOWERING_H_
 #define REL_CORE_LOWERING_H_

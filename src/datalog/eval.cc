@@ -65,18 +65,42 @@ std::map<std::string, int> Stratify(const Program& program) {
 
 // --- scalar evaluation -------------------------------------------------------
 
+/// Signed-overflow guard for the int lanes of +, -, * (and the sum/count
+/// aggregate fold): i64 wraparound is UB, and the Rel interpreter's checked
+/// kernels (core/builtins.cc) raise kType for the same inputs — both engines
+/// must agree on the error, not on two different wrapped values.
+int64_t CheckedI64(ArithOp op, int64_t a, int64_t b) {
+  int64_t r = 0;
+  bool overflow = false;
+  switch (op) {
+    case ArithOp::kAdd: overflow = __builtin_add_overflow(a, b, &r); break;
+    case ArithOp::kSub: overflow = __builtin_sub_overflow(a, b, &r); break;
+    case ArithOp::kMul: overflow = __builtin_mul_overflow(a, b, &r); break;
+    default: InternalCheck(false, "CheckedI64 on a non-overflowing op");
+  }
+  if (overflow) {
+    throw RelError(ErrorKind::kType,
+                   "integer overflow: " + std::to_string(a) +
+                       (op == ArithOp::kAdd ? " + "
+                        : op == ArithOp::kSub ? " - "
+                                              : " * ") +
+                       std::to_string(b) + " exceeds the int64 range");
+  }
+  return r;
+}
+
 std::optional<Value> EvalArith(ArithOp op, const Value& a, const Value& b) {
   auto both_int = a.is_int() && b.is_int();
   if (!a.is_number() || !b.is_number()) return std::nullopt;
   switch (op) {
     case ArithOp::kAdd:
-      return both_int ? Value::Int(a.AsInt() + b.AsInt())
+      return both_int ? Value::Int(CheckedI64(op, a.AsInt(), b.AsInt()))
                       : Value::Float(a.AsDouble() + b.AsDouble());
     case ArithOp::kSub:
-      return both_int ? Value::Int(a.AsInt() - b.AsInt())
+      return both_int ? Value::Int(CheckedI64(op, a.AsInt(), b.AsInt()))
                       : Value::Float(a.AsDouble() - b.AsDouble());
     case ArithOp::kMul:
-      return both_int ? Value::Int(a.AsInt() * b.AsInt())
+      return both_int ? Value::Int(CheckedI64(op, a.AsInt(), b.AsInt()))
                       : Value::Float(a.AsDouble() * b.AsDouble());
     case ArithOp::kDiv: {
       if (b.AsDouble() == 0) return std::nullopt;
@@ -128,6 +152,102 @@ bool EvalCompare(CmpOp op, const Value& a, const Value& b) {
 /// every negated comparison — the faithful `not (a < b)` semantics.
 bool EvalCompareLit(const Literal& lit, const Value& a, const Value& b) {
   return EvalCompare(lit.cmp_op, a, b) != lit.negated;
+}
+
+// --- aggregate folds ---------------------------------------------------------
+//
+// These mirror the Rel interpreter's reduce kernels (core/builtins.cc
+// rel_primitive_add / minimum / maximum) exactly — NOT EvalArith, whose
+// kMin/kMax keep the first operand on an unordered comparison where the Rel
+// kernels produce no value at all. Byte-identity of lowered aggregate
+// extents with the interpreter rests on that distinction (NaN payloads, and
+// kEqual ties keeping the first sorted operand's representation).
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kMin: return "min";
+    case AggOp::kMax: return "max";
+    case AggOp::kSum: return "sum";
+    case AggOp::kCount: return "count";
+  }
+  return "?";
+}
+
+std::optional<Value> FoldStep(AggOp op, const Value& acc, const Value& v) {
+  switch (op) {
+    case AggOp::kSum:
+    case AggOp::kCount: {
+      if (acc.is_int() && v.is_int()) {
+        return Value::Int(CheckedI64(ArithOp::kAdd, acc.AsInt(), v.AsInt()));
+      }
+      if (!acc.is_number() || !v.is_number()) return std::nullopt;
+      return Value::Float(acc.AsDouble() + v.AsDouble());
+    }
+    case AggOp::kMin: {
+      Value::Ordering c = acc.NumericCompare(v);
+      if (c == Value::Ordering::kUnordered) return std::nullopt;
+      return c == Value::Ordering::kGreater ? v : acc;
+    }
+    case AggOp::kMax: {
+      Value::Ordering c = acc.NumericCompare(v);
+      if (c == Value::Ordering::kUnordered) return std::nullopt;
+      return c == Value::Ordering::kLess ? v : acc;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Folds one group's contribution bucket in sorted order, the same order
+/// the Rel interpreter's `reduce` consumes a materialized abstraction: the
+/// accumulator starts from the first sorted row's last column (the value;
+/// witnesses occupy the leading columns) and steps through the rest. A step
+/// with no result (mixed non-numeric payloads, NaN under min/max) makes the
+/// whole group's result absent — an empty or undefined group emits NO row,
+/// never a default.
+std::optional<Value> FoldBucket(AggOp op, const Relation& bucket) {
+  std::optional<Value> acc;
+  for (const Tuple& t : bucket.SortedTuples()) {
+    if (t.arity() == 0) continue;
+    const Value& v = t[t.arity() - 1];
+    if (!acc) {
+      acc = v;
+      continue;
+    }
+    acc = FoldStep(op, *acc, v);
+    if (!acc) return std::nullopt;
+  }
+  return acc;
+}
+
+/// Mirrors the Rel `range` builtin (core/builtins.cc RangeBuiltin): yields
+/// x = lo, lo+step, ..., <= hi for bound integer bounds with step > 0; a
+/// present `x` is a membership test (one yield or none). Non-integer bounds
+/// or step <= 0 yield nothing — same as the builtin, never an error. The
+/// membership modulus runs in uint64 so an astronomically wide range stays
+/// defined; the enumeration stops before a signed increment could wrap.
+template <typename Fn>
+void EvalRange(const Value& lo_v, const Value& hi_v, const Value& step_v,
+               const std::optional<Value>& x, Fn&& yield) {
+  if (!lo_v.is_int() || !hi_v.is_int() || !step_v.is_int()) return;
+  int64_t lo = lo_v.AsInt();
+  int64_t hi = hi_v.AsInt();
+  int64_t step = step_v.AsInt();
+  if (step <= 0) return;
+  if (x) {
+    if (!x->is_int()) return;
+    int64_t v = x->AsInt();
+    if (v >= lo && v <= hi &&
+        (static_cast<uint64_t>(v) - static_cast<uint64_t>(lo)) %
+                static_cast<uint64_t>(step) ==
+            0) {
+      yield(*x);
+    }
+    return;
+  }
+  for (int64_t v = lo; v <= hi;) {
+    yield(Value::Int(v));
+    if (__builtin_add_overflow(v, step, &v)) break;
+  }
 }
 
 /// Mutable per-rule binding vector (variables are dense ids).
@@ -350,6 +470,28 @@ void EvalRuleScan(const Rule& rule, const State& state, const DeltaMap& delta,
         bindings[lit.target].reset();
         return;
       }
+      case Literal::Kind::kRange: {
+        std::optional<Value> lo = value_of(lit.atom.terms[0]);
+        std::optional<Value> hi = value_of(lit.atom.terms[1]);
+        std::optional<Value> st = value_of(lit.atom.terms[2]);
+        if (!lo || !hi || !st) {
+          throw RelError(ErrorKind::kSafety,
+                         "range bounds unbound in rule for '" +
+                             rule.head.pred + "'");
+        }
+        const Term& xt = lit.atom.terms[3];
+        std::optional<Value> x = value_of(xt);
+        if (x) {
+          EvalRange(*lo, *hi, *st, x, [&](const Value&) { step(li + 1); });
+        } else {
+          EvalRange(*lo, *hi, *st, std::nullopt, [&](const Value& v) {
+            bindings[xt.var] = v;
+            step(li + 1);
+            bindings[xt.var].reset();
+          });
+        }
+        return;
+      }
     }
   };
   step(0);
@@ -367,6 +509,7 @@ struct PlanStep {
     kFilter,     // all-bound comparison
     kBind,       // equality with one unbound variable side: binds it
     kAssign,     // arithmetic assignment; operands bound
+    kRange,      // range generator; lo/hi/step bound, enumerates or tests x
   };
   Kind kind;
   size_t lit_index = 0;
@@ -451,6 +594,11 @@ RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state,
       if (lit.kind == Literal::Kind::kAssign && lit.target == var) {
         return true;
       }
+      if (lit.kind == Literal::Kind::kRange) {
+        const Term& x = lit.atom.terms[3];
+        if (x.is_var() && x.var == var) return true;
+        continue;
+      }
       if (lit.kind != Literal::Kind::kPositive) continue;
       for (const Term& t : lit.atom.terms) {
         if (t.is_var() && t.var == var) return true;
@@ -506,6 +654,18 @@ RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state,
             if (term_known(lit.lhs) && term_known(lit.rhs)) {
               plan.steps.push_back({PlanStep::Kind::kAssign, i, {}, false});
               bound[lit.target] = true;
+              done[i] = true;
+              progress = true;
+            }
+            break;
+          }
+          case Literal::Kind::kRange: {
+            if (term_known(lit.atom.terms[0]) &&
+                term_known(lit.atom.terms[1]) &&
+                term_known(lit.atom.terms[2])) {
+              plan.steps.push_back({PlanStep::Kind::kRange, i, {}, false});
+              const Term& x = lit.atom.terms[3];
+              if (x.is_var()) bound[x.var] = true;
               done[i] = true;
               progress = true;
             }
@@ -586,7 +746,9 @@ RulePlan BuildPlan(const Rule& rule, int delta_index, const State& state,
               ? "variable in negated atom of rule for '"
               : rule.body[i].kind == Literal::Kind::kCompare
                     ? "comparison over unbound variables in rule for '"
-                    : "assignment over unbound variables in rule for '";
+                    : rule.body[i].kind == Literal::Kind::kRange
+                          ? "range bounds unbound in rule for '"
+                          : "assignment over unbound variables in rule for '";
       throw RelError(ErrorKind::kSafety, what + rule.head.pred + "'");
     }
   }
@@ -796,6 +958,25 @@ void ExecPlan(const Rule& rule, const RulePlan& plan, const State& state,
         bindings[lit.target].reset();
         return;
       }
+      case PlanStep::Kind::kRange: {
+        const Value& lo = value_of(lit.atom.terms[0]);
+        const Value& hi = value_of(lit.atom.terms[1]);
+        const Value& st = value_of(lit.atom.terms[2]);
+        const Term& xt = lit.atom.terms[3];
+        if (xt.is_var() && !bindings[xt.var]) {
+          EvalRange(lo, hi, st, std::nullopt, [&](const Value& v) {
+            bindings[xt.var] = v;
+            self(self, si + 1);
+            bindings[xt.var].reset();
+          });
+        } else {
+          std::optional<Value> x =
+              xt.is_var() ? bindings[xt.var]
+                          : std::optional<Value>(xt.constant);
+          EvalRange(lo, hi, st, x, [&](const Value&) { self(self, si + 1); });
+        }
+        return;
+      }
     }
   };
   step(step, 0);
@@ -948,6 +1129,193 @@ std::vector<int> TopoOrder(const std::vector<Unit>& units) {
   return order;
 }
 
+// --- aggregate qualification -------------------------------------------------
+
+/// Per-predicate aggregate signature. Every aggregate rule of a predicate
+/// must agree on the operator and the group arity (witness arity may differ
+/// per rule — buckets hold mixed-arity contribution rows, sorted by
+/// (arity, lex) exactly like a Rel abstraction's materialized relation).
+struct AggSig {
+  AggOp op = AggOp::kMin;
+  size_t group_arity = 0;
+};
+
+/// Program-wide aggregate well-formedness, checked once per evaluation:
+///
+///   * a predicate's rules are either all plain or all aggregate (a plain
+///     rule unioning extra rows into an aggregated extent has no reading
+///     under either engine's semantics);
+///   * all aggregate rules of a predicate share one operator and one group
+///     arity — the extent is one (group..., result) row per group;
+///   * no EDB facts on an aggregate predicate (facts are not contributions
+///     and are not foldable rows).
+///
+/// Throws kType; returns the signature map for the unit-level checks.
+std::map<std::string, AggSig> ValidateAggregates(const Program& program) {
+  std::map<std::string, AggSig> sigs;
+  std::set<std::string> plain;
+  for (const Rule& rule : program.rules()) {
+    if (!rule.agg) {
+      plain.insert(rule.head.pred);
+      continue;
+    }
+    AggSig sig{rule.agg->op, rule.head.terms.size()};
+    auto [it, inserted] = sigs.emplace(rule.head.pred, sig);
+    if (!inserted &&
+        (it->second.op != sig.op || it->second.group_arity != sig.group_arity)) {
+      throw RelError(ErrorKind::kType,
+                     "aggregate rules for '" + rule.head.pred +
+                         "' disagree on operator or group arity");
+    }
+  }
+  for (const auto& [pred, sig] : sigs) {
+    (void)sig;
+    if (plain.count(pred)) {
+      throw RelError(ErrorKind::kType,
+                     "predicate '" + pred +
+                         "' mixes plain and aggregate rules");
+    }
+    auto it = program.facts().find(pred);
+    if (it != program.facts().end() && !it->second.empty()) {
+      throw RelError(ErrorKind::kType,
+                     "aggregate predicate '" + pred +
+                         "' cannot carry EDB facts");
+    }
+  }
+  return sigs;
+}
+
+/// Static monotonicity qualification for one aggregate rule in a recursive
+/// min/max unit. `recursive` holds the unit's aggregate head predicates.
+///
+/// The semi-naive accumulator never retracts a contribution, so recursion
+/// through an aggregate is sound only when every stale contribution (one
+/// derived from a since-improved group result) is *dominated* by a fresh
+/// one. We enforce that by dataflow: a variable bound from the result
+/// column of a same-unit aggregate atom is tainted, taint flows only
+/// through direction-preserving arithmetic (+, min, max, and subtraction
+/// with an untainted right side), and a tainted value may reach only the
+/// aggregated value/witness terms — never a comparison, a negation, a join
+/// position, or a group column, all of which could make a stale row
+/// non-dominated. Everything else throws kType (callers such as the Rel
+/// lowering fall back to the interpreter's replacement semantics).
+void CheckMonotoneRule(const Rule& rule, const std::set<std::string>& recursive,
+                       const std::map<std::string, AggSig>& sigs) {
+  auto fail = [&](const std::string& why) {
+    throw RelError(ErrorKind::kType,
+                   "non-monotone recursive aggregate in rule for '" +
+                       rule.head.pred + "': " + why);
+  };
+  int max_var = MaxVar(rule);
+  std::vector<bool> tainted(static_cast<size_t>(max_var + 1), false);
+  // Seed: result columns of same-unit aggregate atoms. Count every
+  // positive-atom occurrence of each variable along the way — a tainted
+  // variable occurring in two atom positions is an equality join on a
+  // changing value.
+  std::vector<int> positive_occurrences(static_cast<size_t>(max_var + 1), 0);
+  for (const Literal& lit : rule.body) {
+    if (lit.kind != Literal::Kind::kPositive) continue;
+    for (size_t i = 0; i < lit.atom.terms.size(); ++i) {
+      const Term& t = lit.atom.terms[i];
+      if (!t.is_var()) continue;
+      ++positive_occurrences[t.var];
+      if (recursive.count(lit.atom.pred) &&
+          i + 1 == lit.atom.terms.size() &&
+          lit.atom.terms.size() ==
+              sigs.at(lit.atom.pred).group_arity + 1) {
+        tainted[t.var] = true;
+      }
+    }
+  }
+  // Propagate through assignments to a fixpoint (hoisting means syntactic
+  // order is not evaluation order).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAssign || tainted[lit.target]) continue;
+      bool lhs_t = lit.lhs.is_var() && tainted[lit.lhs.var];
+      bool rhs_t = lit.rhs.is_var() && tainted[lit.rhs.var];
+      if (!lhs_t && !rhs_t) continue;
+      bool preserving = lit.arith_op == ArithOp::kAdd ||
+                        lit.arith_op == ArithOp::kMin ||
+                        lit.arith_op == ArithOp::kMax ||
+                        (lit.arith_op == ArithOp::kSub && !rhs_t);
+      if (!preserving) {
+        fail("a changing aggregate result flows through an operation that "
+             "does not preserve its direction");
+      }
+      tainted[lit.target] = true;
+      changed = true;
+    }
+  }
+  // Usage restrictions.
+  for (int v = 0; v <= max_var; ++v) {
+    if (tainted[v] && positive_occurrences[v] > 1) {
+      fail("a changing aggregate result is used as a join value");
+    }
+  }
+  for (const Literal& lit : rule.body) {
+    switch (lit.kind) {
+      case Literal::Kind::kPositive:
+        // Seeding already verified: a tainted var's one positive occurrence
+        // IS its result-column binding site (any var first seen elsewhere
+        // and also at a result column has two occurrences, caught above).
+        break;
+      case Literal::Kind::kNegative:
+        for (const Term& t : lit.atom.terms) {
+          if (t.is_var() && tainted[t.var]) {
+            fail("a changing aggregate result feeds a negation");
+          }
+        }
+        break;
+      case Literal::Kind::kCompare:
+        if ((lit.lhs.is_var() && tainted[lit.lhs.var]) ||
+            (lit.rhs.is_var() && tainted[lit.rhs.var])) {
+          fail("a changing aggregate result feeds a comparison filter");
+        }
+        break;
+      case Literal::Kind::kAssign:
+        break;
+      case Literal::Kind::kRange:
+        for (const Term& t : lit.atom.terms) {
+          if (t.is_var() && tainted[t.var]) {
+            fail("a changing aggregate result feeds a range generator");
+          }
+        }
+        break;
+    }
+  }
+  for (const Term& t : rule.head.terms) {
+    if (t.is_var() && tainted[t.var]) {
+      fail("a changing aggregate result appears in a group column");
+    }
+  }
+  // Tainted values ARE allowed in the aggregated value and witness terms —
+  // that is the point: stale rows there are dominated by fresher, better
+  // ones under the unit's single min/max direction.
+}
+
+/// Per-group accumulator for one aggregate predicate: the set-deduplicated
+/// contribution bucket, the currently published result (absent until the
+/// first fold yields a value), and the round-local dirty flag.
+struct AggGroup {
+  Relation bucket;
+  std::optional<Value> value;
+  bool dirty = false;
+};
+
+/// Unit-local aggregate state for one aggregate predicate. `seen` is the
+/// dedup authority across ALL rules of the predicate (mixed witness arities
+/// included): a contribution row that ever entered a bucket never re-enters,
+/// which both keeps set semantics (sum counts a deduplicated row once) and
+/// makes the semi-naive re-derivations idempotent.
+struct AggPredState {
+  AggSig sig;
+  Relation seen;
+  std::map<Tuple, AggGroup> groups;  // deterministic refold order
+};
+
 /// Adds `from`'s counters into `into` (the per-unit/per-slot stats merge;
 /// top-level fields strata/units/threads are set once by Evaluate).
 void AccumulateCounters(EvalStats* into, const EvalStats& from) {
@@ -961,6 +1329,8 @@ void AccumulateCounters(EvalStats* into, const EvalStats& from) {
   into->driver_scans += from.driver_scans;
   into->delta_scans += from.delta_scans;
   into->leapfrog_joins += from.leapfrog_joins;
+  into->aggregate_updates += from.aggregate_updates;
+  into->groups_improved += from.groups_improved;
   into->par_tasks += from.par_tasks;
   into->par_steals += from.par_steals;
   into->par_merges += from.par_merges;
@@ -1015,11 +1385,109 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
                        std::to_string(max_iterations) +
                        " rounds; the partial extent is discarded");
   };
+
+  // ---- Aggregate preparation. Aggregate rules are rewritten to internal
+  // "contribution rules" — same body, head extended with the witness and
+  // value terms — and run through the ordinary plan/scan machinery. Their
+  // derivations land in per-group buckets instead of the extents; the dirty
+  // groups refold at the round barrier (publish_round below), and a changed
+  // (group..., result) row replaces the old extent row and becomes the next
+  // delta: monotone aggregate updates instead of set union.
+  std::map<std::string, AggPredState> agg;
+  std::map<std::string, AggSig> agg_sigs;
+  for (const Rule* rule : unit.rules) {
+    if (!rule->agg) continue;
+    AggSig sig{rule->agg->op, rule->head.terms.size()};
+    agg_sigs.emplace(rule->head.pred, sig);  // consistency checked program-wide
+    agg[rule->head.pred].sig = sig;
+  }
+  bool agg_recursive = false;
+  if (!agg.empty()) {
+    InternalCheck(seed == nullptr && collect == nullptr,
+                  "aggregate units cannot run in maintenance mode");
+    for (const Rule* rule : unit.rules) {
+      for (const Literal& lit : rule->body) {
+        if (lit.kind != Literal::Kind::kPositive ||
+            agg.count(lit.atom.pred) == 0) {
+          continue;
+        }
+        agg_recursive = true;
+        if (!rule->agg) {
+          throw RelError(
+              ErrorKind::kType,
+              "plain rule for '" + rule->head.pred +
+                  "' reads aggregate predicate '" + lit.atom.pred +
+                  "' inside the same recursive component; aggregate results "
+                  "are only stable once their component converges");
+        }
+      }
+    }
+  }
+  if (agg_recursive) {
+    // One improvement direction per component: every aggregate rule must
+    // share the operator, and for min/max every rule must pass the static
+    // monotonicity qualification. Recursive sum/count carries no static
+    // check — the dynamic emit-once guard in publish_round throws the
+    // moment a contribution reaches an already-published group.
+    AggOp recursive_op = AggOp::kMin;
+    bool first = true;
+    for (const Rule* rule : unit.rules) {
+      if (!rule->agg) continue;
+      if (first) {
+        recursive_op = rule->agg->op;
+        first = false;
+      } else if (rule->agg->op != recursive_op) {
+        throw RelError(ErrorKind::kType,
+                       "mixed aggregate operators in one recursive component "
+                       "(every rule must improve results in one direction)");
+      }
+    }
+    if (recursive_op == AggOp::kMin || recursive_op == AggOp::kMax) {
+      std::set<std::string> rec_preds;
+      for (const auto& [pred, st] : agg) {
+        (void)st;
+        rec_preds.insert(pred);
+      }
+      for (const Rule* rule : unit.rules) {
+        CheckMonotoneRule(*rule, rec_preds, agg_sigs);
+      }
+    }
+  }
+
+  // The executable rule list: plain rules as written, aggregate rules in
+  // their expanded contribution form. `index` is the ORIGINAL rule's stable
+  // index (the expansion keeps the body, so the plan permutation space is
+  // unchanged) — never pointer arithmetic on the expanded storage.
+  struct ExecRule {
+    const Rule* rule;
+    size_t index;
+  };
+  std::vector<Rule> expanded;
+  expanded.reserve(unit.rules.size());
+  std::vector<ExecRule> exec_rules;
+  exec_rules.reserve(unit.rules.size());
+  for (const Rule* rule : unit.rules) {
+    size_t index = static_cast<size_t>(rule - rules_base);
+    if (!rule->agg) {
+      exec_rules.push_back({rule, index});
+      continue;
+    }
+    Rule ex;
+    ex.head.pred = rule->head.pred;
+    ex.head.terms = rule->head.terms;
+    for (const Term& w : rule->agg->witness) ex.head.terms.push_back(w);
+    ex.head.terms.push_back(rule->agg->value);
+    ex.body = rule->body;
+    expanded.push_back(std::move(ex));
+    exec_rules.push_back({&expanded.back(), index});
+  }
+
   std::map<std::pair<const Rule*, int>, RulePlan> plans;
   // Plans are built at first use (cardinality estimates read the state at
   // that moment) and reused for the rest of the unit — the same timing in
   // sequential and parallel mode, so both produce identical plans.
-  auto plan_for = [&](const Rule* rule, int delta_index) -> const RulePlan& {
+  auto plan_for = [&](const Rule* rule, size_t rule_index,
+                      int delta_index) -> const RulePlan& {
     auto key = std::make_pair(rule, delta_index);
     auto it = plans.find(key);
     if (it == plans.end()) {
@@ -1027,7 +1495,7 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
       if (sub_seed != 0) {
         // SplitMix-style mix of (seed, rule index, delta occurrence) so
         // every plan draws an independent, reproducible permutation.
-        sub_seed ^= static_cast<uint64_t>(rule - rules_base) *
+        sub_seed ^= static_cast<uint64_t>(rule_index) *
                     0x9E3779B97F4A7C15ULL;
         sub_seed ^= static_cast<uint64_t>(delta_index + 2) *
                     0xBF58476D1CE4E5B9ULL;
@@ -1040,17 +1508,32 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
   };
 
   DeltaMap delta;
-  using Pair = std::pair<const Rule*, int>;
+  // One round entry: the executable rule, its stable plan-seed index, and
+  // the delta occurrence (-1 for a full pass).
+  struct Pair {
+    const Rule* rule;
+    size_t index;
+    int di;
+  };
+  // Emit-site dedup authority: the full extent for plain heads, the
+  // contributions-seen relation for aggregate heads (contribution rows
+  // never touch the extents directly).
+  auto dedup_for = [&](const Rule* rule) -> const Relation* {
+    auto it = agg.find(rule->head.pred);
+    return it == agg.end() ? &state->full->at(rule->head.pred)
+                           : &it->second.seen;
+  };
 
   // Evaluates the round's (rule, delta-occurrence) pairs into `added`.
   auto run_round = [&](const std::vector<Pair>& pairs, DeltaMap* added) {
     if (!indexed) {
-      for (const auto& [rule, di] : pairs) {
-        const Relation& full = state->full->at(rule->head.pred);
+      for (const auto& pr : pairs) {
+        const Rule* rule = pr.rule;
+        const Relation& dedup = *dedup_for(rule);
         Relation derived;
-        EvalRuleScan(*rule, *state, delta, di, &derived, &local);
+        EvalRuleScan(*rule, *state, delta, pr.di, &derived, &local);
         derived.ForEach([&](const TupleRef& t) {
-          if (!full.Contains(t)) (*added)[rule->head.pred].Insert(t);
+          if (!dedup.Contains(t)) (*added)[rule->head.pred].Insert(t);
         });
       }
       return;
@@ -1065,8 +1548,10 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
       size_t begin, end;
     };
     std::vector<Task> tasks;
-    for (const auto& [rule, di] : pairs) {
-      const RulePlan& plan = plan_for(rule, di);
+    for (const auto& pr : pairs) {
+      const Rule* rule = pr.rule;
+      const int di = pr.di;
+      const RulePlan& plan = plan_for(rule, pr.index, di);
       const Relation* delta_rel =
           di >= 0 ? FindDelta(delta, rule->body[di].atom.pred) : nullptr;
       size_t rows = static_cast<size_t>(-1);  // "not chunkable"
@@ -1099,8 +1584,8 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
     if (pool == nullptr) {
       for (const Task& t : tasks) {
         ExecPlan(*t.rule, *t.plan, *state, t.delta_rel, cache,
-                 &(*added)[t.rule->head.pred], &local,
-                 &state->full->at(t.rule->head.pred), t.begin, t.end);
+                 &(*added)[t.rule->head.pred], &local, dedup_for(t.rule),
+                 t.begin, t.end);
       }
       return;
     }
@@ -1117,7 +1602,7 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
       SlotStage& stage = staging[pool->CurrentSlot()];
       ExecPlan(*t.rule, *t.plan, *state, t.delta_rel, cache,
                &stage.rels[t.rule->head.pred], &stage.stats,
-               &state->full->at(t.rule->head.pred), t.begin, t.end);
+               dedup_for(t.rule), t.begin, t.end);
     };
     if (tasks.size() == 1) {
       // A single task gains nothing from dispatch; run it right here.
@@ -1143,19 +1628,107 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
     }
   };
 
+  // Round barrier, part two: publishes `added` into the canonical state and
+  // returns the next delta. Plain predicates merge tuple-wise. Aggregate
+  // predicates route their new contribution rows into the per-group
+  // accumulators, refold the dirty groups in deterministic (std::map) order,
+  // and replace each changed (group..., result) extent row — the changed
+  // rows ARE the aggregate predicate's next delta. Runs sequentially on the
+  // unit's thread, so the single-writer extent discipline holds.
+  auto publish_round = [&](DeltaMap added) -> DeltaMap {
+    for (auto& [pred, rel] : added) {
+      auto agg_it = agg.find(pred);
+      if (agg_it == agg.end()) {
+        state->full->at(pred).InsertAll(rel);
+        if (collect) (*collect)[pred].InsertAll(rel);
+        continue;
+      }
+      AggPredState& ap = agg_it->second;
+      const size_t g = ap.sig.group_arity;
+      rel.ForEach([&](const TupleRef& row) {
+        if (!ap.seen.Insert(row)) return;  // set semantics: counted once
+        ++local.aggregate_updates;
+        Tuple group;
+        for (size_t i = 0; i < g && i < row.arity(); ++i) group.Append(row[i]);
+        Tuple payload;  // (witness..., value)
+        for (size_t i = g; i < row.arity(); ++i) payload.Append(row[i]);
+        AggGroup& grp = ap.groups[std::move(group)];
+        grp.bucket.Insert(std::move(payload));
+        grp.dirty = true;
+      });
+      Relation changed;
+      Relation& extent = state->full->at(pred);
+      for (auto& [group, grp] : ap.groups) {
+        if (!grp.dirty) continue;
+        grp.dirty = false;
+        if (grp.value.has_value() &&
+            (ap.sig.op == AggOp::kSum || ap.sig.op == AggOp::kCount)) {
+          // Emit-once: a sum/count result already fed back into the
+          // fixpoint cannot absorb further contributions — unlike min/max,
+          // a revised sum does not dominate derivations made from the stale
+          // one. Level-indexed formulations (every contribution to a group
+          // arrives in one round) evaluate cleanly; anything else is
+          // non-monotone and must take the interpreter's semantics.
+          throw RelError(
+              ErrorKind::kType,
+              std::string("recursive ") + AggOpName(ap.sig.op) + " for '" +
+                  pred +
+                  "' received a contribution after its group published; "
+                  "only level-indexed recursive sums are monotone");
+        }
+        std::optional<Value> folded = FoldBucket(ap.sig.op, grp.bucket);
+        if (!folded.has_value()) {
+          if (grp.value.has_value()) {
+            throw RelError(ErrorKind::kType,
+                           "aggregate result for '" + pred +
+                               "' became undefined after publication "
+                               "(unordered payloads entered its bucket)");
+          }
+          continue;  // empty-or-undefined group: no row, never a default
+        }
+        if (grp.value.has_value()) {
+          if (*grp.value == *folded) continue;
+          // The refold ran over a superset of the old bucket, so min can
+          // only decrease and max only increase; a regression means a
+          // non-monotone shape escaped static qualification.
+          Value::Ordering o = grp.value->NumericCompare(*folded);
+          bool regressed =
+              o == Value::Ordering::kUnordered ||
+              (ap.sig.op == AggOp::kMin ? o == Value::Ordering::kLess
+                                        : o == Value::Ordering::kGreater);
+          if (regressed) {
+            throw RelError(ErrorKind::kType,
+                           "aggregate result for '" + pred +
+                               "' regressed during the fixpoint; "
+                               "non-monotone recursion");
+          }
+          Tuple old_row = group;
+          old_row.Append(*grp.value);
+          extent.Erase(old_row);
+        }
+        Tuple new_row = group;
+        new_row.Append(*folded);
+        extent.Insert(new_row);
+        changed.Insert(std::move(new_row));
+        grp.value = std::move(folded);
+        ++local.groups_improved;
+      }
+      rel = std::move(changed);
+    }
+    return added;
+  };
+
   bool seeded_round = seed != nullptr;
   if (seed == nullptr) {
     // Initial round: evaluate every rule of the unit fully.
     std::vector<Pair> init_pairs;
-    init_pairs.reserve(unit.rules.size());
-    for (const Rule* rule : unit.rules) init_pairs.emplace_back(rule, -1);
+    init_pairs.reserve(exec_rules.size());
+    for (const ExecRule& er : exec_rules) {
+      init_pairs.push_back({er.rule, er.index, -1});
+    }
     DeltaMap added;
     run_round(init_pairs, &added);
-    for (auto& [pred, rel] : added) {
-      state->full->at(pred).InsertAll(rel);
-      if (collect) (*collect)[pred].InsertAll(rel);
-    }
-    delta = std::move(added);
+    delta = publish_round(std::move(added));
     ++local.iterations;
     check_cap();
   } else {
@@ -1173,7 +1746,8 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
     ++local.iterations;
     check_cap();
     std::vector<Pair> pairs;
-    for (const Rule* rule : unit.rules) {
+    for (const ExecRule& er : exec_rules) {
+      const Rule* rule = er.rule;
       if (semi_naive) {
         // One pass per recursive-atom occurrence, with that occurrence
         // restricted to the delta. The first maintenance round widens the
@@ -1188,20 +1762,16 @@ void EvalUnit(const Unit& unit, bool indexed, bool semi_naive,
           } else if (unit.heads.count(lit.atom.pred) == 0) {
             continue;
           }
-          pairs.emplace_back(rule, static_cast<int>(li));
+          pairs.push_back({rule, er.index, static_cast<int>(li)});
         }
       } else {
-        pairs.emplace_back(rule, -1);
+        pairs.push_back({rule, er.index, -1});
       }
     }
     seeded_round = false;
     DeltaMap next_added;
     run_round(pairs, &next_added);
-    for (auto& [pred, rel] : next_added) {
-      state->full->at(pred).InsertAll(rel);
-      if (collect) (*collect)[pred].InsertAll(rel);
-    }
-    delta = std::move(next_added);
+    delta = publish_round(std::move(next_added));
   }
 
   std::lock_guard<std::mutex> lock(*stats_mu);
@@ -1218,7 +1788,9 @@ std::string EvalStats::ToString() const {
      << " sorted_builds=" << sorted_builds
      << " index_probes=" << index_probes << " full_scans=" << full_scans
      << " driver_scans=" << driver_scans << " delta_scans=" << delta_scans
-     << " leapfrog_joins=" << leapfrog_joins << " par_tasks=" << par_tasks
+     << " leapfrog_joins=" << leapfrog_joins
+     << " aggregate_updates=" << aggregate_updates
+     << " groups_improved=" << groups_improved << " par_tasks=" << par_tasks
      << " par_steals=" << par_steals << " par_merges=" << par_merges
      << " delta_inserts=" << delta_inserts << " delta_deletes=" << delta_deletes
      << " rederived=" << rederived
@@ -1261,6 +1833,7 @@ std::map<std::string, Relation> Evaluate(const Program& program,
 
   EvalStats scratch;
   EvalStats* s = stats ? stats : &scratch;
+  if (program.HasAggregates()) ValidateAggregates(program);
   std::map<std::string, int> stratum = Stratify(program);
   int max_stratum = 0;
   for (const auto& [pred, st] : stratum) {
@@ -1375,6 +1948,18 @@ DeltaResult EvaluateDelta(const Program& program,
     result.supported = false;
     result.unsupported_reason =
         "demand_goal set: maintain the transformed program instead";
+    return result;
+  }
+  // Aggregate rules cannot be maintained: the per-group accumulators fold
+  // monotonically and never retract a contribution, while an EDB delta can
+  // delete one — neither the resumed semi-naive pass (it has no bucket
+  // state) nor DRed (group rows are folds, not unions of derivations)
+  // models that. Refuse before touching anything; the caller's contract is
+  // to fall back to a full recompute.
+  if (program.HasAggregates()) {
+    result.supported = false;
+    result.unsupported_reason =
+        "aggregate rules cannot be maintained incrementally; recompute";
     return result;
   }
 

@@ -40,6 +40,21 @@
 //     insertion order seen by unsorted iteration like ForEach may vary
 //     with scheduling).
 //
+//   * Recursive aggregation. Rules with an aggregate head (min/max/sum/
+//     count over group-by columns; program.h Aggregate) run inside the same
+//     fixpoint loops: each body match contributes a (witness..., value) row
+//     to its group's set-deduplicated bucket, dirty groups refold at the
+//     round barrier, and a changed (group..., result) row replaces the old
+//     extent row and enters the next delta — monotone aggregate *updates*
+//     instead of set union. Recursive min/max rules must be statically
+//     monotone (a taint analysis over the aggregated value's dataflow);
+//     recursive sum/count must be level-stratified, enforced dynamically (a
+//     contribution reaching a group after the group first emitted throws
+//     kType). Stratified-position aggregates are the degenerate
+//     non-recursive case. Aggregate programs are refused by the magic-set
+//     transform (demand goals fall back to full evaluation + goal filter)
+//     and by EvaluateDelta (supported=false; callers recompute).
+//
 // The nested-loop scan evaluator is retained behind Strategy::kNaive and
 // Strategy::kSemiNaiveScan as an ablation baseline for benchmarks; both
 // always run sequentially.
@@ -152,6 +167,15 @@ struct EvalStats {
   uint64_t driver_scans = 0;    // unavoidable scans of all-free leading atoms
   uint64_t delta_scans = 0;     // scans of the semi-naive delta occurrence
   uint64_t leapfrog_joins = 0;  // rules routed through LeapfrogJoin
+  // Aggregation (rules with an aggregate head; 0 otherwise). Both counters
+  // are deterministic across strategies in the semi-naive family and across
+  // thread counts: contributions are set-deduplicated before counting and
+  // groups refold at round barriers.
+  uint64_t aggregate_updates = 0;  // distinct contribution rows added to
+                                   // group buckets across all rounds
+  uint64_t groups_improved = 0;    // group result rows created or replaced
+                                   // at round barriers (a group that refolds
+                                   // to its previous value counts 0)
   uint64_t par_tasks = 0;       // pool tasks executed (0 when sequential)
   uint64_t par_steals = 0;      // tasks taken from another worker's queue
   uint64_t par_merges = 0;      // staging relations merged at round barriers

@@ -304,6 +304,17 @@ class Transformer {
           }
           break;
         }
+        case Literal::Kind::kRange: {
+          adorned.body.push_back(lit);
+          if (term_bound(lit.atom.terms[0]) &&
+              term_bound(lit.atom.terms[1]) &&
+              term_bound(lit.atom.terms[2])) {
+            prefix.push_back(lit);
+            const Term& x = lit.atom.terms[3];
+            if (x.is_var()) bound[x.var] = true;
+          }
+          break;
+        }
       }
     }
     out->program.AddRule(std::move(adorned));
@@ -329,6 +340,19 @@ std::string MagicName(const std::string& pred, const std::string& adornment) {
 }
 
 MagicProgram MagicTransform(const Program& program, const DemandGoal& goal) {
+  if (program.HasAggregates()) {
+    // Aggregate rules are demand-opaque: a group's result folds over its
+    // WHOLE contribution bucket, so restricting the body to the demanded
+    // bindings would fold partial buckets into wrong values (and a magic
+    // guard atom on an aggregate rule would shrink the bucket the same
+    // way). Degenerate to the identity — callers evaluate the original
+    // program in full and apply the goal filter afterwards, which is the
+    // documented fallback for every untransformable goal.
+    MagicProgram out;
+    out.goal_pred = goal.pred;
+    out.transformed = false;
+    return out;
+  }
   return Transformer(program, goal).Run();
 }
 

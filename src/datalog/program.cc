@@ -22,6 +22,14 @@ Literal Literal::Negative(Atom a) {
   return l;
 }
 
+Literal Literal::Range(Term lo, Term hi, Term step, Term x) {
+  Literal l;
+  l.kind = Kind::kRange;
+  l.atom.pred = "range";
+  l.atom.terms = {std::move(lo), std::move(hi), std::move(step), std::move(x)};
+  return l;
+}
+
 Literal Literal::Compare(CmpOp op, Term lhs, Term rhs) {
   Literal l;
   l.kind = Kind::kCompare;
@@ -56,6 +64,13 @@ void Program::AddFacts(const std::string& pred, const Relation& rel) {
 }
 
 void Program::AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+bool Program::HasAggregates() const {
+  for (const Rule& rule : rules_) {
+    if (rule.agg.has_value()) return true;
+  }
+  return false;
+}
 
 std::vector<std::string> Program::Predicates() const {
   std::map<std::string, bool> seen;
@@ -218,6 +233,79 @@ class DatalogParser {
     return atom;
   }
 
+  /// True when the input at the current position (after whitespace) reads
+  /// `min(`, `max(`, `sum(` or `count(` — the aggregate head form. Does not
+  /// consume anything.
+  std::optional<AggOp> PeekAggOp() {
+    SkipWs();
+    static const std::pair<const char*, AggOp> kOps[] = {
+        {"min", AggOp::kMin},
+        {"max", AggOp::kMax},
+        {"sum", AggOp::kSum},
+        {"count", AggOp::kCount},
+    };
+    for (const auto& [name, op] : kOps) {
+      size_t n = std::strlen(name);
+      if (src_.compare(pos_, n, name) != 0) continue;
+      size_t after = pos_ + n;
+      // The keyword must end here (so a variable/constant named `summary`
+      // is untouched) and be applied to an argument list.
+      if (after < src_.size() &&
+          (std::isalnum(static_cast<unsigned char>(src_[after])) ||
+           src_[after] == '_')) {
+        continue;
+      }
+      while (after < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[after]))) {
+        ++after;
+      }
+      if (after < src_.size() && src_[after] == '(') return op;
+    }
+    return std::nullopt;
+  }
+
+  /// `op(value)` | `op(value; witness...)` | `count(witness...)`, already
+  /// knowing `op` via PeekAggOp.
+  Aggregate ParseAggregate(AggOp op) {
+    Aggregate agg;
+    agg.op = op;
+    ParseIdent();  // the operator keyword
+    Expect('(');
+    if (op == AggOp::kCount) {
+      // count(w...) = sum of ones over distinct witness rows.
+      agg.value = Term::Const(Value::Int(1));
+      agg.witness.push_back(ParseTerm());
+      while (Eat(',')) agg.witness.push_back(ParseTerm());
+    } else {
+      agg.value = ParseTerm();
+      if (Eat(';')) {
+        agg.witness.push_back(ParseTerm());
+        while (Eat(',')) agg.witness.push_back(ParseTerm());
+      }
+    }
+    Expect(')');
+    return agg;
+  }
+
+  /// A rule head: an atom whose LAST argument may be an aggregate form.
+  Atom ParseHead(std::optional<Aggregate>* agg) {
+    Atom atom;
+    atom.pred = ParseIdent();
+    Expect('(');
+    if (Eat(')')) return atom;
+    for (;;) {
+      if (std::optional<AggOp> op = PeekAggOp()) {
+        *agg = ParseAggregate(*op);
+        Expect(')');
+        return atom;
+      }
+      atom.terms.push_back(ParseTerm());
+      if (!Eat(',')) break;
+    }
+    Expect(')');
+    return atom;
+  }
+
   std::optional<CmpOp> TryCmpOp() {
     if (EatStr("!=")) return CmpOp::kNeq;
     if (EatStr("<=")) return CmpOp::kLe;
@@ -240,7 +328,9 @@ class DatalogParser {
   Literal ParseLiteral() {
     SkipWs();
     if (Eat('!')) {
-      return Literal::Negative(ParseAtom());
+      Atom atom = ParseAtom();
+      if (atom.pred == "range") Fail("range cannot be negated");
+      return Literal::Negative(std::move(atom));
     }
     // Lookahead: `ident(` is an atom; otherwise a comparison/assignment.
     size_t save = pos_;
@@ -252,7 +342,13 @@ class DatalogParser {
       if (pos_ < src_.size() && src_[pos_] == '(') {
         pos_ = save;
         vars_ = vars_save;
-        return Literal::Positive(ParseAtom());
+        Atom atom = ParseAtom();
+        if (atom.pred == "range") {
+          if (atom.terms.size() != 4) Fail("range takes (lo, hi, step, x)");
+          return Literal::Range(atom.terms[0], atom.terms[1], atom.terms[2],
+                                atom.terms[3]);
+        }
+        return Literal::Positive(std::move(atom));
       }
       pos_ = save;
       vars_ = vars_save;
@@ -274,9 +370,11 @@ class DatalogParser {
   void ParseClause(Program* program) {
     vars_.clear();
     next_var_ = 0;
-    Atom head = ParseAtom();
+    std::optional<Aggregate> agg;
+    Atom head = ParseHead(&agg);
     SkipWs();
     if (Eat('.')) {
+      if (agg) Fail("facts cannot carry an aggregate head");
       // A fact.
       Tuple t;
       for (const Term& term : head.terms) {
@@ -289,6 +387,7 @@ class DatalogParser {
     if (!EatStr(":-")) Fail("expected '.' or ':-'");
     Rule rule;
     rule.head = std::move(head);
+    rule.agg = std::move(agg);
     rule.body.push_back(ParseLiteral());
     while (Eat(',')) rule.body.push_back(ParseLiteral());
     Expect('.');

@@ -56,10 +56,20 @@ enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod, kMin, kMax };
 
 /// One body literal.
 struct Literal {
-  enum class Kind { kPositive, kNegative, kCompare, kAssign };
+  enum class Kind { kPositive, kNegative, kCompare, kAssign, kRange };
 
   static Literal Positive(Atom a);
   static Literal Negative(Atom a);
+  /// Generator literal mirroring the Rel `range` builtin (core/builtins.cc):
+  /// x = lo, lo+step, ..., <= hi (inclusive) for bound integer bounds with
+  /// step > 0; when x is already bound it is a membership test. Non-integer
+  /// bounds or step <= 0 produce no rows — same as the builtin, no error.
+  /// lo/hi/step must be bound before the literal evaluates (kSafety
+  /// otherwise); the four terms live in atom.terms, atom.pred is "range".
+  /// This is what the Rel lowering emits for `range(lo, hi, step, x)`
+  /// applications, and what ParseDatalog builds for a positive `range/4`
+  /// atom ("range" is reserved).
+  static Literal Range(Term lo, Term hi, Term step, Term x);
   static Literal Compare(CmpOp op, Term lhs, Term rhs);
   /// The complement of Compare(op, lhs, rhs): holds exactly when that
   /// comparison does NOT. This is not expressible by flipping `op` —
@@ -81,11 +91,35 @@ struct Literal {
   ArithOp arith_op = ArithOp::kAdd;
 };
 
+/// Aggregate operators for aggregate rule heads.
+enum class AggOp { kMin, kMax, kSum, kCount };
+
+/// The aggregate part of an aggregate rule head. The rule's visible extent
+/// has arity head.terms.size() + 1: one row (group..., result) per group of
+/// bindings of the head terms, where result folds the group's contribution
+/// bucket. Each body match contributes the row (witness..., value) to its
+/// group's bucket; buckets are sets (Relation-deduplicated), mirroring Rel's
+/// set semantics, and the fold runs over the bucket's sorted tuples exactly
+/// like the Rel interpreter's `reduce` (so sum never double-counts a
+/// deduplicated row, and min/max ties keep the first sorted operand).
+struct Aggregate {
+  AggOp op = AggOp::kMin;
+  /// The aggregated value (ignored for kCount, whose contributions are
+  /// (witness..., 1) — count = sum of ones = distinct witness rows).
+  Term value;
+  /// Extra columns distinguishing contributions within a group (the
+  /// abstraction binders of the Rel form, minus the group columns).
+  std::vector<Term> witness;
+};
+
 /// head :- body. Range restriction (every head/negated/compared variable
 /// bound by a positive literal or assignment) is validated by the evaluator.
+/// When `agg` is set, head.terms are the GROUP columns only and the extent
+/// carries one extra result column (see Aggregate).
 struct Rule {
   Atom head;
   std::vector<Literal> body;
+  std::optional<Aggregate> agg;
 };
 
 /// A query goal for demand-driven evaluation: answer the atoms of `pred`
@@ -124,6 +158,10 @@ class Program {
   /// All predicate names (EDB and IDB).
   std::vector<std::string> Predicates() const;
 
+  /// True iff some rule carries an aggregate head. Gates the paths that do
+  /// not support aggregation (magic-set demand, incremental maintenance).
+  bool HasAggregates() const;
+
  private:
   std::map<std::string, Relation> facts_;
   std::vector<Rule> rules_;
@@ -136,6 +174,14 @@ class Program {
 /// Uppercase identifiers are variables; integers and "strings" constants;
 /// `!pred(...)` is negation; comparisons use =, !=, <, <=, >, >=;
 /// assignment uses V = A + B (or -, *, /, %).
+///
+/// Aggregate rules put the aggregate as the LAST head argument:
+///   spath(X, Y, min(D; Z)) :- edge(X, Y), D = 1 + 0, ...
+///   total(K, sum(V))       :- item(K, V).
+///   deg(X, count(Y))       :- edge(X, Y).
+/// `op(value)` or `op(value; witness...)` for min/max/sum; `count(w...)`
+/// counts distinct witness rows. The preceding head arguments are the group
+/// columns (see Aggregate).
 Program ParseDatalog(const std::string& source);
 
 }  // namespace datalog

@@ -96,6 +96,13 @@ std::string LiteralToRel(const Literal& lit, const std::string& var_prefix) {
       // included), which is exactly Rel's `not (a < b)` — NOT `a >= b`.
       return lit.negated ? "not (" + cmp + ")" : cmp;
     }
+    case Literal::Kind::kRange:
+      // The Rel `range` builtin has the same generator semantics as the
+      // Datalog kRange literal (see program.h), so this is a direct call.
+      return "range(" + TermToRel(lit.atom.terms[0], var_prefix) + ", " +
+             TermToRel(lit.atom.terms[1], var_prefix) + ", " +
+             TermToRel(lit.atom.terms[2], var_prefix) + ", " +
+             TermToRel(lit.atom.terms[3], var_prefix) + ")";
     case Literal::Kind::kAssign: {
       const char* op = ArithToRel(lit.arith_op);
       if (op) {
@@ -163,6 +170,10 @@ std::string RuleToRel(const Rule& rule) {
     CollectVars(lit.rhs, &body_vars);
     if (lit.target >= 0) body_vars.insert(lit.target);
   }
+  if (rule.agg.has_value()) {
+    for (const Term& t : rule.agg->witness) CollectVars(t, &body_vars);
+    CollectVars(rule.agg->value, &body_vars);
+  }
   for (const Term& t : rule.head.terms) {
     if (t.is_var()) max_var = std::max(max_var, t.var);
   }
@@ -174,20 +185,19 @@ std::string RuleToRel(const Rule& rule) {
   // body: p(X, X) :- q(X)  =>  def p(v0, v1) : q(v0) and v1 = v0.
   std::set<int> head_vars;
   std::vector<std::pair<int, int>> aliases;  // (alias, original)
-  std::string head = rule.head.pred + "(";
+  std::string head_args;
   for (size_t i = 0; i < rule.head.terms.size(); ++i) {
-    if (i) head += ", ";
+    if (i) head_args += ", ";
     const Term& t = rule.head.terms[i];
     if (t.is_var() && !head_vars.insert(t.var).second) {
       int alias = ++max_var;
       head_vars.insert(alias);
       aliases.emplace_back(alias, t.var);
-      head += prefix + std::to_string(alias);
+      head_args += prefix + std::to_string(alias);
       continue;
     }
-    head += TermToRel(t, prefix);
+    head_args += TermToRel(t, prefix);
   }
-  head += ")";
 
   std::string body;
   for (size_t i = 0; i < rule.body.size(); ++i) {
@@ -201,22 +211,97 @@ std::string RuleToRel(const Rule& rule) {
   }
   if (body.empty()) body = "true";
 
+  if (!rule.agg.has_value()) {
+    std::set<int> existential;
+    for (int v : body_vars) {
+      if (!head_vars.count(v)) existential.insert(v);
+    }
+    if (!existential.empty()) {
+      std::string binders;
+      for (int v : existential) {
+        if (!binders.empty()) binders += ", ";
+        binders += prefix + std::to_string(v);
+      }
+      body = "exists((" + binders + ") | " + body + ")";
+    }
+    return "def " + rule.head.pred + "(" + head_args + ") : " + body;
+  }
+
+  // Aggregate rule: the extent row is (group..., result), so the Rel def
+  // takes the group columns plus a fresh result parameter bound by an
+  // aggregate application over the contribution abstraction:
+  //   spath(X, Y, min(D; Z)) :- ...  =>
+  //   def spath(v0, v1, v4) : v4 = min[(v3, v2) : ...]
+  // Rel's aggregates fold the last column of the deduplicated abstraction
+  // extent, which matches the Datalog bucket semantics (program.h).
+  const Aggregate& agg = *rule.agg;
+  std::vector<Term> binder_terms = agg.witness;
+  if (agg.op != AggOp::kCount) binder_terms.push_back(agg.value);
+  if (binder_terms.empty()) {
+    // A witness-free count contributes the single row (1); counting the
+    // distinct values of a binder pinned to 1 is the same aggregate.
+    binder_terms.push_back(Term::Const(Value::Int(1)));
+  }
+  std::set<int> binder_vars;
+  std::string binders;
+  for (const Term& t : binder_terms) {
+    if (!binders.empty()) binders += ", ";
+    // A binder must be a variable fresh in the abstraction: constants,
+    // group columns, and repeated binders get a fresh alias equated to the
+    // original inside the body.
+    if (t.is_var() && !head_vars.count(t.var) &&
+        binder_vars.insert(t.var).second) {
+      binders += prefix + std::to_string(t.var);
+      continue;
+    }
+    int alias = ++max_var;
+    binder_vars.insert(alias);
+    binders += prefix + std::to_string(alias);
+    body += " and " + prefix + std::to_string(alias) + " = " +
+            TermToRel(t, prefix);
+  }
+
   std::set<int> existential;
   for (int v : body_vars) {
-    if (!head_vars.count(v)) existential.insert(v);
+    if (!head_vars.count(v) && !binder_vars.count(v)) existential.insert(v);
   }
   if (!existential.empty()) {
-    std::string binders;
+    std::string ebinders;
     for (int v : existential) {
-      if (!binders.empty()) binders += ", ";
-      binders += prefix + std::to_string(v);
+      if (!ebinders.empty()) ebinders += ", ";
+      ebinders += prefix + std::to_string(v);
     }
-    body = "exists((" + binders + ") | " + body + ")";
+    body = "exists((" + ebinders + ") | " + body + ")";
   }
-  return "def " + head + " : " + body;
+
+  const char* op_name = agg.op == AggOp::kMin   ? "min"
+                        : agg.op == AggOp::kMax ? "max"
+                        : agg.op == AggOp::kSum ? "sum"
+                                                : "count";
+  int result_var = ++max_var;
+  const std::string rv = prefix + std::to_string(result_var);
+  if (!head_args.empty()) head_args += ", ";
+  head_args += rv;
+  return "def " + rule.head.pred + "(" + head_args + ") : " + rv + " = " +
+         op_name + "[(" + binders + ") : " + body + "]";
 }
 
 std::string ProgramToRel(const Program& program) {
+  // Multiple aggregate rules for one predicate fold a SINGLE merged bucket
+  // per group in the classical engine, but each rendered Rel def would fold
+  // its own abstraction separately (the union of per-rule folds — a
+  // different, wrong answer whenever two rules feed the same group).
+  // Refuse rather than translate unfaithfully.
+  std::map<std::string, int> agg_rule_count;
+  for (const Rule& rule : program.rules()) {
+    if (rule.agg.has_value() && ++agg_rule_count[rule.head.pred] > 1) {
+      throw RelError(ErrorKind::kType,
+                     "cannot translate '" + rule.head.pred +
+                         "' to Rel: multiple aggregate rules fold one merged "
+                         "bucket per group, which per-rule defs cannot "
+                         "express");
+    }
+  }
   std::string out;
   for (const auto& [pred, facts] : program.facts()) {
     out += "def " + pred + " {";

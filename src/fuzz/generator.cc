@@ -33,11 +33,14 @@ constexpr CmpOp kCmpOps[] = {CmpOp::kEq, CmpOp::kNeq, CmpOp::kLt,
 /// One rule for `head_pred`. `pool` collects the variables bound by the
 /// positive atoms as they are generated, so later comparisons, negations
 /// and the head draw only from bound variables — scan-strategy safety by
-/// construction.
+/// construction. When `agg_op` is set the head carries head_arity - 1
+/// group columns plus an aggregate form (the extent keeps arity
+/// head_arity), with value/witness terms drawn from bound variables.
 Rule GenerateRule(Rng& rng, const GeneratorOptions& opts,
                   const std::string& head_pred, int head_arity,
                   const std::vector<std::pair<std::string, int>>& pos_preds,
-                  const std::vector<std::pair<std::string, int>>& neg_preds) {
+                  const std::vector<std::pair<std::string, int>>& neg_preds,
+                  std::optional<datalog::AggOp> agg_op) {
   Rule rule;
   int next_var = 0;
   std::vector<int> pool;  // variables bound by positive atoms so far
@@ -93,13 +96,36 @@ Rule GenerateRule(Rng& rng, const GeneratorOptions& opts,
   }
 
   rule.head.pred = head_pred;
-  for (int p = 0; p < head_arity; ++p) {
+  int group_arity = agg_op.has_value() ? head_arity - 1 : head_arity;
+  for (int p = 0; p < group_arity; ++p) {
     if (!pool.empty() && (!opts.allow_constants || rng.NextBool(0.8))) {
       rule.head.terms.push_back(Term::Var(Pick(rng, pool)));
     } else {
       rule.head.terms.push_back(Term::Const(
           Value::Int(static_cast<int64_t>(rng.NextBelow(opts.value_domain)))));
     }
+  }
+  if (agg_op.has_value()) {
+    datalog::Aggregate agg;
+    agg.op = *agg_op;
+    auto bound_term = [&]() -> Term {
+      if (!pool.empty() && rng.NextBool(0.85)) {
+        return Term::Var(Pick(rng, pool));
+      }
+      return Term::Const(
+          Value::Int(static_cast<int64_t>(rng.NextBelow(opts.value_domain))));
+    };
+    if (*agg_op == datalog::AggOp::kCount) {
+      // count(w...) needs at least one witness to render in corpus text.
+      agg.value = Term::Const(Value::Int(1));
+      int n = 1 + static_cast<int>(rng.NextBelow(2));
+      for (int i = 0; i < n; ++i) agg.witness.push_back(bound_term());
+    } else {
+      agg.value = bound_term();
+      int n = static_cast<int>(rng.NextBelow(3));
+      for (int i = 0; i < n; ++i) agg.witness.push_back(bound_term());
+    }
+    rule.agg = std::move(agg);
   }
   return rule;
 }
@@ -159,6 +185,47 @@ std::string RenderAtom(const Atom& atom) {
   return out + ")";
 }
 
+const char* AggText(datalog::AggOp op) {
+  switch (op) {
+    case datalog::AggOp::kMin: return "min";
+    case datalog::AggOp::kMax: return "max";
+    case datalog::AggOp::kSum: return "sum";
+    case datalog::AggOp::kCount: return "count";
+  }
+  return "min";
+}
+
+/// The rule head in parser syntax: group columns, then the aggregate form
+/// as the last argument (`op(value)` | `op(value; w...)` | `count(w...)`).
+std::string RenderHead(const Rule& rule) {
+  std::string out = rule.head.pred + "(";
+  for (size_t i = 0; i < rule.head.terms.size(); ++i) {
+    if (i) out += ", ";
+    out += RenderTerm(rule.head.terms[i]);
+  }
+  if (rule.agg.has_value()) {
+    const datalog::Aggregate& agg = *rule.agg;
+    if (!rule.head.terms.empty()) out += ", ";
+    out += std::string(AggText(agg.op)) + "(";
+    if (agg.op == datalog::AggOp::kCount) {
+      InternalCheck(!agg.witness.empty(),
+                    "fuzz corpus text cannot express a witness-free count");
+      for (size_t i = 0; i < agg.witness.size(); ++i) {
+        if (i) out += ", ";
+        out += RenderTerm(agg.witness[i]);
+      }
+    } else {
+      out += RenderTerm(agg.value);
+      for (size_t i = 0; i < agg.witness.size(); ++i) {
+        out += i ? ", " : "; ";
+        out += RenderTerm(agg.witness[i]);
+      }
+    }
+    out += ")";
+  }
+  return out + ")";
+}
+
 const char* CmpText(CmpOp op) {
   switch (op) {
     case CmpOp::kEq: return "=";
@@ -185,6 +252,10 @@ const char* ArithText(datalog::ArithOp op) {
 std::string RenderLiteral(const Literal& lit) {
   switch (lit.kind) {
     case Literal::Kind::kPositive:
+      return RenderAtom(lit.atom);
+    case Literal::Kind::kRange:
+      // Renders as a positive range/4 atom, which ParseDatalog converts
+      // back to a kRange literal ("range" is a reserved predicate name).
       return RenderAtom(lit.atom);
     case Literal::Kind::kNegative:
       return "!" + RenderAtom(lit.atom);
@@ -221,10 +292,19 @@ FuzzCase GenerateCase(uint64_t seed, const GeneratorOptions& opts) {
   }
   std::vector<std::pair<std::string, int>> idb;
   std::vector<int> level;
+  std::vector<std::optional<datalog::AggOp>> agg_op;
+  constexpr datalog::AggOp kAggOps[] = {
+      datalog::AggOp::kMin, datalog::AggOp::kMax, datalog::AggOp::kSum,
+      datalog::AggOp::kCount};
   for (int i = 0; i < opts.num_idb; ++i) {
     idb.emplace_back("p" + std::to_string(i),
                      1 + static_cast<int>(rng.NextBelow(opts.max_arity)));
     level.push_back(static_cast<int>(rng.NextBelow(3)));
+    if (opts.allow_aggregates && rng.NextBool(0.25)) {
+      agg_op.push_back(kAggOps[rng.NextBelow(std::size(kAggOps))]);
+    } else {
+      agg_op.push_back(std::nullopt);
+    }
   }
 
   for (const auto& [pred, arity] : edb) {
@@ -234,17 +314,31 @@ FuzzCase GenerateCase(uint64_t seed, const GeneratorOptions& opts) {
   // Rules. Positive references reach any predicate at the same level or
   // below (same level = recursion, possibly mutual); negative references
   // reach strictly lower levels and EDB only — stratified by construction.
+  // Aggregate predicates stratify like negation on BOTH sides: their
+  // bodies read strictly lower levels only (no recursion through the
+  // aggregate, so no monotonicity qualification is needed) and only
+  // strictly higher levels read their extents (a plain rule sharing a
+  // recursive unit with an aggregate head is rejected by the evaluator).
   for (int i = 0; i < opts.num_idb; ++i) {
     std::vector<std::pair<std::string, int>> pos = edb;
     std::vector<std::pair<std::string, int>> neg = edb;
     for (int j = 0; j < opts.num_idb; ++j) {
-      if (level[j] <= level[i]) pos.push_back(idb[j]);
+      bool strict = agg_op[i].has_value() || agg_op[j].has_value();
+      if (strict ? level[j] < level[i] : level[j] <= level[i]) {
+        pos.push_back(idb[j]);
+      }
       if (level[j] < level[i]) neg.push_back(idb[j]);
     }
-    int num_rules = 1 + static_cast<int>(rng.NextBelow(opts.max_rules_per_idb));
+    // One rule per aggregate predicate: the classical engine folds multiple
+    // rules' contributions into a single bucket per group, which the
+    // per-rule Rel rendering cannot express (to_rel.cc refuses it).
+    int num_rules =
+        agg_op[i].has_value()
+            ? 1
+            : 1 + static_cast<int>(rng.NextBelow(opts.max_rules_per_idb));
     for (int r = 0; r < num_rules; ++r) {
       c.program.AddRule(GenerateRule(rng, opts, idb[i].first, idb[i].second,
-                                     pos, neg));
+                                     pos, neg, agg_op[i]));
     }
     c.idb_preds.push_back(idb[i].first);
   }
@@ -293,7 +387,7 @@ std::string CaseToText(const FuzzCase& c) {
     }
   }
   for (const Rule& rule : c.program.rules()) {
-    os << RenderAtom(rule.head) << " :- ";
+    os << RenderHead(rule) << " :- ";
     for (size_t i = 0; i < rule.body.size(); ++i) {
       if (i) os << ", ";
       os << RenderLiteral(rule.body[i]);

@@ -2,7 +2,8 @@
 //
 // Emits well-formed classical Datalog programs covering the lowered
 // fragment — recursion (including mutual recursion), negation in stratified
-// positions, mixed arities, repeated variables, constants in atoms and
+// positions, stratified aggregation (min/max/sum/count heads with group-by),
+// mixed arities, repeated variables, constants in atoms and
 // comparisons, and optional point-query goals — plus random EDB extents
 // built from benchutil/generators. Every program is constructed so that
 // ALL evaluation configurations accept it:
@@ -49,6 +50,16 @@ struct GeneratorOptions {
   bool allow_negation = true;
   bool allow_comparisons = true;
   bool allow_constants = true;
+  /// Allow aggregate rule heads (min/max/sum/count with group-by). Aggregate
+  /// predicates are stratified like negation on both sides: their bodies
+  /// read strictly lower levels (no recursion through the aggregate) and
+  /// only strictly higher levels read their extents — so every
+  /// configuration, including the Rel translation bridge, accepts the
+  /// program without monotone-recursion analysis. Each aggregate predicate
+  /// gets exactly one rule: the classical engine folds multi-rule
+  /// contributions into one bucket per group, which the per-rule Rel
+  /// rendering cannot express (datalog/to_rel.cc refuses it).
+  bool allow_aggregates = true;
   /// Probability that the case carries a DemandGoal (point query). The
   /// pattern itself may still come out all-free — that degenerate goal is
   /// a production of the grammar, not an accident.

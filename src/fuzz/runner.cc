@@ -521,6 +521,10 @@ class CaseRunner {
       check("index_probes", out.stats.index_probes, base.stats.index_probes);
       check("leapfrog_joins", out.stats.leapfrog_joins,
             base.stats.leapfrog_joins);
+      check("aggregate_updates", out.stats.aggregate_updates,
+            base.stats.aggregate_updates);
+      check("groups_improved", out.stats.groups_improved,
+            base.stats.groups_improved);
       check("iterations", static_cast<uint64_t>(out.stats.iterations),
             static_cast<uint64_t>(base.stats.iterations));
     }

@@ -111,9 +111,15 @@ TEST(FuzzGenerator, TextRoundTripPreservesTheCase) {
 TEST(FuzzGenerator, GrammarCoverageAtDefaultDials) {
   int with_goal = 0, with_all_free_goal = 0, with_edb_goal = 0;
   int with_negation = 0, with_recursion = 0, with_empty_edb = 0;
+  int with_aggregate = 0;
+  bool agg_ops_seen[4] = {false, false, false, false};
   const int kSeeds = 300;
   for (uint64_t seed = 0; seed < kSeeds; ++seed) {
     FuzzCase c = GenerateCase(seed);
+    if (c.program.HasAggregates()) ++with_aggregate;
+    for (const auto& rule : c.program.rules()) {
+      if (rule.agg) agg_ops_seen[static_cast<int>(rule.agg->op)] = true;
+    }
     if (c.goal) {
       ++with_goal;
       if (!c.goal->AnyBound()) ++with_all_free_goal;
@@ -148,6 +154,10 @@ TEST(FuzzGenerator, GrammarCoverageAtDefaultDials) {
   EXPECT_GT(with_negation, kSeeds / 4);
   EXPECT_GT(with_recursion, kSeeds / 4);
   EXPECT_GT(with_empty_edb, 0);
+  EXPECT_GT(with_aggregate, kSeeds / 4);
+  for (int op = 0; op < 4; ++op) {
+    EXPECT_TRUE(agg_ops_seen[op]) << "aggregate op " << op << " never drawn";
+  }
 }
 
 TEST(FuzzMinimize, PassingCaseIsReturnedUnchanged) {
@@ -198,13 +208,38 @@ TEST(FuzzUpdateStream, DeterministicInSeedAndTextRoundTrips) {
 // including TSan with REL_EVAL_THREADS — honest on every run, and asserts
 // the delta path is actually exercised (not all-fallback).
 TEST(FuzzUpdateStream, PinnedStreamsAreDiscrepancyFree) {
+  // Aggregates are excluded here: EvaluateDelta refuses aggregate-bearing
+  // programs (every step would take the recompute fallback), and this test
+  // asserts the delta path itself is exercised. The aggregate → fallback
+  // arm is pinned separately below.
+  StreamOptions opts;
+  opts.generator.allow_aggregates = false;
   uint64_t incremental = 0, fallback = 0;
   for (uint64_t seed = 42; seed < 54; ++seed) {
-    UpdateStream s = GenerateUpdateStream(seed);
+    UpdateStream s = GenerateUpdateStream(seed, opts);
     RunResult result = RunUpdateStream(s, {}, &incremental, &fallback);
     EXPECT_TRUE(result.ok()) << FormatStreamResult(s, result);
   }
   EXPECT_GT(incremental, 0u) << "no stream step took the EvaluateDelta path";
+}
+
+// Streams over aggregate-bearing programs: EvaluateDelta must refuse every
+// step (supported=false, never a wrong answer or a throw), and the
+// recompute fallback must keep all arms byte-identical to the oracle.
+TEST(FuzzUpdateStream, AggregateStreamsFallBackCleanly) {
+  uint64_t incremental = 0, fallback = 0;
+  int aggregate_streams = 0;
+  for (uint64_t seed = 42; seed < 50; ++seed) {
+    UpdateStream s = GenerateUpdateStream(seed);
+    if (!s.base.program.HasAggregates()) continue;
+    ++aggregate_streams;
+    RunResult result = RunUpdateStream(s, {}, &incremental, &fallback);
+    EXPECT_TRUE(result.ok()) << FormatStreamResult(s, result);
+  }
+  ASSERT_GT(aggregate_streams, 0) << "no pinned seed drew an aggregate";
+  EXPECT_EQ(incremental, 0u)
+      << "EvaluateDelta maintained an aggregate program";
+  EXPECT_GT(fallback, 0u);
 }
 
 // A second profile with different dials (tiny dense domain, no
